@@ -1,0 +1,110 @@
+// Command attacklab reproduces the paper's Table III: it stands up an
+// emulated cloud, device and app for each of the ten vendor profiles,
+// launches every attack of Table II against them from a remote attacker,
+// and prints the measured matrix next to the published one.
+//
+// Usage:
+//
+//	attacklab                 # all ten vendors, Table III + verdicts
+//	attacklab -vendor TP-LINK # one vendor with per-variant detail
+//	attacklab -detail         # all vendors with per-variant detail
+//	attacklab -json           # machine-readable results
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	vendor := flag.String("vendor", "", "evaluate a single vendor (Table III name)")
+	detail := flag.Bool("detail", false, "print per-variant outcomes and evidence")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	flag.Parse()
+
+	if err := run(*vendor, *detail, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonRow is the machine-readable result for one vendor.
+type jsonRow struct {
+	Number      int          `json:"number"`
+	Vendor      string       `json:"vendor"`
+	DeviceType  string       `json:"device_type"`
+	Design      string       `json:"design"`
+	MatchsPaper bool         `json:"matches_paper"`
+	Variants    []jsonResult `json:"variants"`
+}
+
+// jsonResult is one attack variant's outcome.
+type jsonResult struct {
+	Variant string `json:"variant"`
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail"`
+}
+
+func run(vendor string, detail, asJSON bool) error {
+	profiles := iotbind.Profiles()
+	if vendor != "" {
+		p, ok := iotbind.ByVendor(vendor)
+		if !ok {
+			return fmt.Errorf("unknown vendor %q", vendor)
+		}
+		profiles = []iotbind.Profile{p}
+		detail = true
+	}
+
+	results := make([]iotbind.VendorResult, 0, len(profiles))
+	for _, p := range profiles {
+		vr, err := iotbind.EvaluateVendor(p)
+		if err != nil {
+			return fmt.Errorf("evaluate %s: %w", p.Vendor, err)
+		}
+		results = append(results, vr)
+	}
+
+	if asJSON {
+		rows := make([]jsonRow, 0, len(results))
+		for _, vr := range results {
+			row := jsonRow{
+				Number:      vr.Profile.Number,
+				Vendor:      vr.Profile.Vendor,
+				DeviceType:  vr.Profile.DeviceType,
+				Design:      vr.Profile.Design.Name,
+				MatchsPaper: iotbind.MatchesPaper(vr.Row, vr.Profile.Paper),
+			}
+			for _, r := range vr.Results {
+				row.Variants = append(row.Variants, jsonResult{
+					Variant: r.Variant.String(),
+					Outcome: r.Outcome.String(),
+					Detail:  r.Detail,
+				})
+			}
+			rows = append(rows, row)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+
+	if err := iotbind.WriteTable3(os.Stdout, results); err != nil {
+		return err
+	}
+
+	if detail {
+		for _, vr := range results {
+			fmt.Printf("#%d %s (%s) — per-variant detail\n", vr.Profile.Number, vr.Profile.Vendor, vr.Profile.DeviceType)
+			for _, r := range vr.Results {
+				fmt.Printf("  %-5v %-4v %s\n", r.Variant, r.Outcome, r.Detail)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSingleVendor(t *testing.T) {
+	if err := run("KONKE", false, false); err != nil {
+		t.Errorf("run(KONKE): %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run("D-LINK", false, true); err != nil {
+		t.Errorf("run(D-LINK, json): %v", err)
+	}
+}
+
+func TestRunUnknownVendor(t *testing.T) {
+	if err := run("Nonesuch", false, false); err == nil {
+		t.Error("run(Nonesuch) succeeded")
+	}
+}
+
+func TestRunAllVendors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	if err := run("", true, false); err != nil {
+		t.Errorf("run(all, detail): %v", err)
+	}
+}

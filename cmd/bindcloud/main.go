@@ -1,0 +1,102 @@
+// Command bindcloud serves an emulated vendor IoT cloud over HTTP so
+// external tools (curl, load generators, other hosts) can poke a specific
+// remote-binding design. The registry is pre-populated with a small fleet
+// of devices generated from the vendor's ID scheme; the device IDs are
+// printed at startup, exactly like the labels on real products.
+//
+// Usage:
+//
+//	bindcloud -vendor D-LINK -addr :8080 -fleet 5
+//	curl -s localhost:8080/api/v1/register-user -d '{"user_id":"u","password":"p"}'
+//
+//	bindcloud -proto tcp -addr :9090      # the raw line protocol instead
+//	printf '{"op":"login","payload":{"user_id":"u","password":"p"}}\n' | nc localhost 9090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	vendor := flag.String("vendor", "D-LINK", "vendor profile to serve (Table III name, secure, recommended, or worst-case)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	fleet := flag.Int("fleet", 5, "number of devices to pre-register")
+	proto := flag.String("proto", "http", "front end to serve: http or tcp")
+	flag.Parse()
+
+	if err := run(*vendor, *addr, *fleet, *proto); err != nil {
+		fmt.Fprintln(os.Stderr, "bindcloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vendor, addr string, fleet int, proto string) error {
+	var profile iotbind.Profile
+	switch vendor {
+	case "secure":
+		profile = iotbind.SecureReference()
+	case "recommended":
+		profile = iotbind.RecommendedPractice()
+	case "worst-case":
+		profile = iotbind.WorstCase()
+	default:
+		p, ok := iotbind.ByVendor(vendor)
+		if !ok {
+			return fmt.Errorf("unknown vendor %q", vendor)
+		}
+		profile = p
+	}
+
+	gen, err := profile.IDs.Generator()
+	if err != nil {
+		return err
+	}
+	registry := iotbind.NewRegistry()
+	fmt.Printf("Serving %s (%s) cloud on %s\n", profile.Vendor, profile.Design.Name, addr)
+	fmt.Printf("Design: auth=%v binding=%v unbind=%s\n",
+		profile.Design.DeviceAuth, profile.Design.Binding, profile.Design.UnbindNotation())
+	fmt.Println("Registered devices (the labels an attacker might copy):")
+	for i := 0; i < fleet; i++ {
+		id, err := gen.Generate(uint64(1000 + i))
+		if err != nil {
+			return err
+		}
+		if err := registry.Add(iotbind.DeviceRecord{
+			ID:            id,
+			FactorySecret: fmt.Sprintf("factory-%04d", i),
+			Model:         profile.DeviceType,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("  %s (factory secret factory-%04d)\n", id, i)
+	}
+
+	cloud, err := iotbind.NewCloud(profile.Design, registry)
+	if err != nil {
+		return err
+	}
+	switch proto {
+	case "http":
+		server := &http.Server{
+			Addr:              addr,
+			Handler:           iotbind.NewHTTPServer(cloud),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		return server.ListenAndServe()
+	case "tcp":
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		return iotbind.NewTCPServer(cloud).Serve(l)
+	default:
+		return fmt.Errorf("unknown proto %q (http or tcp)", proto)
+	}
+}

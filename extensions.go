@@ -1,0 +1,230 @@
+package iotbind
+
+import (
+	"io"
+
+	"github.com/iotbind/iotbind/internal/campaign"
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/device"
+	"github.com/iotbind/iotbind/internal/discover"
+	"github.com/iotbind/iotbind/internal/harden"
+	"github.com/iotbind/iotbind/internal/hub"
+	"github.com/iotbind/iotbind/internal/modelcheck"
+	"github.com/iotbind/iotbind/internal/tcpapi"
+	"github.com/iotbind/iotbind/internal/trace"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// ---- automatic attack discovery (Section VIII future work) ---------------
+
+// DiscoveredAttack is one minimal attack found by the searcher: a victim
+// scenario, an adversarial goal, and the shortest forged-message sequence
+// achieving it.
+type DiscoveredAttack = discover.Attack
+
+// AttackAction is one attacker primitive the searcher composes.
+type AttackAction = discover.Action
+
+// The attacker primitives.
+const (
+	ActForgeRegister        = discover.ActForgeRegister
+	ActForgeDataHeartbeat   = discover.ActForgeDataHeartbeat
+	ActForgeBind            = discover.ActForgeBind
+	ActForgeUnbindUserToken = discover.ActForgeUnbindUserToken
+	ActForgeUnbindDevID     = discover.ActForgeUnbindDevID
+)
+
+// AttackGoal is an adversarial objective.
+type AttackGoal = discover.Goal
+
+// The adversarial goals.
+const (
+	GoalDisconnect = discover.GoalDisconnect
+	GoalHijack     = discover.GoalHijack
+	GoalStealData  = discover.GoalStealData
+	GoalInjectData = discover.GoalInjectData
+	GoalOccupy     = discover.GoalOccupy
+)
+
+// AttackScenario is the victim situation a discovered sequence runs in.
+type AttackScenario = discover.Scenario
+
+// The victim scenarios.
+const (
+	ScenarioSteadyControl = discover.ScenarioSteadyControl
+	ScenarioPreSetup      = discover.ScenarioPreSetup
+	ScenarioSetupWindow   = discover.ScenarioSetupWindow
+)
+
+// DiscoverAttacks searches attacker action sequences up to maxDepth
+// against the design on live emulations, returning minimal sequences per
+// reachable (scenario, goal). With no taxonomy knowledge it rediscovers
+// the paper's attacks — e.g. the two-step A4-3 hijack chain on the
+// TP-LINK profile.
+func DiscoverAttacks(design DesignSpec, maxDepth int) ([]DiscoveredAttack, error) {
+	return discover.Search(design, maxDepth)
+}
+
+// ---- formal verification (Section IX future work) --------------------------
+
+// VerifiedProperty is a safety property the model checker decides.
+type VerifiedProperty = modelcheck.Property
+
+// The verified safety properties.
+const (
+	PropNoHijack         = modelcheck.PropNoHijack
+	PropBindingPreserved = modelcheck.PropBindingPreserved
+	PropNoDataTheft      = modelcheck.PropNoDataTheft
+	PropNoDataInjection  = modelcheck.PropNoDataInjection
+)
+
+// VerificationResult is one property's verdict, with a minimal
+// counterexample trace when violated.
+type VerificationResult = modelcheck.Result
+
+// VerifyDesign formally verifies a design by exhaustive exploration of
+// its abstract protocol state space: every reachable state is checked
+// against the four safety properties, and each violation comes with a
+// minimal counterexample (e.g. the A4-3 chain on the TP-LINK profile).
+func VerifyDesign(design DesignSpec) ([]VerificationResult, error) {
+	return modelcheck.Check(design)
+}
+
+// ---- fleet exposure campaigns (Sections I, V-C at scale) -------------------
+
+// CampaignConfig describes a fleet-scale ID-sweep campaign.
+type CampaignConfig = campaign.Config
+
+// CampaignPoint is the campaign state at one observation time.
+type CampaignPoint = campaign.Point
+
+// RunCampaign sweeps an ID space against an emulated fleet and reports
+// the fraction of bindings occupied over simulated time — the scalable
+// denial-of-service of Section V-C, measured.
+func RunCampaign(cfg CampaignConfig) ([]CampaignPoint, error) { return campaign.Run(cfg) }
+
+// WriteCampaign renders a campaign's exposure curve.
+func WriteCampaign(w io.Writer, title string, points []CampaignPoint) error {
+	return campaign.WriteTable(w, title, points)
+}
+
+// ---- hardening recommendations (Section VII lessons, as a repair engine) ----
+
+// HardeningStep is one repair measure from the Section VII lesson
+// vocabulary.
+type HardeningStep = harden.Step
+
+// The hardening measures.
+const (
+	StepDynamicDeviceToken   = harden.StepDynamicDeviceToken
+	StepCapabilityBinding    = harden.StepCapabilityBinding
+	StepCheckBindOwner       = harden.StepCheckBindOwner
+	StepCheckUnbindOwner     = harden.StepCheckUnbindOwner
+	StepDropDeviceOnlyUnbind = harden.StepDropDeviceOnlyUnbind
+	StepPostBindingToken     = harden.StepPostBindingToken
+)
+
+// HardeningPlan is a minimal repair recommendation with the hardened
+// design and its verification status.
+type HardeningPlan = harden.Plan
+
+// RecommendHardening searches for a minimal set of hardening steps that
+// closes every predicted attack against the design, verifying the result
+// with the model checker.
+func RecommendHardening(design DesignSpec) (HardeningPlan, error) {
+	return harden.Recommend(design)
+}
+
+// ---- four-party architecture (hub + low-power devices) --------------------
+
+// Hub bridges a personal-area network of low-power sub-devices to the
+// cloud through an ordinary device identity (the Section VIII four-party
+// architecture).
+type Hub = hub.Hub
+
+// SubDevice is a Zigbee/BLE-style end node with no cloud identity of its
+// own.
+type SubDevice = hub.SubDevice
+
+// HubTargetArg is the command argument naming the sub-device a command is
+// routed to.
+const HubTargetArg = hub.TargetArg
+
+// NewHub creates a hub whose cloud-facing behaviour follows the design.
+func NewHub(cfg DeviceConfig, design DesignSpec, cloudTransport CloudTransport, opts ...device.Option) (*Hub, error) {
+	return hub.New(cfg, design, cloudTransport, opts...)
+}
+
+// NewSubDevice creates a low-power end node for pairing with a hub.
+func NewSubDevice(name, kind string) *SubDevice { return hub.NewSubDevice(name, kind) }
+
+// ---- protocol tracing ------------------------------------------------------
+
+// TraceRecorder accumulates the message sequence between parties and a
+// cloud — the executable form of the paper's Figure 1/3/4 diagrams.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded message arrow.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// TraceTransport wraps a cloud transport so every call is recorded under
+// the given party label.
+func TraceTransport(inner CloudTransport, party string, rec *TraceRecorder) CloudTransport {
+	return trace.Transport(inner, party, rec)
+}
+
+// WriteTrace renders a recorded sequence as a Figure 1-style diagram.
+func WriteTrace(w io.Writer, rec *TraceRecorder, title string) error {
+	return rec.Write(w, title)
+}
+
+// ---- raw TCP front end -----------------------------------------------------
+
+// TCPServer serves a cloud over a newline-delimited JSON line protocol —
+// the bespoke socket protocol style of real device traffic (the paper's
+// D-LINK forgery ran over a raw socket connection).
+type TCPServer = tcpapi.Server
+
+// TCPClient speaks the line protocol and implements CloudTransport.
+type TCPClient = tcpapi.Client
+
+// NewTCPServer wraps a cloud for the raw TCP front end; call Serve with a
+// listener and Close to shut down.
+func NewTCPServer(c CloudTransport) *TCPServer { return tcpapi.NewServer(c) }
+
+// DialTCP connects a line-protocol client to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) { return tcpapi.Dial(addr) }
+
+// ---- cloud observability and persistence ------------------------------------
+
+// CloudStats is a snapshot of a cloud's activity counters.
+type CloudStats = cloud.Stats
+
+// CloudSnapshot is a cloud's full persisted state: accounts, live
+// credentials, shadows, bindings, shares and counters.
+type CloudSnapshot = cloud.Snapshot
+
+// ReadCloudSnapshot parses a persisted JSON snapshot.
+func ReadCloudSnapshot(r io.Reader) (CloudSnapshot, error) { return cloud.ReadSnapshot(r) }
+
+// ---- failure injection ----------------------------------------------------------
+
+// FlakyTransport wraps a transport and fails every Nth call — for
+// exercising agents' error paths under cloud outages.
+type FlakyTransport = transport.Flaky
+
+// NewFlakyTransport wraps a cloud so every failEvery-th call fails with
+// ErrCloudUnavailable; failEvery <= 0 never fails.
+func NewFlakyTransport(inner CloudTransport, failEvery int) *FlakyTransport {
+	return transport.NewFlaky(inner, failEvery)
+}
+
+// ErrCloudUnavailable is the injected transport failure.
+var ErrCloudUnavailable = transport.ErrUnavailable
+
+// Compile-time checks that the traced transport still satisfies the
+// transport contract.
+var _ transport.Cloud = (CloudTransport)(nil)

@@ -1,0 +1,3 @@
+module github.com/iotbind/iotbind
+
+go 1.22

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/iotbind/iotbind/internal/core"
+)
+
+// TaxonomyRow is one row of the derived Table II.
+type TaxonomyRow struct {
+	// Variant is the attack procedure.
+	Variant core.AttackVariant
+	// ForgedMessage is the forged message column.
+	ForgedMessage string
+	// TargetStates are the shadow states the attack launches from.
+	TargetStates []core.ShadowState
+	// EndState is the shadow state a successful attack ends in.
+	EndState core.ShadowState
+	// Consequence is the consequence column.
+	Consequence string
+}
+
+// DeriveTaxonomy regenerates Table II by replaying each attack variant's
+// forged-message events on the device-shadow state machine and checking
+// that the reachable end state matches the taxonomy. The A3 rows use the
+// victim's-binding view of the machine (the paper's "disconnect the device
+// with the user" means the victim's binding is gone while the device stays
+// online); the A2 and A4 rows use the raw shadow view (any binding counts).
+//
+// It returns an error if any variant's declared states are inconsistent
+// with the state machine — i.e. if the taxonomy could not have been
+// produced by the model.
+func DeriveTaxonomy() ([]TaxonomyRow, error) {
+	rows := make([]TaxonomyRow, 0, len(core.AllAttackVariants()))
+	for _, v := range core.AllAttackVariants() {
+		derived, err := deriveEndState(v)
+		if err != nil {
+			return nil, err
+		}
+		if derived != v.EndState() {
+			return nil, fmt.Errorf("analysis: variant %v derives end state %v, taxonomy says %v", v, derived, v.EndState())
+		}
+		rows = append(rows, TaxonomyRow{
+			Variant:       v,
+			ForgedMessage: v.ForgedMessage(),
+			TargetStates:  v.TargetStates(),
+			EndState:      derived,
+			Consequence:   v.Class().Description(),
+		})
+	}
+	return rows, nil
+}
+
+// deriveEndState replays the variant's event sequence from each of its
+// target states and returns the common end state.
+func deriveEndState(v core.AttackVariant) (core.ShadowState, error) {
+	var sequences [][]core.Event
+	switch v {
+	case core.VariantA1:
+		// A forged status keeps or makes the device online; the victim's
+		// binding is untouched.
+		sequences = [][]core.Event{{core.EventStatus}}
+	case core.VariantA2:
+		// A forged bind creates the (attacker's) binding while the
+		// device is offline.
+		sequences = [][]core.Event{{core.EventBind}}
+	case core.VariantA3x1, core.VariantA3x2:
+		// A forged unbind revokes the victim's binding.
+		sequences = [][]core.Event{{core.EventUnbind}}
+	case core.VariantA3x3:
+		// Replacement: the victim's binding is revoked (the attacker's
+		// new binding belongs to the attacker's view; tokens deny it
+		// control, so the victim-facing outcome is pure disconnection).
+		sequences = [][]core.Event{{core.EventUnbind}}
+	case core.VariantA3x4:
+		// A forged registration triggers the cloud's reset handling:
+		// the binding is revoked, the device observed online.
+		sequences = [][]core.Event{{core.EventStatus, core.EventUnbind}}
+	case core.VariantA4x1:
+		// Replacement with takeover: revoke the victim's binding, create
+		// the attacker's.
+		sequences = [][]core.Event{{core.EventUnbind, core.EventBind}}
+	case core.VariantA4x2:
+		// Bind into the online-unbound setup window.
+		sequences = [][]core.Event{{core.EventBind}}
+	case core.VariantA4x3:
+		// Chained: forged unbind, then forged bind.
+		sequences = [][]core.Event{{core.EventUnbind, core.EventBind}}
+	default:
+		return 0, fmt.Errorf("analysis: no event sequence for variant %v", v)
+	}
+
+	var end core.ShadowState
+	for _, target := range v.TargetStates() {
+		for _, seq := range sequences {
+			state := target
+			for _, e := range seq {
+				next, err := core.Next(state, e)
+				if err != nil {
+					return 0, fmt.Errorf("analysis: variant %v from %v: %w", v, target, err)
+				}
+				state = next
+			}
+			if end == 0 {
+				end = state
+			} else if end != state {
+				return 0, fmt.Errorf("analysis: variant %v reaches both %v and %v", v, end, state)
+			}
+		}
+	}
+	return end, nil
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/analysis"
+	"github.com/iotbind/iotbind/internal/core"
+)
+
+// TestTable2TaxonomyDerived regenerates Table II from the state machine
+// and checks it row by row against the paper's taxonomy.
+func TestTable2TaxonomyDerived(t *testing.T) {
+	rows, err := analysis.DeriveTaxonomy()
+	if err != nil {
+		t.Fatalf("DeriveTaxonomy: %v", err)
+	}
+	if len(rows) != len(core.AllAttackVariants()) {
+		t.Fatalf("derived %d rows, want %d", len(rows), len(core.AllAttackVariants()))
+	}
+
+	wantEnd := map[core.AttackVariant]core.ShadowState{
+		core.VariantA1:   core.StateControl,
+		core.VariantA2:   core.StateBound,
+		core.VariantA3x1: core.StateOnline,
+		core.VariantA3x2: core.StateOnline,
+		core.VariantA3x3: core.StateOnline,
+		core.VariantA3x4: core.StateOnline,
+		core.VariantA4x1: core.StateControl,
+		core.VariantA4x2: core.StateControl,
+		core.VariantA4x3: core.StateControl,
+	}
+	for _, row := range rows {
+		if row.EndState != wantEnd[row.Variant] {
+			t.Errorf("%v: derived end state %v, paper says %v", row.Variant, row.EndState, wantEnd[row.Variant])
+		}
+		if row.ForgedMessage == "" || row.Consequence == "" || len(row.TargetStates) == 0 {
+			t.Errorf("%v: incomplete row %+v", row.Variant, row)
+		}
+	}
+}
+
+// TestPredictAllCoversEveryVariant checks PredictAll ordering and
+// completeness.
+func TestPredictAllCoversEveryVariant(t *testing.T) {
+	d := core.DesignSpec{
+		Name:        "x",
+		DeviceAuth:  core.AuthDevID,
+		Binding:     core.BindACLApp,
+		UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken},
+	}
+	findings := analysis.PredictAll(d)
+	variants := core.AllAttackVariants()
+	if len(findings) != len(variants) {
+		t.Fatalf("PredictAll returned %d findings, want %d", len(findings), len(variants))
+	}
+	for i, f := range findings {
+		if f.Variant != variants[i] {
+			t.Errorf("finding %d is %v, want %v", i, f.Variant, variants[i])
+		}
+		if f.Reason == "" {
+			t.Errorf("%v: empty reason", f.Variant)
+		}
+		if f.Outcome != core.OutcomeSucceeded && f.Outcome != core.OutcomeFailed && f.Outcome != core.OutcomeUnconfirmed {
+			t.Errorf("%v: unexpected outcome %v", f.Variant, f.Outcome)
+		}
+	}
+}
+
+// TestPredictUnknownVariant covers the defensive branch.
+func TestPredictUnknownVariant(t *testing.T) {
+	f := analysis.Predict(core.DesignSpec{}, core.AttackVariant(99))
+	if f.Outcome != core.OutcomeNotApplicable {
+		t.Errorf("unknown variant outcome = %v, want N.A.", f.Outcome)
+	}
+}

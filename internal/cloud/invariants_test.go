@@ -1,0 +1,208 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// TestCloudInvariantsUnderRandomOps hammers one cloud with random
+// operation sequences from two users and a device, checking externally
+// observable security invariants after every step:
+//
+//   - control is only ever queued for the bound owner or a live guest;
+//   - pushed user data is only ever delivered while its pusher is still
+//     the bound owner (no cross-binding data leak);
+//   - readings are only served to the owner or a guest;
+//   - the shadow state is always one of the four model states and agrees
+//     with the accept/reject behaviour observed;
+//   - the activity counters exactly account for every attempt.
+func TestCloudInvariantsUnderRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runRandomOps(t, seed)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	design := devIDDesign()
+	design.CheckBoundUserOnBind = rng.Intn(2) == 0
+	design.CheckBoundUserOnUnbind = rng.Intn(2) == 0
+	design.ReplaceOnBind = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		design.UnbindForms = append(design.UnbindForms, core.UnbindDevIDAlone)
+	}
+
+	clock := newTestClock()
+	reg := NewRegistry()
+	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(design, reg, WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"alice@example.com", "bob@example.com"}
+	tokens := make(map[string]string, len(users))
+	for _, u := range users {
+		tokens[u] = loginUser(t, svc, u, "pw-"+u)
+	}
+
+	var (
+		guests    = make(map[string]bool) // mirror of live grants
+		lastBound string
+		pushers   = make(map[string]string) // data body -> pushing user
+		attempts  = make(map[string]int)    // op family -> count
+		cmdSeq    int
+	)
+
+	shadow := func() protocol.ShadowStateResponse {
+		st, err := svc.ShadowState(protocol.ShadowStateRequest{DeviceID: testDevice})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.State.Valid() {
+			t.Fatalf("invalid shadow state %v", st.State)
+		}
+		return st
+	}
+
+	syncMirror := func() {
+		st := shadow()
+		if st.BoundUser != lastBound {
+			// Binding changed hands (bind/unbind/replace): grants die.
+			guests = make(map[string]bool)
+			lastBound = st.BoundUser
+		}
+	}
+
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		u := users[rng.Intn(len(users))]
+		other := users[(rng.Intn(len(users))+1)%len(users)]
+		switch op := rng.Intn(10); op {
+		case 0: // device registration
+			attempts["status"]++
+			_, _ = svc.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+
+		case 1, 2: // heartbeat, possibly delivering data
+			attempts["status"]++
+			resp, err := svc.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice})
+			if err == nil {
+				st := shadow()
+				for _, d := range resp.UserData {
+					if pushers[d.Body] != st.BoundUser {
+						t.Fatalf("step %d: data %q pushed by %q delivered while %q is bound",
+							i, d.Body, pushers[d.Body], st.BoundUser)
+					}
+				}
+			}
+
+		case 3: // bind
+			attempts["bind"]++
+			_, _ = svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: tokens[u], Sender: core.SenderApp})
+
+		case 4: // unbind (either form)
+			attempts["unbind"]++
+			req := protocol.UnbindRequest{DeviceID: testDevice, UserToken: tokens[u], Sender: core.SenderApp}
+			if rng.Intn(3) == 0 {
+				req.UserToken = ""
+				req.Sender = core.SenderDevice
+			}
+			_ = svc.HandleUnbind(req)
+
+		case 5: // share / revoke
+			revoke := rng.Intn(3) == 0
+			err := svc.HandleShare(protocol.ShareRequest{
+				DeviceID: testDevice, UserToken: tokens[u], Guest: other, Revoke: revoke,
+			})
+			if err == nil {
+				st := shadow()
+				if st.BoundUser != u {
+					t.Fatalf("step %d: share managed by %q while %q is bound", i, u, st.BoundUser)
+				}
+				if revoke {
+					delete(guests, other)
+				} else {
+					guests[other] = true
+				}
+			}
+
+		case 6: // control
+			attempts["control"]++
+			cmdSeq++
+			before := shadow()
+			_, err := svc.HandleControl(protocol.ControlRequest{
+				DeviceID: testDevice, UserToken: tokens[u],
+				Command: protocol.Command{ID: fmt.Sprintf("c%d", cmdSeq), Name: "probe"},
+			})
+			if err == nil {
+				if before.State != core.StateControl {
+					t.Fatalf("step %d: control accepted in state %v", i, before.State)
+				}
+				if before.BoundUser != u && !guests[u] {
+					t.Fatalf("step %d: control accepted for %q (bound %q, guests %v)",
+						i, u, before.BoundUser, guests)
+				}
+			}
+
+		case 7: // push user data
+			body := fmt.Sprintf("data-%d-%s", i, u)
+			err := svc.PushUserData(protocol.PushUserDataRequest{
+				DeviceID: testDevice, UserToken: tokens[u],
+				Data: protocol.UserData{Kind: "schedule", Body: body},
+			})
+			if err == nil {
+				st := shadow()
+				if st.BoundUser != u {
+					t.Fatalf("step %d: push accepted for %q while %q is bound", i, u, st.BoundUser)
+				}
+				pushers[body] = u
+			}
+
+		case 8: // readings
+			_, err := svc.Readings(protocol.ReadingsRequest{DeviceID: testDevice, UserToken: tokens[u]})
+			if err == nil {
+				st := shadow()
+				if st.BoundUser != u && !guests[u] {
+					t.Fatalf("step %d: readings served to %q (bound %q)", i, u, st.BoundUser)
+				}
+			}
+
+		case 9: // time passes
+			clock.Advance(time.Duration(rng.Intn(90)) * time.Second)
+		}
+		syncMirror()
+	}
+
+	// The counters account exactly for every attempt we made.
+	stats := svc.Stats()
+	if got := stats.StatusAccepted + stats.StatusRejected; got != int64(attempts["status"]) {
+		t.Errorf("status counters %d != attempts %d", got, attempts["status"])
+	}
+	if got := stats.BindsAccepted + stats.BindsRejected; got != int64(attempts["bind"]) {
+		t.Errorf("bind counters %d != attempts %d", got, attempts["bind"])
+	}
+	if got := stats.UnbindsAccepted + stats.UnbindsRejected; got != int64(attempts["unbind"]) {
+		t.Errorf("unbind counters %d != attempts %d", got, attempts["unbind"])
+	}
+	if got := stats.ControlsQueued + stats.ControlsRejected; got != int64(attempts["control"]) {
+		t.Errorf("control counters %d != attempts %d", got, attempts["control"])
+	}
+
+	// The shadow trace contains only legal model transitions.
+	for _, tr := range svc.ShadowTrace(testDevice) {
+		next, err := core.Next(tr.From, tr.Event)
+		if err != nil || next != tr.To {
+			t.Errorf("illegal recorded transition %v", tr)
+		}
+	}
+}

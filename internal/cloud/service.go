@@ -1,0 +1,554 @@
+package cloud
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/token"
+)
+
+// Default timing parameters.
+const (
+	// DefaultHeartbeatTTL is how long a device stays online after its
+	// last accepted status message.
+	DefaultHeartbeatTTL = 60 * time.Second
+	// DefaultButtonWindow is the binding window opened by a physical
+	// button press (the paper observes 30 seconds on device #7).
+	DefaultButtonWindow = 30 * time.Second
+	// DefaultReadingsRetention is how many of a device's most recent
+	// readings the cloud keeps; older samples are discarded so
+	// long-running shadows stay bounded.
+	DefaultReadingsRetention = 1024
+)
+
+// Service is one vendor's emulated IoT cloud. All methods are safe for
+// concurrent use.
+type Service struct {
+	design   core.DesignSpec
+	registry *Registry
+
+	mu       sync.Mutex
+	accounts *accountStore
+	issuer   *token.Issuer
+	shadows  map[string]*shadow
+
+	now               func() time.Time
+	randomHex         func() (string, error)
+	heartbeatTTL      time.Duration
+	buttonWindow      time.Duration
+	readingsRetention int
+	userTokenTTL      time.Duration
+
+	statsBox statsBox
+}
+
+// Option configures a Service.
+type Option interface {
+	apply(*Service)
+}
+
+type optionFunc func(*Service)
+
+func (f optionFunc) apply(s *Service) { f(s) }
+
+// WithClock injects a clock, for deterministic tests and testbeds.
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(s *Service) { s.now = now })
+}
+
+// WithHeartbeatTTL overrides the online-expiry interval.
+func WithHeartbeatTTL(ttl time.Duration) Option {
+	return optionFunc(func(s *Service) { s.heartbeatTTL = ttl })
+}
+
+// WithButtonWindow overrides the physical-button binding window.
+func WithButtonWindow(w time.Duration) Option {
+	return optionFunc(func(s *Service) { s.buttonWindow = w })
+}
+
+// WithReadingsRetention overrides how many recent readings the cloud
+// keeps per device.
+func WithReadingsRetention(n int) Option {
+	return optionFunc(func(s *Service) { s.readingsRetention = n })
+}
+
+// WithUserTokenTTL makes user tokens expire after the given duration
+// (zero, the default, means sessions never expire).
+func WithUserTokenTTL(ttl time.Duration) Option {
+	return optionFunc(func(s *Service) { s.userTokenTTL = ttl })
+}
+
+// WithTokenIssuer injects the credential issuer (shared with tests that
+// need deterministic tokens).
+func WithTokenIssuer(iss *token.Issuer) Option {
+	return optionFunc(func(s *Service) { s.issuer = iss })
+}
+
+// NewService builds a cloud for the given design and device registry.
+func NewService(design core.DesignSpec, registry *Registry, opts ...Option) (*Service, error) {
+	if err := design.Validate(); err != nil {
+		return nil, fmt.Errorf("cloud: %w", err)
+	}
+	if registry == nil {
+		return nil, fmt.Errorf("cloud: %w: nil registry", protocol.ErrBadRequest)
+	}
+	s := &Service{
+		design:   design,
+		registry: registry,
+		accounts: newAccountStore(),
+		shadows:  make(map[string]*shadow),
+		now:      time.Now,
+		randomHex: func() (string, error) {
+			var b [16]byte
+			if _, err := rand.Read(b[:]); err != nil {
+				return "", err
+			}
+			return hex.EncodeToString(b[:]), nil
+		},
+		heartbeatTTL:      DefaultHeartbeatTTL,
+		buttonWindow:      DefaultButtonWindow,
+		readingsRetention: DefaultReadingsRetention,
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	if s.issuer == nil {
+		s.issuer = token.NewIssuer(token.WithClock(s.now))
+	}
+	return s, nil
+}
+
+// Design returns the design spec the cloud enforces.
+func (s *Service) Design() core.DesignSpec { return s.design }
+
+// Registry returns the vendor device registry.
+func (s *Service) Registry() *Registry { return s.registry }
+
+// RegisterUser creates a user account.
+func (s *Service) registerUser(req protocol.RegisterUserRequest) error {
+	return s.accounts.register(req.UserID, req.Password)
+}
+
+// Login authenticates a user and issues a UserToken.
+func (s *Service) login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	if err := s.accounts.authenticate(req.UserID, req.Password); err != nil {
+		return protocol.LoginResponse{}, err
+	}
+	tok, err := s.issuer.Issue(token.KindUser, req.UserID, req.UserID, s.userTokenTTL)
+	if err != nil {
+		return protocol.LoginResponse{}, fmt.Errorf("cloud: issue user token: %w", err)
+	}
+	return protocol.LoginResponse{UserToken: tok.Value}, nil
+}
+
+// RequestDeviceToken issues a dynamic device token (Figure 3, Type 1). The
+// pairing proof demonstrates local possession of the device: it is revealed
+// by the device over the local network while in setup mode, so a remote
+// attacker cannot satisfy this check.
+func (s *Service) requestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return protocol.DeviceTokenResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	rec, ok := s.registry.Lookup(req.DeviceID)
+	if !ok {
+		return protocol.DeviceTokenResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	want := protocol.PairingProof(rec.FactorySecret, rec.ID)
+	if !protocol.VerifyProof(req.PairingProof, want) {
+		return protocol.DeviceTokenResponse{}, fmt.Errorf("cloud: pairing proof: %w", protocol.ErrAuthFailed)
+	}
+	devTok, err := s.issuer.Issue(token.KindDevice, userTok.Subject, rec.ID, 0)
+	if err != nil {
+		return protocol.DeviceTokenResponse{}, fmt.Errorf("cloud: issue device token: %w", err)
+	}
+	return protocol.DeviceTokenResponse{DevToken: devTok.Value}, nil
+}
+
+// RequestBindToken issues a capability binding token (Figure 4c). The
+// token is worthless without local delivery to the device: the device must
+// submit it back together with a factory-secret proof.
+func (s *Service) requestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return protocol.BindTokenResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return protocol.BindTokenResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	bindTok, err := s.issuer.Issue(token.KindBind, userTok.Subject, req.DeviceID, 0)
+	if err != nil {
+		return protocol.BindTokenResponse{}, fmt.Errorf("cloud: issue bind token: %w", err)
+	}
+	return protocol.BindTokenResponse{BindToken: bindTok.Value}, nil
+}
+
+// HandleStatus processes a device status message: authentication (per the
+// design's mode), online marking, reading ingestion, and delivery of
+// pending commands and user data.
+func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	if req.Kind != protocol.StatusRegister && req.Kind != protocol.StatusHeartbeat {
+		return protocol.StatusResponse{}, fmt.Errorf("cloud: status kind: %w", protocol.ErrBadRequest)
+	}
+	rec, ok := s.registry.Lookup(req.DeviceID)
+	if !ok {
+		return protocol.StatusResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	now := s.now()
+	sh.refresh(now, s.heartbeatTTL)
+
+	// Device authentication (Figure 3 / Section IV-A).
+	owner, err := s.authenticateDeviceLocked(rec, req)
+	if err != nil {
+		return protocol.StatusResponse{}, err
+	}
+
+	// Post-binding token: once a binding exists, in-session device
+	// messages must carry the binding's session token (Section IV-B). A
+	// device left with a stale token — e.g. after an attacker replaced
+	// the binding — is cut off rather than silently attached to the new
+	// binding. Registrations are exempt: they precede session
+	// establishment.
+	if s.design.PostBindingToken && req.Kind == protocol.StatusHeartbeat &&
+		sh.state().BoundToUser() && sh.sessionToken != "" &&
+		req.SessionToken != sh.sessionToken {
+		return protocol.StatusResponse{}, fmt.Errorf("cloud: post-binding token: %w", protocol.ErrAuthFailed)
+	}
+
+	// In-session data proof (DataRequiresSession designs): registrations
+	// bootstrap a nonce; data-bearing heartbeats must prove it.
+	if s.design.DataRequiresSession {
+		if req.Kind == protocol.StatusRegister && len(req.Readings) > 0 {
+			return protocol.StatusResponse{}, fmt.Errorf("cloud: readings on register: %w", protocol.ErrBadRequest)
+		}
+		if req.Kind == protocol.StatusHeartbeat {
+			want := protocol.DataProof(rec.FactorySecret, sh.sessionNonce)
+			if sh.sessionNonce == "" || !protocol.VerifyProof(req.DataProof, want) {
+				return protocol.StatusResponse{}, fmt.Errorf("cloud: data proof: %w", protocol.ErrAuthFailed)
+			}
+		}
+	}
+
+	// Session-tied bindings treat a fresh registration as a device reset
+	// and revoke the existing binding (the device #8 behaviour that
+	// enables A3-4).
+	if s.design.SessionTiedBinding && req.Kind == protocol.StatusRegister && sh.state().BoundToUser() {
+		s.revokeBindingLocked(sh)
+	}
+
+	sh.markOnline(now)
+	if owner != "" {
+		sh.sessionOwner = owner
+	}
+
+	var resp protocol.StatusResponse
+	if req.Kind == protocol.StatusRegister {
+		sh.deviceIP = req.SourceIP
+		if s.design.DataRequiresSession {
+			nonce, err := s.randomHex()
+			if err != nil {
+				return protocol.StatusResponse{}, fmt.Errorf("cloud: session nonce: %w", err)
+			}
+			sh.sessionNonce = nonce
+			resp.SessionNonce = nonce
+		}
+		if s.design.BindButtonWindow && req.ButtonPressed {
+			sh.buttonUntil = now.Add(s.buttonWindow)
+		}
+	}
+
+	if len(req.Readings) > 0 {
+		sh.readings = append(sh.readings, req.Readings...)
+		if excess := len(sh.readings) - s.readingsRetention; excess > 0 {
+			sh.readings = append(sh.readings[:0], sh.readings[excess:]...)
+		}
+	}
+
+	resp.Bound = sh.state().BoundToUser()
+	if resp.Bound && req.Kind == protocol.StatusHeartbeat {
+		resp.Commands, resp.UserData = sh.drainForDevice()
+	}
+	return resp, nil
+}
+
+// HandleBind processes a binding-creation message under the design's
+// mechanism and policy checks (Figure 4 / Sections IV-B, V-C, V-E).
+func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	rec, ok := s.registry.Lookup(req.DeviceID)
+	if !ok {
+		return protocol.BindResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	now := s.now()
+	sh.refresh(now, s.heartbeatTTL)
+
+	user, err := s.bindUserLocked(rec, req)
+	if err != nil {
+		return protocol.BindResponse{}, err
+	}
+
+	if s.design.BindButtonWindow && now.After(sh.buttonUntil) {
+		return protocol.BindResponse{}, fmt.Errorf("cloud: button window: %w", protocol.ErrOutsideWindow)
+	}
+	if s.design.SourceIPCheck && (sh.deviceIP == "" || req.SourceIP != sh.deviceIP) {
+		return protocol.BindResponse{}, fmt.Errorf("cloud: source IP mismatch: %w", protocol.ErrOutsideWindow)
+	}
+
+	if sh.state().BoundToUser() {
+		switch {
+		case sh.boundUser == user:
+			// Idempotent re-bind by the same user.
+			return protocol.BindResponse{BoundUser: user, SessionToken: sh.sessionToken}, nil
+		case s.design.CheckBoundUserOnBind && !s.design.ReplaceOnBind:
+			return protocol.BindResponse{}, fmt.Errorf("cloud: bound to another user: %w", protocol.ErrAlreadyBound)
+		default:
+			// Replace the previous binding — either the explicit Type 3
+			// design or a cloud that blindly manipulates bindings
+			// (Section V-E, A4-1).
+			s.statsBox.add(func(st *Stats) { st.BindingsReplaced++ })
+			s.revokeBindingLocked(sh)
+		}
+	}
+
+	sh.bind(user)
+	resp := protocol.BindResponse{BoundUser: user}
+	if s.design.PostBindingToken {
+		sess, err := s.issuer.Issue(token.KindSession, user, req.DeviceID, 0)
+		if err != nil {
+			return protocol.BindResponse{}, fmt.Errorf("cloud: issue session token: %w", err)
+		}
+		sh.sessionToken = sess.Value
+		resp.SessionToken = sess.Value
+	}
+	return resp, nil
+}
+
+// HandleUnbind processes a binding-revocation message (Section IV-C).
+func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	sh.refresh(s.now(), s.heartbeatTTL)
+
+	form := core.UnbindDevIDUserToken
+	if req.UserToken == "" {
+		form = core.UnbindDevIDAlone
+	}
+	if !s.design.SupportsUnbind(form) {
+		return fmt.Errorf("cloud: unbind form %v: %w", form, protocol.ErrUnsupported)
+	}
+	if !sh.state().BoundToUser() {
+		return fmt.Errorf("cloud: %w", protocol.ErrNotBound)
+	}
+	if form == core.UnbindDevIDUserToken {
+		userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+		if err != nil {
+			return fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+		}
+		if s.design.CheckBoundUserOnUnbind && userTok.Subject != sh.boundUser {
+			return fmt.Errorf("cloud: unbind by non-owner: %w", protocol.ErrNotPermitted)
+		}
+	}
+	s.revokeBindingLocked(sh)
+	return nil
+}
+
+// HandleControl relays a command from the bound user to the device.
+func (s *Service) handleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	sh.refresh(s.now(), s.heartbeatTTL)
+
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if !sh.state().BoundToUser() {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: %w", protocol.ErrNotBound)
+	}
+	isOwner := sh.boundUser == userTok.Subject
+	isGuest := sh.guests[userTok.Subject]
+	if !isOwner && !isGuest {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: control by non-owner: %w", protocol.ErrNotPermitted)
+	}
+	if !sh.state().Online() {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: %w", protocol.ErrDeviceOffline)
+	}
+	// Guests act under the owner's binding: their authorization is
+	// cloud-mediated (the share grant), so the post-binding session token
+	// is required from the owner only.
+	if isOwner && s.design.PostBindingToken && req.SessionToken != sh.sessionToken {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: post-binding token: %w", protocol.ErrAuthFailed)
+	}
+	// With dynamic device tokens, the device's authenticated session
+	// belongs to the account that configured it locally. Commands for a
+	// binding that does not own the session would never reach the real
+	// device; refusing them is what makes DevToken designs hijack-proof
+	// (Section V-E). Guests ride on the owner's binding, so the session
+	// must belong to the bound owner.
+	if s.design.EffectiveAuth() == core.AuthDevToken && sh.sessionOwner != sh.boundUser {
+		return protocol.ControlResponse{}, fmt.Errorf("cloud: device session owned by another account: %w", protocol.ErrNotPermitted)
+	}
+	sh.commandInbox = append(sh.commandInbox, req.Command)
+	return protocol.ControlResponse{Queued: true}, nil
+}
+
+// PushUserData stores user state for delivery to the device.
+func (s *Service) PushUserData(req protocol.PushUserDataRequest) error {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if !sh.state().BoundToUser() || sh.boundUser != userTok.Subject {
+		return fmt.Errorf("cloud: %w", protocol.ErrNotPermitted)
+	}
+	sh.dataInbox = append(sh.dataInbox, req.Data)
+	return nil
+}
+
+// Readings returns the device readings as visible to the bound user.
+func (s *Service) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if !sh.state().BoundToUser() ||
+		(sh.boundUser != userTok.Subject && !sh.guests[userTok.Subject]) {
+		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %w", protocol.ErrNotPermitted)
+	}
+	out := make([]protocol.Reading, len(sh.readings))
+	copy(out, sh.readings)
+	return protocol.ReadingsResponse{Readings: out}, nil
+}
+
+// ShadowState reports a device shadow's state-machine position (testbed
+// and diagnostics use; not part of any vendor API surface).
+func (s *Service) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return protocol.ShadowStateResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	sh.refresh(s.now(), s.heartbeatTTL)
+	return protocol.ShadowStateResponse{State: sh.state(), BoundUser: sh.boundUser}, nil
+}
+
+// ShadowTrace returns the state-machine trace of a device shadow, for
+// experiment reporting.
+func (s *Service) ShadowTrace(deviceID string) []core.Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shadows[deviceID]
+	if !ok {
+		return nil
+	}
+	return sh.machine.Trace()
+}
+
+// authenticateDeviceLocked applies the design's device-authentication mode
+// to a status message, returning the owning account for token-based modes.
+func (s *Service) authenticateDeviceLocked(rec DeviceRecord, req protocol.StatusRequest) (string, error) {
+	switch s.design.EffectiveAuth() {
+	case core.AuthDevID:
+		// Static-identifier authentication: possession of the device ID
+		// string is the whole check. This is the Figure 3 Type 2 design
+		// whose weakness the paper demonstrates.
+		return "", nil
+	case core.AuthDevToken:
+		devTok, err := s.issuer.Verify(token.KindDevice, req.DevToken)
+		if err != nil || devTok.Subject != rec.ID {
+			return "", fmt.Errorf("cloud: device token: %w", protocol.ErrAuthFailed)
+		}
+		return devTok.Owner, nil
+	case core.AuthPublicKey:
+		want := protocol.StatusSignature(rec.FactorySecret, rec.ID, req.Kind)
+		if !protocol.VerifyProof(req.Signature, want) {
+			return "", fmt.Errorf("cloud: status signature: %w", protocol.ErrAuthFailed)
+		}
+		return "", nil
+	default:
+		return "", fmt.Errorf("cloud: %w: unsupported auth mode", protocol.ErrBadRequest)
+	}
+}
+
+// bindUserLocked resolves the user a bind request speaks for, under the
+// design's binding mechanism.
+func (s *Service) bindUserLocked(rec DeviceRecord, req protocol.BindRequest) (string, error) {
+	switch s.design.Binding {
+	case core.BindACLApp:
+		userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+		if err != nil {
+			return "", fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+		}
+		return userTok.Subject, nil
+	case core.BindACLDevice:
+		if err := s.accounts.authenticate(req.UserID, req.UserPassword); err != nil {
+			return "", err
+		}
+		return req.UserID, nil
+	case core.BindCapability:
+		bindTok, err := s.issuer.Verify(token.KindBind, req.BindToken)
+		if err != nil || bindTok.Subject != rec.ID {
+			return "", fmt.Errorf("cloud: bind token: %w", protocol.ErrAuthFailed)
+		}
+		want := protocol.BindProof(rec.FactorySecret, req.BindToken)
+		if !protocol.VerifyProof(req.BindProof, want) {
+			return "", fmt.Errorf("cloud: bind proof: %w", protocol.ErrAuthFailed)
+		}
+		// Capability tokens are single-use.
+		s.issuer.Revoke(req.BindToken)
+		return bindTok.Owner, nil
+	default:
+		return "", fmt.Errorf("cloud: %w: unsupported binding mechanism", protocol.ErrBadRequest)
+	}
+}
+
+// revokeBindingLocked clears a binding and retires its session tokens.
+func (s *Service) revokeBindingLocked(sh *shadow) {
+	s.issuer.RevokeSubject(token.KindSession, sh.deviceID)
+	sh.unbind()
+}
+
+// shadowLocked fetches or creates the shadow for a registered device.
+func (s *Service) shadowLocked(deviceID string) *shadow {
+	sh, ok := s.shadows[deviceID]
+	if !ok {
+		sh = newShadow(deviceID)
+		s.shadows[deviceID] = sh
+	}
+	return sh
+}

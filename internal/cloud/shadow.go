@@ -1,0 +1,121 @@
+package cloud
+
+import (
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// shadow is the cloud-side representation of one device: its state-machine
+// position plus the bookkeeping the design-specific policy checks consult.
+// Shadows are guarded by the Service mutex.
+type shadow struct {
+	deviceID string
+	machine  *core.Machine
+
+	// lastSeen is the time of the last accepted status message; the
+	// device expires to offline when now-lastSeen exceeds the heartbeat
+	// TTL.
+	lastSeen time.Time
+
+	// boundUser is the account bound to the device, empty when unbound.
+	boundUser string
+
+	// guests are accounts the bound owner has shared the device with
+	// (many-to-one binding). Guest authority derives entirely from the
+	// owner's binding and vanishes with it.
+	guests map[string]bool
+
+	// sessionOwner is the account that owns the device token the device
+	// most recently authenticated with (AuthDevToken designs). Control is
+	// only meaningful when the bound user owns the device's session: this
+	// is what makes dynamic device tokens defeat hijacking (Section V-E).
+	sessionOwner string
+
+	// sessionToken is the post-binding random token (PostBindingToken
+	// designs) expected from both the controlling user and the device.
+	sessionToken string
+
+	// sessionNonce is the register-time nonce of DataRequiresSession
+	// designs; data-bearing messages must prove HMAC(factorySecret, nonce).
+	sessionNonce string
+
+	// buttonUntil is the end of the physical-button binding window
+	// (BindButtonWindow designs).
+	buttonUntil time.Time
+
+	// deviceIP is the source address of the device's last registration
+	// (SourceIPCheck designs compare it with the bind request's source).
+	deviceIP string
+
+	// commandInbox holds control commands awaiting delivery to the device.
+	commandInbox []protocol.Command
+
+	// dataInbox holds user data (schedules, ...) awaiting delivery to the
+	// device. Whoever successfully authenticates as the device receives
+	// it: the data-stealing half of A1.
+	dataInbox []protocol.UserData
+
+	// readings holds sensor samples the cloud accepted from "the device".
+	readings []protocol.Reading
+}
+
+func newShadow(deviceID string) *shadow {
+	return &shadow{deviceID: deviceID, machine: core.NewMachine()}
+}
+
+// state returns the shadow's state-machine position.
+func (s *shadow) state() core.ShadowState { return s.machine.State() }
+
+// refresh applies heartbeat expiry: if the device is online but the TTL has
+// passed since lastSeen, it transitions offline.
+func (s *shadow) refresh(now time.Time, ttl time.Duration) {
+	if !s.state().Online() {
+		return
+	}
+	if now.Sub(s.lastSeen) > ttl {
+		// The transition is valid by construction: the state is online.
+		_, _ = s.machine.Apply(core.EventStatusExpire)
+	}
+}
+
+// markOnline records an accepted status message.
+func (s *shadow) markOnline(now time.Time) {
+	s.lastSeen = now
+	if !s.state().Online() {
+		_, _ = s.machine.Apply(core.EventStatus)
+	}
+}
+
+// bind records an accepted binding for user.
+func (s *shadow) bind(user string) {
+	s.boundUser = user
+	if !s.state().BoundToUser() {
+		_, _ = s.machine.Apply(core.EventBind)
+	}
+}
+
+// unbind revokes the binding and clears all user-coupled state so the next
+// owner cannot observe the previous owner's data. Shares die with the
+// binding they derive from.
+func (s *shadow) unbind() {
+	s.boundUser = ""
+	s.guests = nil
+	s.sessionToken = ""
+	s.commandInbox = nil
+	s.dataInbox = nil
+	s.readings = nil
+	if s.state().BoundToUser() {
+		_, _ = s.machine.Apply(core.EventUnbind)
+	}
+}
+
+// drainForDevice hands the pending commands and user data to whatever
+// authenticated as the device.
+func (s *shadow) drainForDevice() ([]protocol.Command, []protocol.UserData) {
+	cmds, data := s.commandInbox, s.dataInbox
+	s.commandInbox = nil
+	s.dataInbox = nil
+	return cmds, data
+}

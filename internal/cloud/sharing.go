@@ -1,0 +1,76 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/token"
+)
+
+// HandleShare grants or revokes guest access to a bound device (the
+// many-to-one binding of Section III-B). Only the bound owner may manage
+// shares; guest authority derives from the owner's binding and is cleared
+// whenever that binding is revoked or replaced.
+func (s *Service) HandleShare(req protocol.ShareRequest) error {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+	if !s.accounts.exists(req.Guest) {
+		return fmt.Errorf("cloud: guest %q: %w", req.Guest, protocol.ErrBadRequest)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+	sh.refresh(s.now(), s.heartbeatTTL)
+
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if !sh.state().BoundToUser() {
+		return fmt.Errorf("cloud: %w", protocol.ErrNotBound)
+	}
+	if sh.boundUser != userTok.Subject {
+		return fmt.Errorf("cloud: share by non-owner: %w", protocol.ErrNotPermitted)
+	}
+	if req.Guest == sh.boundUser {
+		return fmt.Errorf("cloud: owner cannot be their own guest: %w", protocol.ErrBadRequest)
+	}
+
+	if req.Revoke {
+		delete(sh.guests, req.Guest)
+		return nil
+	}
+	if sh.guests == nil {
+		sh.guests = make(map[string]bool)
+	}
+	sh.guests[req.Guest] = true
+	return nil
+}
+
+// Shares lists a device's guests; only the bound owner may ask.
+func (s *Service) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
+		return protocol.SharesResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shadowLocked(req.DeviceID)
+
+	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	if err != nil {
+		return protocol.SharesResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+	}
+	if !sh.state().BoundToUser() || sh.boundUser != userTok.Subject {
+		return protocol.SharesResponse{}, fmt.Errorf("cloud: %w", protocol.ErrNotPermitted)
+	}
+	guests := make([]string, 0, len(sh.guests))
+	for g := range sh.guests {
+		guests = append(guests, g)
+	}
+	sort.Strings(guests)
+	return protocol.SharesResponse{Guests: guests}, nil
+}

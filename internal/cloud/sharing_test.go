@@ -1,0 +1,199 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// shareFixture binds the victim and registers a third account "guest".
+func shareFixture(t *testing.T, design core.DesignSpec) (*Service, string, string, string) {
+	t.Helper()
+	svc, _, victim, attacker := newTestService(t, design)
+	guest := loginUser(t, svc, "guest@example.com", "pw-guest")
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	return svc, victim, attacker, guest
+}
+
+func TestShareGrantAndControl(t *testing.T) {
+	svc, victim, _, guest := shareFixture(t, devIDDesign())
+
+	// The guest cannot act before the grant.
+	if _, err := svc.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: guest, Command: protocol.Command{ID: "g0", Name: "on"},
+	}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Fatalf("pre-grant control = %v, want ErrNotPermitted", err)
+	}
+
+	if err := svc.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the guest can control and read.
+	if _, err := svc.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: guest, Command: protocol.Command{ID: "g1", Name: "on"},
+	}); err != nil {
+		t.Fatalf("guest control = %v", err)
+	}
+	if _, err := svc.Readings(protocol.ReadingsRequest{DeviceID: testDevice, UserToken: guest}); err != nil {
+		t.Fatalf("guest readings = %v", err)
+	}
+
+	// The owner sees the guest list.
+	shares, err := svc.Shares(protocol.SharesRequest{DeviceID: testDevice, UserToken: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares.Guests) != 1 || shares.Guests[0] != "guest@example.com" {
+		t.Errorf("guests = %v", shares.Guests)
+	}
+}
+
+func TestShareRevocation(t *testing.T) {
+	svc, victim, _, guest := shareFixture(t, devIDDesign())
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com", Revoke: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: guest, Command: protocol.Command{ID: "g", Name: "on"},
+	}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("post-revoke control = %v, want ErrNotPermitted", err)
+	}
+}
+
+// TestShareGuestCannotEscalate: a guest is not an owner — no unbinding,
+// no re-sharing, no pushing state, no guest-list access.
+func TestShareGuestCannotEscalate(t *testing.T) {
+	svc, victim, _, guest := shareFixture(t, devIDDesign())
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := svc.HandleUnbind(protocol.UnbindRequest{DeviceID: testDevice, UserToken: guest, Sender: core.SenderApp}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("guest unbind = %v, want ErrNotPermitted", err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: guest, Guest: "attacker@example.com",
+	}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("guest re-share = %v, want ErrNotPermitted", err)
+	}
+	if err := svc.PushUserData(protocol.PushUserDataRequest{
+		DeviceID: testDevice, UserToken: guest,
+		Data: protocol.UserData{Kind: "schedule", Body: "x"},
+	}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("guest push = %v, want ErrNotPermitted", err)
+	}
+	if _, err := svc.Shares(protocol.SharesRequest{DeviceID: testDevice, UserToken: guest}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("guest share list = %v, want ErrNotPermitted", err)
+	}
+}
+
+// TestShareAttackerCannotSelfInvite: knowing the device ID does not let a
+// remote adversary grant themselves access.
+func TestShareAttackerCannotSelfInvite(t *testing.T) {
+	svc, _, attacker, _ := shareFixture(t, devIDDesign())
+	err := svc.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: attacker, Guest: "attacker@example.com",
+	})
+	if !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("self-invite = %v, want ErrNotPermitted", err)
+	}
+}
+
+// TestShareDiesWithBinding: unbinding (or an attacker's replacement)
+// clears every grant; the next owner starts clean.
+func TestShareDiesWithBinding(t *testing.T) {
+	d := devIDDesign()
+	d.ReplaceOnBind = true
+	d.CheckBoundUserOnBind = false
+	svc, victim, attacker, guest := shareFixture(t, d)
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker replaces the binding (the A4-1 flaw of this design):
+	// the old owner's guests must not survive into the new binding.
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: attacker, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: guest, Command: protocol.Command{ID: "g", Name: "on"},
+	}); !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Errorf("stale guest control after replacement = %v, want ErrNotPermitted", err)
+	}
+	shares, err := svc.Shares(protocol.SharesRequest{DeviceID: testDevice, UserToken: attacker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares.Guests) != 0 {
+		t.Errorf("guests after replacement = %v, want none", shares.Guests)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	svc, victim, _, _ := shareFixture(t, devIDDesign())
+
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: "nope", UserToken: victim, Guest: "guest@example.com"}); !errors.Is(err, protocol.ErrUnknownDevice) {
+		t.Errorf("unknown device = %v", err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "ghost@example.com"}); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("unknown guest = %v", err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "victim@example.com"}); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("self-share = %v", err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: "bogus", Guest: "guest@example.com"}); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("bogus token = %v", err)
+	}
+}
+
+// TestShareUnboundDevice: shares require a binding to attach to.
+func TestShareUnboundDevice(t *testing.T) {
+	svc, _, victim, _ := newTestService(t, devIDDesign())
+	if err := svc.RegisterUser(protocol.RegisterUserRequest{UserID: "guest@example.com", Password: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com"})
+	if !errors.Is(err, protocol.ErrNotBound) {
+		t.Errorf("share of unbound device = %v, want ErrNotBound", err)
+	}
+}
+
+// TestGuestControlUnderDevTokenDesign: guests work when the device
+// session belongs to the bound owner, and stop working when the binding
+// is hijacked out from under them.
+func TestGuestControlUnderDevTokenDesign(t *testing.T) {
+	d := devTokenDesign()
+	svc, _, victim, _ := newTestService(t, d)
+	guest := loginUser(t, svc, "guest@example.com", "pw-guest")
+
+	proof := protocol.PairingProof(testSecret, testDevice)
+	tokResp, err := svc.RequestDeviceToken(protocol.DeviceTokenRequest{UserToken: victim, DeviceID: testDevice, PairingProof: proof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice, DevToken: tokResp.DevToken})
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.HandleShare(protocol.ShareRequest{DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: guest, Command: protocol.Command{ID: "g", Name: "on"},
+	}); err != nil {
+		t.Errorf("guest control under DevToken design = %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/token"
+)
+
+// SnapshotVersion identifies the persisted format.
+const SnapshotVersion = 1
+
+// Snapshot is the cloud's full persisted state: accounts, live
+// credentials, per-device shadows and the activity counters. It restores
+// into a service built for the same design; state-machine traces are not
+// persisted.
+type Snapshot struct {
+	// Version is the format version.
+	Version int `json:"version"`
+	// DesignName pins the design the snapshot belongs to.
+	DesignName string `json:"design_name"`
+	// TakenAt is the service clock at snapshot time.
+	TakenAt time.Time `json:"taken_at"`
+	// Accounts is the user table.
+	Accounts map[string]string `json:"accounts"`
+	// Tokens are the live credentials.
+	Tokens []token.Token `json:"tokens"`
+	// Shadows are the per-device states.
+	Shadows []ShadowSnapshot `json:"shadows"`
+	// Stats are the activity counters.
+	Stats Stats `json:"stats"`
+}
+
+// ShadowSnapshot is one device shadow's persisted state.
+type ShadowSnapshot struct {
+	DeviceID     string              `json:"device_id"`
+	State        core.ShadowState    `json:"state"`
+	LastSeen     time.Time           `json:"last_seen,omitempty"`
+	BoundUser    string              `json:"bound_user,omitempty"`
+	Guests       []string            `json:"guests,omitempty"`
+	SessionOwner string              `json:"session_owner,omitempty"`
+	SessionToken string              `json:"session_token,omitempty"`
+	SessionNonce string              `json:"session_nonce,omitempty"`
+	ButtonUntil  time.Time           `json:"button_until,omitempty"`
+	DeviceIP     string              `json:"device_ip,omitempty"`
+	CommandInbox []protocol.Command  `json:"command_inbox,omitempty"`
+	DataInbox    []protocol.UserData `json:"data_inbox,omitempty"`
+	Readings     []protocol.Reading  `json:"readings,omitempty"`
+}
+
+// Snapshot captures the service's full state.
+func (s *Service) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	snap := Snapshot{
+		Version:    SnapshotVersion,
+		DesignName: s.design.Name,
+		TakenAt:    s.now(),
+		Accounts:   s.accounts.export(),
+		Tokens:     s.issuer.Export(),
+		Stats:      s.statsBox.snapshot(),
+	}
+	sort.Slice(snap.Tokens, func(i, j int) bool { return snap.Tokens[i].Value < snap.Tokens[j].Value })
+
+	ids := make([]string, 0, len(s.shadows))
+	for id := range s.shadows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh := s.shadows[id]
+		ss := ShadowSnapshot{
+			DeviceID:     sh.deviceID,
+			State:        sh.state(),
+			LastSeen:     sh.lastSeen,
+			BoundUser:    sh.boundUser,
+			SessionOwner: sh.sessionOwner,
+			SessionToken: sh.sessionToken,
+			SessionNonce: sh.sessionNonce,
+			ButtonUntil:  sh.buttonUntil,
+			DeviceIP:     sh.deviceIP,
+			CommandInbox: append([]protocol.Command(nil), sh.commandInbox...),
+			DataInbox:    append([]protocol.UserData(nil), sh.dataInbox...),
+			Readings:     append([]protocol.Reading(nil), sh.readings...),
+		}
+		for g := range sh.guests {
+			ss.Guests = append(ss.Guests, g)
+		}
+		sort.Strings(ss.Guests)
+		snap.Shadows = append(snap.Shadows, ss)
+	}
+	return snap
+}
+
+// WriteSnapshot serializes a snapshot as JSON.
+func (s *Service) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		return fmt.Errorf("cloud: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the service's state with a snapshot. The snapshot must
+// come from a service with the same design name, and every persisted
+// shadow must name a device present in the registry.
+func (s *Service) Restore(snap Snapshot) error {
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("cloud: %w: snapshot version %d, want %d", protocol.ErrBadRequest, snap.Version, SnapshotVersion)
+	}
+	if snap.DesignName != s.design.Name {
+		return fmt.Errorf("cloud: %w: snapshot for design %q, service runs %q", protocol.ErrBadRequest, snap.DesignName, s.design.Name)
+	}
+
+	shadows := make(map[string]*shadow, len(snap.Shadows))
+	for _, ss := range snap.Shadows {
+		if _, ok := s.registry.Lookup(ss.DeviceID); !ok {
+			return fmt.Errorf("cloud: %w: snapshot device %q not in registry", protocol.ErrUnknownDevice, ss.DeviceID)
+		}
+		machine, err := core.RestoreMachine(ss.State)
+		if err != nil {
+			return fmt.Errorf("cloud: restore %q: %w", ss.DeviceID, err)
+		}
+		sh := &shadow{
+			deviceID:     ss.DeviceID,
+			machine:      machine,
+			lastSeen:     ss.LastSeen,
+			boundUser:    ss.BoundUser,
+			sessionOwner: ss.SessionOwner,
+			sessionToken: ss.SessionToken,
+			sessionNonce: ss.SessionNonce,
+			buttonUntil:  ss.ButtonUntil,
+			deviceIP:     ss.DeviceIP,
+			commandInbox: append([]protocol.Command(nil), ss.CommandInbox...),
+			dataInbox:    append([]protocol.UserData(nil), ss.DataInbox...),
+			readings:     append([]protocol.Reading(nil), ss.Readings...),
+		}
+		if len(ss.Guests) > 0 {
+			sh.guests = make(map[string]bool, len(ss.Guests))
+			for _, g := range ss.Guests {
+				sh.guests[g] = true
+			}
+		}
+		shadows[ss.DeviceID] = sh
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.issuer.Import(snap.Tokens); err != nil {
+		return fmt.Errorf("cloud: restore tokens: %w", err)
+	}
+	s.accounts.replace(snap.Accounts)
+	s.shadows = shadows
+	s.statsBox.mu.Lock()
+	s.statsBox.stats = snap.Stats
+	s.statsBox.mu.Unlock()
+	return nil
+}
+
+// ReadSnapshot parses a JSON snapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("cloud: read snapshot: %w", err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// TestSoakThirtyDaysOfHeartbeats simulates a month of steady device
+// operation — heartbeats every 30 simulated seconds with a reading each —
+// and checks the cloud's per-device state stays bounded: the readings
+// buffer respects retention and the shadow trace records only real
+// transitions, not one entry per heartbeat.
+func TestSoakThirtyDaysOfHeartbeats(t *testing.T) {
+	svc, clock, victim, _ := newTestService(t, devIDDesign())
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		interval = 30 * time.Second
+		days     = 30
+	)
+	beats := int(days * 24 * time.Hour / interval)
+	for i := 0; i < beats; i++ {
+		clock.Advance(interval)
+		if _, err := svc.HandleStatus(protocol.StatusRequest{
+			Kind:     protocol.StatusHeartbeat,
+			DeviceID: testDevice,
+			Readings: []protocol.Reading{{Name: "power_w", Value: float64(i % 100), At: clock.Now()}},
+		}); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+
+	// Still in control, with bounded storage.
+	st := shadowState(t, svc)
+	if st.State != core.StateControl {
+		t.Fatalf("state after soak = %v, want control", st.State)
+	}
+	readings, err := svc.Readings(protocol.ReadingsRequest{DeviceID: testDevice, UserToken: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings.Readings) != DefaultReadingsRetention {
+		t.Errorf("retained %d readings, want retention cap %d", len(readings.Readings), DefaultReadingsRetention)
+	}
+	// The newest reading survived, the oldest did not.
+	last := readings.Readings[len(readings.Readings)-1]
+	if last.Value != float64((beats-1)%100) {
+		t.Errorf("newest reading = %v, want the final sample", last.Value)
+	}
+	if trace := svc.ShadowTrace(testDevice); len(trace) != 2 {
+		t.Errorf("shadow trace has %d edges after %d heartbeats, want 2 (register, bind)", len(trace), beats)
+	}
+
+	stats := svc.Stats()
+	if stats.StatusAccepted != int64(beats)+1 {
+		t.Errorf("status accepted = %d, want %d", stats.StatusAccepted, beats+1)
+	}
+}
+
+// TestReadingsRetentionOption checks the configurable cap.
+func TestReadingsRetentionOption(t *testing.T) {
+	clock := newTestClock()
+	reg := NewRegistry()
+	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(devIDDesign(), reg, WithClock(clock.Now), WithReadingsRetention(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := loginUser(t, svc, "v@example.com", "pw")
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustStatus(t, svc, protocol.StatusRequest{
+			Kind: protocol.StatusHeartbeat, DeviceID: testDevice,
+			Readings: []protocol.Reading{{Name: "v", Value: float64(i)}},
+		})
+	}
+	readings, err := svc.Readings(protocol.ReadingsRequest{DeviceID: testDevice, UserToken: victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings.Readings) != 3 {
+		t.Fatalf("retained %d, want 3", len(readings.Readings))
+	}
+	if readings.Readings[0].Value != 7 || readings.Readings[2].Value != 9 {
+		t.Errorf("retained window = %+v, want values 7..9", readings.Readings)
+	}
+}

@@ -1,0 +1,58 @@
+package cloud
+
+import "sync"
+
+// Stats is a snapshot of cloud activity counters — the observability
+// surface an operator (or an intrusion analyst reproducing the paper's
+// experiments) watches. All counters are cumulative since service start.
+type Stats struct {
+	// UsersRegistered counts successful account creations.
+	UsersRegistered int64
+	// Logins and LoginFailures count authentication outcomes.
+	Logins, LoginFailures int64
+	// DeviceTokensIssued and BindTokensIssued count credential grants.
+	DeviceTokensIssued, BindTokensIssued int64
+	// StatusAccepted and StatusRejected count device status handling.
+	StatusAccepted, StatusRejected int64
+	// BindsAccepted and BindsRejected count binding creations;
+	// BindingsReplaced counts accepted binds that displaced a previous
+	// binding (the replace-on-bind path attackers abuse).
+	BindsAccepted, BindsRejected, BindingsReplaced int64
+	// UnbindsAccepted and UnbindsRejected count binding revocations.
+	UnbindsAccepted, UnbindsRejected int64
+	// ControlsQueued and ControlsRejected count control relay outcomes.
+	ControlsQueued, ControlsRejected int64
+}
+
+// statsBox guards the counters independently of the shadow lock so
+// account operations can count without contending with device traffic.
+type statsBox struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (b *statsBox) add(f func(*Stats)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f(&b.stats)
+}
+
+func (b *statsBox) snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Stats returns a snapshot of the service's activity counters.
+func (s *Service) Stats() Stats {
+	return s.statsBox.snapshot()
+}
+
+// countOutcome bumps ok on nil error and fail otherwise.
+func (s *Service) countOutcome(err error, ok, fail func(*Stats)) {
+	if err == nil {
+		s.statsBox.add(ok)
+		return
+	}
+	s.statsBox.add(fail)
+}

@@ -1,0 +1,236 @@
+package core
+
+import "fmt"
+
+// AttackClass is one of the four attack classes of Table II.
+type AttackClass int
+
+// The four attack classes.
+const (
+	// A1DataInjectionStealing: forged status messages let the attacker act
+	// as the user's device, injecting fake sensor data or receiving the
+	// user's private data.
+	A1DataInjectionStealing AttackClass = iota + 1
+	// A2BindingDoS: the attacker occupies the binding of a user's device
+	// before the user binds, denying the legitimate binding.
+	A2BindingDoS
+	// A3DeviceUnbinding: the attacker disconnects the user from the
+	// user's device.
+	A3DeviceUnbinding
+	// A4DeviceHijacking: the attacker takes absolute control of the
+	// user's device.
+	A4DeviceHijacking
+)
+
+// AllAttackClasses lists the four classes in declaration order.
+func AllAttackClasses() []AttackClass {
+	return []AttackClass{A1DataInjectionStealing, A2BindingDoS, A3DeviceUnbinding, A4DeviceHijacking}
+}
+
+// String implements fmt.Stringer.
+func (c AttackClass) String() string {
+	switch c {
+	case A1DataInjectionStealing:
+		return "A1"
+	case A2BindingDoS:
+		return "A2"
+	case A3DeviceUnbinding:
+		return "A3"
+	case A4DeviceHijacking:
+		return "A4"
+	default:
+		return fmt.Sprintf("AttackClass(%d)", int(c))
+	}
+}
+
+// Description returns the consequence wording of Table II.
+func (c AttackClass) Description() string {
+	switch c {
+	case A1DataInjectionStealing:
+		return "The attacker can inject fake device data or steal private user data."
+	case A2BindingDoS:
+		return "The attacker can cause denial-of-service to the user's binding operation."
+	case A3DeviceUnbinding:
+		return "The attacker can disconnect the device with the user."
+	case A4DeviceHijacking:
+		return "The attacker can take absolute control of the device."
+	default:
+		return ""
+	}
+}
+
+// AttackVariant identifies a concrete attack procedure from Table II,
+// including the numbered sub-variants of A3 and A4.
+type AttackVariant int
+
+// The attack variants of Table II.
+const (
+	// VariantA1 forges Status:DevId in the control or bound state.
+	VariantA1 AttackVariant = iota + 1
+	// VariantA2 forges Bind:(DevId, UserToken) in the initial state.
+	VariantA2
+	// VariantA3x1 forges Unbind:DevId in the control state.
+	VariantA3x1
+	// VariantA3x2 forges Unbind:(DevId, UserToken) with the attacker's
+	// token in the control state.
+	VariantA3x2
+	// VariantA3x3 forges Bind:(DevId, UserToken) in the control state to
+	// replace (and thereby sever) the user's binding.
+	VariantA3x3
+	// VariantA3x4 forges Status:DevId in the control state so the cloud
+	// adopts the attacker as a new device instance and disconnects the
+	// real device.
+	VariantA3x4
+	// VariantA4x1 forges Bind:(DevId, UserToken) in the control state and
+	// takes over control.
+	VariantA4x1
+	// VariantA4x2 forges Bind:(DevId, UserToken) in the online state
+	// (setup time window) and takes over control.
+	VariantA4x2
+	// VariantA4x3 chains an unbind forgery (A3-1 or A3-2) with a bind
+	// forgery to hijack a device from the control state.
+	VariantA4x3
+)
+
+// AllAttackVariants lists the variants in Table II order.
+func AllAttackVariants() []AttackVariant {
+	return []AttackVariant{
+		VariantA1, VariantA2,
+		VariantA3x1, VariantA3x2, VariantA3x3, VariantA3x4,
+		VariantA4x1, VariantA4x2, VariantA4x3,
+	}
+}
+
+// Class returns the attack class the variant belongs to.
+func (v AttackVariant) Class() AttackClass {
+	switch v {
+	case VariantA1:
+		return A1DataInjectionStealing
+	case VariantA2:
+		return A2BindingDoS
+	case VariantA3x1, VariantA3x2, VariantA3x3, VariantA3x4:
+		return A3DeviceUnbinding
+	case VariantA4x1, VariantA4x2, VariantA4x3:
+		return A4DeviceHijacking
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer using the paper's labels.
+func (v AttackVariant) String() string {
+	switch v {
+	case VariantA1:
+		return "A1"
+	case VariantA2:
+		return "A2"
+	case VariantA3x1:
+		return "A3-1"
+	case VariantA3x2:
+		return "A3-2"
+	case VariantA3x3:
+		return "A3-3"
+	case VariantA3x4:
+		return "A3-4"
+	case VariantA4x1:
+		return "A4-1"
+	case VariantA4x2:
+		return "A4-2"
+	case VariantA4x3:
+		return "A4-3"
+	default:
+		return fmt.Sprintf("AttackVariant(%d)", int(v))
+	}
+}
+
+// ForgedMessage returns the Table II "forged message types" column for the
+// variant.
+func (v AttackVariant) ForgedMessage() string {
+	switch v {
+	case VariantA1, VariantA3x4:
+		return "Status : DevId"
+	case VariantA2, VariantA3x3, VariantA4x1, VariantA4x2:
+		return "Bind : (DevId, UserToken)"
+	case VariantA3x1:
+		return "Unbind : DevId"
+	case VariantA3x2:
+		return "Unbind : (DevId, UserToken)"
+	case VariantA4x3:
+		return "Unbind : DevId or (DevId, UserToken); then Bind : (DevId, UserToken)"
+	default:
+		return ""
+	}
+}
+
+// TargetStates returns the shadow states in which the variant is launched
+// (the Table II "targeted states" column).
+func (v AttackVariant) TargetStates() []ShadowState {
+	switch v {
+	case VariantA1:
+		return []ShadowState{StateControl, StateBound}
+	case VariantA2:
+		return []ShadowState{StateInitial}
+	case VariantA3x1, VariantA3x2, VariantA3x3, VariantA3x4:
+		return []ShadowState{StateControl}
+	case VariantA4x1, VariantA4x3:
+		return []ShadowState{StateControl}
+	case VariantA4x2:
+		return []ShadowState{StateOnline}
+	default:
+		return nil
+	}
+}
+
+// EndState returns the shadow state a *successful* launch of the variant
+// leaves the victim's device shadow in (the Table II "end states" column).
+func (v AttackVariant) EndState() ShadowState {
+	switch v {
+	case VariantA1:
+		return StateControl
+	case VariantA2:
+		return StateBound
+	case VariantA3x1, VariantA3x2, VariantA3x3, VariantA3x4:
+		return StateOnline
+	case VariantA4x1, VariantA4x2, VariantA4x3:
+		return StateControl
+	default:
+		return 0
+	}
+}
+
+// Outcome is the result of attempting an attack against a design, matching
+// the cell vocabulary of Table III.
+type Outcome int
+
+// Attack outcomes.
+const (
+	// OutcomeFailed: the attack failed to launch (✗).
+	OutcomeFailed Outcome = iota + 1
+	// OutcomeSucceeded: the attack was successfully launched (✓).
+	OutcomeSucceeded
+	// OutcomeUnconfirmed: the attack could not be confirmed, e.g. because
+	// the firmware resisted analysis (O).
+	OutcomeUnconfirmed
+	// OutcomeNotApplicable: the design does not expose the operation the
+	// attack forges (N.A.).
+	OutcomeNotApplicable
+)
+
+// String renders the Table III cell mark.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFailed:
+		return "✗"
+	case OutcomeSucceeded:
+		return "✓"
+	case OutcomeUnconfirmed:
+		return "O"
+	case OutcomeNotApplicable:
+		return "N.A."
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Succeeded reports whether the outcome is a confirmed success.
+func (o Outcome) Succeeded() bool { return o == OutcomeSucceeded }

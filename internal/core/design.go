@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// DeviceAuthMode is the device-authentication design of a remote-binding
+// solution (Figure 3 plus the public-key variant discussed in Section IV-A).
+type DeviceAuthMode int
+
+// Device-authentication modes.
+const (
+	// AuthDevToken (Figure 3, Type 1): the app requests a random device
+	// token from the cloud and delivers it to the device during local
+	// configuration; the device authenticates with that token.
+	AuthDevToken DeviceAuthMode = iota + 1
+	// AuthDevID (Figure 3, Type 2): the device authenticates with a static
+	// identifier such as a MAC address or serial number. Anyone who learns
+	// the identifier can impersonate the device.
+	AuthDevID
+	// AuthPublicKey: a per-device key pair provisioned at manufacturing
+	// (AWS IoT / IBM Watson / Google Cloud IoT style). Rare in commercial
+	// products because it needs trusted hardware.
+	AuthPublicKey
+	// AuthUnknown marks products whose device authentication the paper
+	// could not confirm because the firmware resisted analysis. Emulated
+	// vendors with AuthUnknown still need a concrete internal mode; see
+	// DesignSpec.EffectiveAuth.
+	AuthUnknown
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (m DeviceAuthMode) String() string {
+	switch m {
+	case AuthDevToken:
+		return "DevToken"
+	case AuthDevID:
+		return "DevId"
+	case AuthPublicKey:
+		return "PublicKey"
+	case AuthUnknown:
+		return "O"
+	default:
+		return fmt.Sprintf("DeviceAuthMode(%d)", int(m))
+	}
+}
+
+// BindMechanism is the binding-creation design (Figure 4).
+type BindMechanism int
+
+// Binding-creation mechanisms.
+const (
+	// BindACLApp (Figure 4a): the app sends Bind:(DevId, UserToken); the
+	// cloud records the pair in an access-control list.
+	BindACLApp BindMechanism = iota + 1
+	// BindACLDevice (Figure 4b): the user's credential (UserId, UserPw) is
+	// delivered to the device during local configuration and the device
+	// sends the binding message.
+	BindACLDevice
+	// BindCapability (Figure 4c): the cloud issues a random BindToken to
+	// the user, who delivers it to the device over the local network; the
+	// device submits the token back, proving local ownership.
+	BindCapability
+)
+
+// String implements fmt.Stringer.
+func (m BindMechanism) String() string {
+	switch m {
+	case BindACLApp:
+		return "ACL (sent by the app)"
+	case BindACLDevice:
+		return "ACL (sent by the device)"
+	case BindCapability:
+		return "Capability (BindToken)"
+	default:
+		return fmt.Sprintf("BindMechanism(%d)", int(m))
+	}
+}
+
+// UnbindForm is one accepted shape of unbinding request (Section IV-C).
+type UnbindForm int
+
+// Unbinding request forms.
+const (
+	// UnbindDevIDUserToken (Type 1): Unbind:(DevId, UserToken).
+	UnbindDevIDUserToken UnbindForm = iota + 1
+	// UnbindDevIDAlone (Type 2): Unbind:DevId, typically sent by the
+	// device itself during a physical reset.
+	UnbindDevIDAlone
+	// UnbindReplaceByBind (Type 3): the design has no unbind operation at
+	// all; a new binding message replaces the previous binding.
+	UnbindReplaceByBind
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (f UnbindForm) String() string {
+	switch f {
+	case UnbindDevIDUserToken:
+		return "(DevId, UserToken)"
+	case UnbindDevIDAlone:
+		return "DevId"
+	case UnbindReplaceByBind:
+		return "N.A."
+	default:
+		return fmt.Sprintf("UnbindForm(%d)", int(f))
+	}
+}
+
+// DesignSpec describes one remote-binding solution: the identifier and
+// message designs of Section IV plus the cloud-side policy checks whose
+// presence or absence decides the outcome of every attack in Section V.
+//
+// The zero value is not a valid spec; use Validate before relying on one.
+type DesignSpec struct {
+	// Name identifies the solution (vendor or reference design name).
+	Name string
+
+	// DeviceAuth is the device-authentication mode the product uses, or
+	// AuthUnknown when the paper could not confirm it.
+	DeviceAuth DeviceAuthMode
+
+	// AssumedAuth supplies the concrete authentication mode the emulation
+	// uses when DeviceAuth is AuthUnknown. Ignored otherwise.
+	AssumedAuth DeviceAuthMode
+
+	// Binding is the binding-creation mechanism.
+	Binding BindMechanism
+
+	// UnbindForms lists every unbinding request shape the cloud accepts.
+	// Empty together with ReplaceOnBind means Type 3 (no unbind support).
+	UnbindForms []UnbindForm
+
+	// CheckBoundUserOnBind makes the cloud reject a Bind for a device that
+	// is already bound to a *different* user. When false the new binding
+	// silently replaces the old one (or coexists incorrectly).
+	CheckBoundUserOnBind bool
+
+	// CheckBoundUserOnUnbind makes the cloud verify that the UserToken in
+	// a Type 1 unbind belongs to the currently bound user. Its absence is
+	// vulnerability A3-2.
+	CheckBoundUserOnUnbind bool
+
+	// ReplaceOnBind makes a newly accepted Bind replace any existing
+	// binding instead of being rejected. This is the Type 3 unbind design
+	// and also models clouds that blindly overwrite (device #9).
+	ReplaceOnBind bool
+
+	// PostBindingToken issues a fresh random token to both the user and
+	// the device when a binding is created; subsequent control-plane and
+	// device messages must carry it (Section IV-B, the KONKE defence).
+	// It blocks control-plane forgery after a successful bind forgery but
+	// not the bind forgery itself.
+	PostBindingToken bool
+
+	// SourceIPCheck makes the cloud compare the source IP address of the
+	// device registration triggered by a physical button press with the
+	// source IP of the user's bind request, accepting the bind only when
+	// they match (the Philips Hue defence, Section VI-B).
+	SourceIPCheck bool
+
+	// BindButtonWindow requires a physical button press on the device to
+	// open a short binding window (Philips Hue).
+	BindButtonWindow bool
+
+	// OnlineBeforeBind reports whether the device connects and
+	// authenticates to the cloud before any binding exists, exposing the
+	// online-unbound setup window that attack A4-2 exploits (device #6).
+	OnlineBeforeBind bool
+
+	// SessionTiedBinding ties the binding's validity to the device's
+	// authenticated session: a status message from a "new" device instance
+	// replaces the session and drops the binding (device #8; enables A3-4
+	// and redirects forged status away from data injection).
+	SessionTiedBinding bool
+
+	// DataRequiresSession requires data-bearing device messages to prove a
+	// handshake that only the real firmware (holding the factory secret)
+	// can complete: the register response carries a session nonce and
+	// readings are accepted only with an HMAC of that nonce under the
+	// factory secret. It models products whose boot/registration messages
+	// are forgeable from static firmware analysis but whose in-session
+	// data traffic is not (device #8), so status forgery can unbind (A3-4)
+	// but cannot inject or steal data (A1).
+	DataRequiresSession bool
+
+	// ResetUnbindsOnSetup models products whose normal setup flow resets
+	// the device, emitting an Unbind:DevId that clears any pre-existing
+	// (attacker-planted) binding, so binding denial-of-service self-heals
+	// (device #8).
+	ResetUnbindsOnSetup bool
+
+	// FirmwareOpaque records that the paper could not forge device
+	// messages for this product (no firmware image or analysis failed);
+	// device-message attacks are reported as unconfirmed ("O").
+	FirmwareOpaque bool
+}
+
+// EffectiveAuth returns the concrete device-authentication mode the
+// emulation should implement: DeviceAuth itself, or AssumedAuth when the
+// paper-reported mode is unknown.
+func (d DesignSpec) EffectiveAuth() DeviceAuthMode {
+	if d.DeviceAuth == AuthUnknown {
+		return d.AssumedAuth
+	}
+	return d.DeviceAuth
+}
+
+// SupportsUnbind reports whether the cloud accepts the given unbind form.
+func (d DesignSpec) SupportsUnbind(f UnbindForm) bool {
+	for _, have := range d.UnbindForms {
+		if have == f {
+			return true
+		}
+	}
+	return false
+}
+
+// UnbindNotation renders the unbind column of Table III for this design.
+func (d DesignSpec) UnbindNotation() string {
+	if len(d.UnbindForms) == 0 {
+		return "N.A."
+	}
+	parts := make([]string, 0, len(d.UnbindForms))
+	for _, f := range d.UnbindForms {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Validation errors returned by DesignSpec.Validate.
+var (
+	ErrNoName          = errors.New("design: missing name")
+	ErrBadAuthMode     = errors.New("design: invalid device authentication mode")
+	ErrBadAssumedAuth  = errors.New("design: AuthUnknown requires a concrete AssumedAuth")
+	ErrBadBinding      = errors.New("design: invalid binding mechanism")
+	ErrBadUnbindForm   = errors.New("design: invalid unbind form")
+	ErrReplaceConflict = errors.New("design: UnbindReplaceByBind form requires ReplaceOnBind")
+	ErrPostBindingMech = errors.New("design: PostBindingToken requires app-initiated ACL binding")
+)
+
+// Validate checks internal consistency of the spec.
+func (d DesignSpec) Validate() error {
+	if d.Name == "" {
+		return ErrNoName
+	}
+	switch d.DeviceAuth {
+	case AuthDevToken, AuthDevID, AuthPublicKey:
+	case AuthUnknown:
+		switch d.AssumedAuth {
+		case AuthDevToken, AuthDevID, AuthPublicKey:
+		default:
+			return fmt.Errorf("%w (got %v)", ErrBadAssumedAuth, d.AssumedAuth)
+		}
+	default:
+		return fmt.Errorf("%w (got %v)", ErrBadAuthMode, d.DeviceAuth)
+	}
+	switch d.Binding {
+	case BindACLApp, BindACLDevice, BindCapability:
+	default:
+		return fmt.Errorf("%w (got %v)", ErrBadBinding, d.Binding)
+	}
+	if d.PostBindingToken && d.Binding != BindACLApp {
+		// The post-binding token is returned to the binder and must also
+		// reach the user's app for control; the designs the paper
+		// observed pair it with app-initiated binding.
+		return ErrPostBindingMech
+	}
+	for _, f := range d.UnbindForms {
+		switch f {
+		case UnbindDevIDUserToken, UnbindDevIDAlone:
+		case UnbindReplaceByBind:
+			if !d.ReplaceOnBind {
+				return ErrReplaceConflict
+			}
+		default:
+			return fmt.Errorf("%w (got %v)", ErrBadUnbindForm, f)
+		}
+	}
+	return nil
+}

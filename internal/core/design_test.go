@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func validSpec() DesignSpec {
+	return DesignSpec{
+		Name:                   "reference",
+		DeviceAuth:             AuthDevToken,
+		Binding:                BindACLApp,
+		UnbindForms:            []UnbindForm{UnbindDevIDUserToken},
+		CheckBoundUserOnBind:   true,
+		CheckBoundUserOnUnbind: true,
+	}
+}
+
+func TestDesignSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*DesignSpec)
+		wantErr error
+	}{
+		{"valid", func(d *DesignSpec) {}, nil},
+		{"missing name", func(d *DesignSpec) { d.Name = "" }, ErrNoName},
+		{"bad auth", func(d *DesignSpec) { d.DeviceAuth = 0 }, ErrBadAuthMode},
+		{"unknown auth without assumption", func(d *DesignSpec) { d.DeviceAuth = AuthUnknown }, ErrBadAssumedAuth},
+		{"unknown auth with assumption", func(d *DesignSpec) {
+			d.DeviceAuth = AuthUnknown
+			d.AssumedAuth = AuthDevID
+		}, nil},
+		{"bad binding", func(d *DesignSpec) { d.Binding = 0 }, ErrBadBinding},
+		{"bad unbind form", func(d *DesignSpec) { d.UnbindForms = []UnbindForm{99} }, ErrBadUnbindForm},
+		{"replace form without replace flag", func(d *DesignSpec) {
+			d.UnbindForms = []UnbindForm{UnbindReplaceByBind}
+		}, ErrReplaceConflict},
+		{"replace form with replace flag", func(d *DesignSpec) {
+			d.UnbindForms = []UnbindForm{UnbindReplaceByBind}
+			d.ReplaceOnBind = true
+		}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := validSpec()
+			tt.mutate(&spec)
+			err := spec.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEffectiveAuth(t *testing.T) {
+	spec := validSpec()
+	if got := spec.EffectiveAuth(); got != AuthDevToken {
+		t.Errorf("EffectiveAuth() = %v, want DevToken", got)
+	}
+	spec.DeviceAuth = AuthUnknown
+	spec.AssumedAuth = AuthDevID
+	if got := spec.EffectiveAuth(); got != AuthDevID {
+		t.Errorf("EffectiveAuth() with unknown = %v, want DevId", got)
+	}
+}
+
+func TestSupportsUnbind(t *testing.T) {
+	spec := validSpec()
+	spec.UnbindForms = []UnbindForm{UnbindDevIDUserToken, UnbindDevIDAlone}
+	if !spec.SupportsUnbind(UnbindDevIDAlone) {
+		t.Error("SupportsUnbind(DevId) = false, want true")
+	}
+	if spec.SupportsUnbind(UnbindReplaceByBind) {
+		t.Error("SupportsUnbind(replace) = true, want false")
+	}
+}
+
+func TestUnbindNotation(t *testing.T) {
+	tests := []struct {
+		forms []UnbindForm
+		want  string
+	}{
+		{nil, "N.A."},
+		{[]UnbindForm{UnbindDevIDUserToken}, "(DevId, UserToken)"},
+		{[]UnbindForm{UnbindDevIDUserToken, UnbindDevIDAlone}, "(DevId, UserToken) & DevId"},
+	}
+	for _, tt := range tests {
+		spec := validSpec()
+		spec.UnbindForms = tt.forms
+		if got := spec.UnbindNotation(); got != tt.want {
+			t.Errorf("UnbindNotation(%v) = %q, want %q", tt.forms, got, tt.want)
+		}
+	}
+}
+
+func TestNotationTable(t *testing.T) {
+	table := NotationTable()
+	if len(table) != 9 {
+		t.Fatalf("NotationTable() has %d rows, want 9 (Table I)", len(table))
+	}
+	wantFirst, wantLast := NotationStatus, NotationUserPw
+	if table[0].Notation != wantFirst || table[len(table)-1].Notation != wantLast {
+		t.Errorf("table order = %v .. %v, want %v .. %v",
+			table[0].Notation, table[len(table)-1].Notation, wantFirst, wantLast)
+	}
+	for _, row := range table {
+		if row.Description == "" {
+			t.Errorf("notation %v has empty description", row.Notation)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if AuthDevID.String() != "DevId" || AuthDevToken.String() != "DevToken" ||
+		AuthPublicKey.String() != "PublicKey" || AuthUnknown.String() != "O" {
+		t.Error("DeviceAuthMode strings do not match paper notation")
+	}
+	if BindACLApp.String() != "ACL (sent by the app)" {
+		t.Errorf("BindACLApp.String() = %q", BindACLApp.String())
+	}
+	if MsgStatus.String() != "Status" || MsgBind.String() != "Bind" || MsgUnbind.String() != "Unbind" {
+		t.Error("MessageKind strings do not match Table I")
+	}
+	if SenderDevice.String() != "device" || SenderApp.String() != "app" {
+		t.Error("Sender strings are wrong")
+	}
+}

@@ -1,0 +1,412 @@
+// Package device emulates the firmware of an IoT device as it participates
+// in remote binding: local setup mode (discovery and provisioning), cloud
+// registration and heartbeats under the vendor's device-authentication
+// design, device-initiated binding where the design calls for it, command
+// execution, and factory reset.
+//
+// The agent is deliberately passive — no background goroutines. The testbed
+// (or an example program) drives Activate and Heartbeat explicitly, which
+// keeps every experiment deterministic.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/localnet"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// Errors returned by the device agent.
+var (
+	// ErrNotProvisioned is returned when activating a device that has no
+	// Wi-Fi configuration yet.
+	ErrNotProvisioned = errors.New("device: not provisioned")
+	// ErrNoCloud is returned when the device has no transport attached.
+	ErrNoCloud = errors.New("device: no cloud transport attached")
+)
+
+// Device is one emulated IoT device.
+type Device struct {
+	id            string
+	factorySecret string
+	localName     string
+	model         string
+	firmware      string
+	design        core.DesignSpec
+
+	mu          sync.Mutex
+	cloud       transport.Cloud
+	setupMode   bool
+	provisioned bool
+	resetNotify bool
+	active      bool
+
+	devToken     string
+	sessionToken string
+	sessionNonce string
+	bindUserID   string
+	bindUserPw   string
+	bindToken    string
+
+	pendingReadings []protocol.Reading
+	executed        []protocol.Command
+	received        []protocol.UserData
+
+	now func() time.Time
+}
+
+var _ localnet.Responder = (*Device)(nil)
+
+// Option configures a Device.
+type Option interface {
+	apply(*Device)
+}
+
+type optionFunc func(*Device)
+
+func (f optionFunc) apply(d *Device) { f(d) }
+
+// WithClock injects a clock for reading timestamps.
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(d *Device) { d.now = now })
+}
+
+// WithFirmware sets the reported firmware version.
+func WithFirmware(v string) Option {
+	return optionFunc(func(d *Device) { d.firmware = v })
+}
+
+// Config identifies one manufactured device.
+type Config struct {
+	// ID is the device identifier (matches the vendor registry).
+	ID string
+	// FactorySecret is the provisioning key material (matches the vendor
+	// registry).
+	FactorySecret string
+	// LocalName is the device's name on the LAN.
+	LocalName string
+	// Model is the reported model name.
+	Model string
+}
+
+// New creates a device in factory state (setup mode). The cloud transport
+// must be the one stamped with the device's home network address.
+func New(cfg Config, design core.DesignSpec, cloud transport.Cloud, opts ...Option) (*Device, error) {
+	if err := design.Validate(); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	if cfg.ID == "" || cfg.LocalName == "" {
+		return nil, fmt.Errorf("device: %w", errors.New("missing ID or local name"))
+	}
+	d := &Device{
+		id:            cfg.ID,
+		factorySecret: cfg.FactorySecret,
+		localName:     cfg.LocalName,
+		model:         cfg.Model,
+		firmware:      "1.0.0",
+		design:        design,
+		cloud:         cloud,
+		setupMode:     true,
+		now:           time.Now,
+	}
+	for _, o := range opts {
+		o.apply(d)
+	}
+	return d, nil
+}
+
+// ID returns the device identifier — the value printed on the label that
+// the paper's adversary obtains through ownership transfer or enumeration.
+func (d *Device) ID() string { return d.id }
+
+// LocalName implements localnet.Responder.
+func (d *Device) LocalName() string { return d.localName }
+
+// InSetupMode reports whether the device accepts initial provisioning.
+func (d *Device) InSetupMode() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.setupMode
+}
+
+// Active reports whether the device has registered with the cloud.
+func (d *Device) Active() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.active
+}
+
+// Announce implements localnet.Responder: the SSDP-style self-description.
+// The pairing proof is revealed only in setup mode.
+func (d *Device) Announce() (localnet.Announcement, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ann := localnet.Announcement{
+		LocalName: d.localName,
+		DeviceID:  d.id,
+		Model:     d.model,
+		SetupMode: d.setupMode,
+	}
+	if d.setupMode {
+		ann.PairingProof = protocol.PairingProof(d.factorySecret, d.id)
+	}
+	return ann, true
+}
+
+// Provision implements localnet.Responder: it stores delivered
+// configuration, merging non-empty fields so the app can deliver the
+// post-binding session token in a second exchange. Receiving Wi-Fi
+// credentials ends setup mode and connects the device to the cloud, like
+// real firmware does as soon as it joins the network.
+func (d *Device) Provision(p localnet.Provisioning) error {
+	d.mu.Lock()
+	join := p.WiFiSSID != ""
+	if join {
+		d.provisioned = true
+		d.setupMode = false
+	}
+	if p.DevToken != "" {
+		d.devToken = p.DevToken
+	}
+	if p.SessionToken != "" {
+		d.sessionToken = p.SessionToken
+	}
+	if p.BindUserID != "" {
+		d.bindUserID = p.BindUserID
+		d.bindUserPw = p.BindUserPassword
+	}
+	if p.BindToken != "" {
+		d.bindToken = p.BindToken
+	}
+	d.mu.Unlock()
+
+	if join {
+		return d.Activate()
+	}
+	return nil
+}
+
+// Activate connects the device to the cloud: the reset notification (when
+// pending and the design supports device-sent unbinds), the registration
+// status message, and the device-initiated or capability binding step if
+// the design uses one.
+func (d *Device) Activate() error {
+	d.mu.Lock()
+	if !d.provisioned {
+		d.mu.Unlock()
+		return ErrNotProvisioned
+	}
+	if d.cloud == nil {
+		d.mu.Unlock()
+		return ErrNoCloud
+	}
+	cloud := d.cloud
+	sendReset := d.resetNotify && d.design.SupportsUnbind(core.UnbindDevIDAlone)
+	d.resetNotify = false
+	d.mu.Unlock()
+
+	if sendReset {
+		err := cloud.HandleUnbind(protocol.UnbindRequest{
+			DeviceID: d.id,
+			Sender:   core.SenderDevice,
+		})
+		if err != nil && !errors.Is(err, protocol.ErrNotBound) {
+			return fmt.Errorf("device %s: reset notify: %w", d.id, err)
+		}
+	}
+
+	if err := d.register(false /* buttonPressed */); err != nil {
+		return err
+	}
+
+	return d.bindFromDevice()
+}
+
+// register sends the boot-time status message.
+func (d *Device) register(buttonPressed bool) error {
+	d.mu.Lock()
+	req := protocol.StatusRequest{
+		Kind:          protocol.StatusRegister,
+		DeviceID:      d.id,
+		DevToken:      d.devToken,
+		SessionToken:  d.sessionToken,
+		ButtonPressed: buttonPressed,
+		Firmware:      d.firmware,
+		Model:         d.model,
+	}
+	if d.design.EffectiveAuth() == core.AuthPublicKey {
+		req.Signature = protocol.StatusSignature(d.factorySecret, d.id, protocol.StatusRegister)
+	}
+	cloud := d.cloud
+	d.mu.Unlock()
+
+	resp, err := cloud.HandleStatus(req)
+	if err != nil {
+		return fmt.Errorf("device %s: register: %w", d.id, err)
+	}
+
+	d.mu.Lock()
+	d.active = true
+	if resp.SessionNonce != "" {
+		d.sessionNonce = resp.SessionNonce
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// bindFromDevice performs the design's device-side binding step, if any.
+func (d *Device) bindFromDevice() error {
+	d.mu.Lock()
+	design := d.design
+	cloud := d.cloud
+	var req protocol.BindRequest
+	send := false
+	switch {
+	case design.Binding == core.BindACLDevice && d.bindUserID != "":
+		// Device-initiated ACL binding: the user's credential travels
+		// through the device (Figure 4b).
+		req = protocol.BindRequest{
+			DeviceID:     d.id,
+			UserID:       d.bindUserID,
+			UserPassword: d.bindUserPw,
+			Sender:       core.SenderDevice,
+		}
+		send = true
+	case design.Binding == core.BindCapability && d.bindToken != "":
+		// Capability binding: submit the locally delivered token with a
+		// factory-secret proof (Figure 4c).
+		req = protocol.BindRequest{
+			DeviceID:  d.id,
+			BindToken: d.bindToken,
+			BindProof: protocol.BindProof(d.factorySecret, d.bindToken),
+			Sender:    core.SenderDevice,
+		}
+		d.bindToken = "" // single use
+		send = true
+	}
+	d.mu.Unlock()
+
+	if !send {
+		return nil
+	}
+	resp, err := cloud.HandleBind(req)
+	if err != nil {
+		return fmt.Errorf("device %s: bind: %w", d.id, err)
+	}
+	if resp.SessionToken != "" {
+		d.mu.Lock()
+		d.sessionToken = resp.SessionToken
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// PressButton models the user pressing the physical button: the device
+// sends a registration message with the button flag, opening the binding
+// window on BindButtonWindow clouds (device #7).
+func (d *Device) PressButton() error {
+	d.mu.Lock()
+	if !d.provisioned {
+		d.mu.Unlock()
+		return ErrNotProvisioned
+	}
+	d.mu.Unlock()
+	return d.register(true)
+}
+
+// QueueReading queues a sensor sample for the next heartbeat.
+func (d *Device) QueueReading(name string, value float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pendingReadings = append(d.pendingReadings, protocol.Reading{
+		Name:  name,
+		Value: value,
+		At:    d.now(),
+	})
+}
+
+// Heartbeat sends the periodic status message with any queued readings and
+// ingests delivered commands and user data. A rejected heartbeat (e.g. a
+// stale session token after the binding was replaced) returns the cloud's
+// error and requeues nothing — the samples are lost, as they would be on a
+// real cut-off device.
+func (d *Device) Heartbeat() error {
+	d.mu.Lock()
+	if !d.active {
+		d.mu.Unlock()
+		return ErrNotProvisioned
+	}
+	req := protocol.StatusRequest{
+		Kind:         protocol.StatusHeartbeat,
+		DeviceID:     d.id,
+		DevToken:     d.devToken,
+		SessionToken: d.sessionToken,
+		Firmware:     d.firmware,
+		Model:        d.model,
+		Readings:     d.pendingReadings,
+	}
+	if d.design.DataRequiresSession && d.sessionNonce != "" {
+		req.DataProof = protocol.DataProof(d.factorySecret, d.sessionNonce)
+	}
+	if d.design.EffectiveAuth() == core.AuthPublicKey {
+		req.Signature = protocol.StatusSignature(d.factorySecret, d.id, protocol.StatusHeartbeat)
+	}
+	d.pendingReadings = nil
+	cloud := d.cloud
+	d.mu.Unlock()
+
+	resp, err := cloud.HandleStatus(req)
+	if err != nil {
+		return fmt.Errorf("device %s: heartbeat: %w", d.id, err)
+	}
+
+	d.mu.Lock()
+	d.executed = append(d.executed, resp.Commands...)
+	d.received = append(d.received, resp.UserData...)
+	d.mu.Unlock()
+	return nil
+}
+
+// Reset performs a factory reset: local state is wiped, setup mode
+// re-enters, and — on designs with device-sent unbinds — a reset
+// notification is queued for the next activation.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.setupMode = true
+	d.provisioned = false
+	d.active = false
+	d.resetNotify = true
+	d.devToken = ""
+	d.sessionToken = ""
+	d.sessionNonce = ""
+	d.bindUserID = ""
+	d.bindUserPw = ""
+	d.bindToken = ""
+	d.pendingReadings = nil
+	d.executed = nil
+	d.received = nil
+}
+
+// Executed returns the commands the device has executed.
+func (d *Device) Executed() []protocol.Command {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]protocol.Command, len(d.executed))
+	copy(out, d.executed)
+	return out
+}
+
+// ReceivedData returns the user data delivered to the device.
+func (d *Device) ReceivedData() []protocol.UserData {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]protocol.UserData, len(d.received))
+	copy(out, d.received)
+	return out
+}

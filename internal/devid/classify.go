@@ -1,0 +1,82 @@
+package devid
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Classification is the attacker-side reconnaissance result for one
+// observed device ID: the inferred scheme and the search space it
+// implies, built from nothing but the ID on the label.
+type Classification struct {
+	// Scheme is the inferred generation scheme.
+	Scheme Scheme
+	// Explanation says what gave the scheme away.
+	Explanation string
+	// Generator enumerates the inferred candidate space. For sequential
+	// serials the shipped volume is unknown, so the generator covers the
+	// full digit capacity (an upper bound).
+	Generator Generator
+}
+
+var (
+	macPattern    = regexp.MustCompile(`^([0-9A-Fa-f]{2}:){5}[0-9A-Fa-f]{2}$`)
+	digitsPattern = regexp.MustCompile(`^[0-9]+$`)
+	hex32Pattern  = regexp.MustCompile(`^[0-9a-fA-F]{32}$`)
+	serialPattern = regexp.MustCompile(`^([A-Za-z][A-Za-z-]*)([0-9]{3,18})$`)
+)
+
+// Classify infers the ID scheme of one observed identifier — the paper's
+// Section III-A reconnaissance step ("attackers may infer, brute-force,
+// or enumerate the device ID according to the regulation of ID sequence
+// arrangement").
+func Classify(id string) (Classification, error) {
+	switch {
+	case macPattern.MatchString(id):
+		oui, err := VendorOUI(strings.ToUpper(id[:8]))
+		if err != nil {
+			return Classification{}, fmt.Errorf("devid: classify %q: %w", id, err)
+		}
+		return Classification{
+			Scheme:      SchemeMAC,
+			Explanation: fmt.Sprintf("MAC address; vendor prefix %s is public, leaving a 3-byte space", strings.ToUpper(id[:8])),
+			Generator:   NewMACGenerator(oui),
+		}, nil
+
+	case hex32Pattern.MatchString(id) && !digitsPattern.MatchString(id):
+		return Classification{
+			Scheme:      SchemeRandom128,
+			Explanation: "32 hex characters: 128-bit identifier, enumeration infeasible",
+			Generator:   NewRandomGenerator(0),
+		}, nil
+
+	case digitsPattern.MatchString(id) && len(id) <= 18:
+		gen, err := NewShortDigitsGenerator(len(id))
+		if err != nil {
+			return Classification{}, fmt.Errorf("devid: classify %q: %w", id, err)
+		}
+		return Classification{
+			Scheme:      SchemeShortDigits,
+			Explanation: fmt.Sprintf("%d-digit identifier: 10^%d candidates", len(id), len(id)),
+			Generator:   gen,
+		}, nil
+
+	case serialPattern.MatchString(id):
+		m := serialPattern.FindStringSubmatch(id)
+		prefix, digits := m[1], m[2]
+		gen, err := NewSerialGenerator(prefix, len(digits), pow10(len(digits)))
+		if err != nil {
+			return Classification{}, fmt.Errorf("devid: classify %q: %w", id, err)
+		}
+		return Classification{
+			Scheme: SchemeSequentialSerial,
+			Explanation: fmt.Sprintf("vendor prefix %q + %d-digit serial: sequential assignment likely, shipped volume bounds the search",
+				prefix, len(digits)),
+			Generator: gen,
+		}, nil
+
+	default:
+		return Classification{}, fmt.Errorf("devid: cannot classify identifier %q", id)
+	}
+}

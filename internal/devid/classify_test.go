@@ -1,0 +1,124 @@
+package devid
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestClassifyMAC(t *testing.T) {
+	c, err := Classify("50:C7:BF:12:34:56")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme != SchemeMAC {
+		t.Fatalf("scheme = %v, want mac", c.Scheme)
+	}
+	if c.Generator.SearchSpace().Cmp(big.NewInt(1<<24)) != 0 {
+		t.Errorf("search space = %v, want 2^24", c.Generator.SearchSpace())
+	}
+	// The generator reproduces IDs under the observed OUI.
+	id, err := c.Generator.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id[:8] != "50:C7:BF" {
+		t.Errorf("generated %q, want the observed OUI prefix", id)
+	}
+	// Lowercase MACs classify too.
+	if _, err := Classify("b4:75:0e:00:00:01"); err != nil {
+		t.Errorf("lowercase MAC: %v", err)
+	}
+}
+
+func TestClassifyShortDigits(t *testing.T) {
+	c, err := Classify("0042137")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme != SchemeShortDigits {
+		t.Fatalf("scheme = %v, want short-digits", c.Scheme)
+	}
+	if c.Generator.SearchSpace().Cmp(big.NewInt(10_000_000)) != 0 {
+		t.Errorf("search space = %v, want 10^7", c.Generator.SearchSpace())
+	}
+}
+
+func TestClassifySerial(t *testing.T) {
+	c, err := Classify("HUE000123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme != SchemeSequentialSerial {
+		t.Fatalf("scheme = %v, want sequential-serial", c.Scheme)
+	}
+	id, err := c.Generator.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "HUE000000007" {
+		t.Errorf("generated %q", id)
+	}
+}
+
+func TestClassifyRandom128(t *testing.T) {
+	c, err := Classify("d33bfd063218274ff4a8130f8884e88f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme != SchemeRandom128 {
+		t.Fatalf("scheme = %v, want random-128", c.Scheme)
+	}
+	est, err := Estimate(c.Generator, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WithinHour {
+		t.Error("128-bit space within an hour?")
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	for _, id := range []string{"", "???", "a b c", "AA:BB:CC", "-123"} {
+		if _, err := Classify(id); err == nil {
+			t.Errorf("Classify(%q) succeeded", id)
+		}
+	}
+}
+
+// TestClassifyVendorCatalog: every shipped vendor profile's IDs classify
+// back to their true scheme — the recon step works against the corpus.
+func TestClassifyVendorCatalog(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  Generator
+	}{
+		{"belkin-mac", NewMACGenerator([3]byte{0xB4, 0x75, 0x0E})},
+		{"random", NewRandomGenerator(0x5eed)},
+	}
+	short7, err := NewShortDigitsGenerator(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens = append(gens, struct {
+		name string
+		gen  Generator
+	}{"ozwi-digits", short7})
+
+	for _, g := range gens {
+		id, err := g.gen.Generate(12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Classify(id)
+		if err != nil {
+			t.Errorf("%s: classify %q: %v", g.name, id, err)
+			continue
+		}
+		if c.Scheme != g.gen.Scheme() {
+			t.Errorf("%s: classified %q as %v, want %v", g.name, id, c.Scheme, g.gen.Scheme())
+		}
+		if c.Explanation == "" {
+			t.Errorf("%s: empty explanation", g.name)
+		}
+	}
+}

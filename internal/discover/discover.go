@@ -1,0 +1,346 @@
+// Package discover implements the automatic attack discovery the paper
+// lists as future work (Section VIII): instead of hand-coding the Table II
+// attack procedures, it searches breadth-first over sequences of attacker
+// primitives — forged registrations, data heartbeats, binds and unbinds —
+// executing every candidate sequence against a fresh live emulation and
+// checking which adversarial goals it achieves.
+//
+// The search needs no knowledge of the taxonomy: the two-step hijack
+// chain the paper constructs manually against device #8 (A4-3) falls out
+// as the minimal sequence [forge-unbind-devid, forge-bind] for the hijack
+// goal, and the secure reference designs yield no sequence for any goal at
+// any depth.
+package discover
+
+import (
+	"fmt"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/testbed"
+)
+
+// Action is one attacker primitive the searcher can compose.
+type Action int
+
+// The attacker's primitive moves, each a single forged message built from
+// nothing but the leaked device ID and the attacker's own account.
+const (
+	// ActForgeRegister sends a forged registration status message.
+	ActForgeRegister Action = iota + 1
+	// ActForgeDataHeartbeat sends a forged heartbeat carrying a fake
+	// sensor reading (and collects whatever the cloud returns).
+	ActForgeDataHeartbeat
+	// ActForgeBind sends a forged binding message pairing the victim's
+	// device with the attacker's identity.
+	ActForgeBind
+	// ActForgeUnbindUserToken sends Unbind:(DevId, attacker's UserToken).
+	ActForgeUnbindUserToken
+	// ActForgeUnbindDevID sends Unbind:DevId.
+	ActForgeUnbindDevID
+)
+
+// AllActions lists the attacker primitives.
+func AllActions() []Action {
+	return []Action{
+		ActForgeRegister,
+		ActForgeDataHeartbeat,
+		ActForgeBind,
+		ActForgeUnbindUserToken,
+		ActForgeUnbindDevID,
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActForgeRegister:
+		return "forge-register"
+	case ActForgeDataHeartbeat:
+		return "forge-data-heartbeat"
+	case ActForgeBind:
+		return "forge-bind"
+	case ActForgeUnbindUserToken:
+		return "forge-unbind-usertoken"
+	case ActForgeUnbindDevID:
+		return "forge-unbind-devid"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Goal is an adversarial objective the searcher tries to reach.
+type Goal int
+
+// Adversarial goals, mirroring the consequences of Table II.
+const (
+	// GoalDisconnect: the victim loses the binding to their device.
+	GoalDisconnect Goal = iota + 1
+	// GoalHijack: the attacker commands the victim's real device.
+	GoalHijack
+	// GoalStealData: the attacker receives the victim's private data.
+	GoalStealData
+	// GoalInjectData: a fake reading reaches the still-bound victim.
+	GoalInjectData
+	// GoalOccupy: the victim cannot complete a fresh setup (binding
+	// denial of service; evaluated in the pre-setup scenario).
+	GoalOccupy
+)
+
+// AllGoals lists the goals.
+func AllGoals() []Goal {
+	return []Goal{GoalDisconnect, GoalHijack, GoalStealData, GoalInjectData, GoalOccupy}
+}
+
+// String implements fmt.Stringer.
+func (g Goal) String() string {
+	switch g {
+	case GoalDisconnect:
+		return "disconnect-victim"
+	case GoalHijack:
+		return "hijack-device"
+	case GoalStealData:
+		return "steal-user-data"
+	case GoalInjectData:
+		return "inject-fake-data"
+	case GoalOccupy:
+		return "occupy-binding"
+	default:
+		return fmt.Sprintf("Goal(%d)", int(g))
+	}
+}
+
+// Scenario is the victim situation a sequence runs against.
+type Scenario int
+
+// Victim scenarios.
+const (
+	// ScenarioSteadyControl: the victim has completed setup and controls
+	// the device (the Table II control state).
+	ScenarioSteadyControl Scenario = iota + 1
+	// ScenarioPreSetup: the device is still in its box; the victim sets
+	// it up only after the attack sequence ran (the initial state).
+	ScenarioPreSetup
+	// ScenarioSetupWindow: the attack sequence runs inside the victim's
+	// setup, after the device comes online but before the app binds (the
+	// online-state window of A4-2).
+	ScenarioSetupWindow
+)
+
+// AllScenarios lists the scenarios.
+func AllScenarios() []Scenario {
+	return []Scenario{ScenarioSteadyControl, ScenarioPreSetup, ScenarioSetupWindow}
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioSteadyControl:
+		return "steady-control"
+	case ScenarioPreSetup:
+		return "pre-setup"
+	case ScenarioSetupWindow:
+		return "setup-window"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Attack is one discovered minimal attack: a scenario, a goal, and the
+// shortest action sequence that achieves it.
+type Attack struct {
+	// Scenario is the victim situation.
+	Scenario Scenario
+	// Goal is the objective achieved.
+	Goal Goal
+	// Sequence is a minimal-length action sequence achieving the goal.
+	Sequence []Action
+}
+
+// String renders "scenario: goal via [actions]".
+func (a Attack) String() string {
+	return fmt.Sprintf("%v: %v via %v", a.Scenario, a.Goal, a.Sequence)
+}
+
+// Search explores attacker action sequences up to maxDepth against the
+// design and returns, for every (scenario, goal) pair that is reachable,
+// the minimal sequences achieving it (all sequences of the first depth at
+// which the goal is reached, in deterministic order).
+func Search(design core.DesignSpec, maxDepth int) ([]Attack, error) {
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("discover: maxDepth %d must be at least 1", maxDepth)
+	}
+	var attacks []Attack
+	for _, scenario := range AllScenarios() {
+		found, err := searchScenario(design, scenario, maxDepth)
+		if err != nil {
+			return nil, err
+		}
+		attacks = append(attacks, found...)
+	}
+	return attacks, nil
+}
+
+// searchScenario runs the per-scenario breadth-first search.
+func searchScenario(design core.DesignSpec, scenario Scenario, maxDepth int) ([]Attack, error) {
+	var (
+		attacks []Attack
+		solved  = make(map[Goal]bool)
+	)
+	frontier := [][]Action{nil}
+	for depth := 1; depth <= maxDepth; depth++ {
+		var next [][]Action
+		var solvedThisDepth []Goal
+		for _, prefix := range frontier {
+			for _, act := range AllActions() {
+				seq := append(append([]Action(nil), prefix...), act)
+				next = append(next, seq)
+				achieved, err := execute(design, scenario, seq)
+				if err != nil {
+					return nil, fmt.Errorf("discover: %v %v: %w", scenario, seq, err)
+				}
+				for _, goal := range achieved {
+					if solved[goal] {
+						continue
+					}
+					attacks = append(attacks, Attack{Scenario: scenario, Goal: goal, Sequence: seq})
+					solvedThisDepth = append(solvedThisDepth, goal)
+				}
+			}
+		}
+		// Minimality: a goal solved at this depth is closed for deeper
+		// levels, but all sequences of the same depth are still
+		// collected (the loop above ran the whole level already).
+		for _, g := range solvedThisDepth {
+			solved[g] = true
+		}
+		frontier = next
+	}
+	return attacks, nil
+}
+
+// execute replays one sequence against a fresh testbed and reports the
+// goals it achieved.
+func execute(design core.DesignSpec, scenario Scenario, seq []Action) ([]Goal, error) {
+	tb, err := testbed.New(design)
+	if err != nil {
+		return nil, err
+	}
+
+	switch scenario {
+	case ScenarioSteadyControl:
+		if err := tb.SetupVictim(); err != nil {
+			return nil, err
+		}
+		// The victim parks private data for the device — the stealing
+		// target.
+		if err := tb.VictimApp().PushSchedule(tb.DeviceID(), protocol.UserData{
+			Kind: "schedule", Body: "private-schedule",
+		}); err != nil {
+			return nil, err
+		}
+		replay(tb, seq)
+		return assessSteady(tb)
+
+	case ScenarioPreSetup:
+		replay(tb, seq)
+		setupErr := tb.SetupVictim()
+		if setupErr != nil || !tb.VictimHasControl() {
+			return []Goal{GoalOccupy}, nil
+		}
+		return nil, nil
+
+	case ScenarioSetupWindow:
+		ran := false
+		tb.SetPreBindHook(func() {
+			ran = true
+			replay(tb, seq)
+		})
+		_ = tb.VictimApp().SetupDevice(tb.VictimDevice().LocalName(), tbActionsOf(tb))
+		if !ran {
+			return nil, nil
+		}
+		if tb.AttackerHasControl() {
+			return []Goal{GoalHijack}, nil
+		}
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("discover: unknown scenario %v", scenario)
+	}
+}
+
+// replay performs the attack sequence, ignoring per-action failures: the
+// adversary simply tries.
+func replay(tb *testbed.Testbed, seq []Action) {
+	atk := tb.Attacker()
+	id := tb.DeviceID()
+	for _, act := range seq {
+		switch act {
+		case ActForgeRegister:
+			_, _ = atk.ForgeStatus(id, protocol.StatusRegister, nil)
+		case ActForgeDataHeartbeat:
+			_, _ = atk.ForgeStatus(id, protocol.StatusHeartbeat, []protocol.Reading{
+				{Name: "power_w", Value: injectedValue},
+			})
+		case ActForgeBind:
+			_, _ = atk.ForgeBind(id)
+		case ActForgeUnbindUserToken:
+			_ = atk.ForgeUnbind(id, core.UnbindDevIDUserToken)
+		case ActForgeUnbindDevID:
+			_ = atk.ForgeUnbind(id, core.UnbindDevIDAlone)
+		}
+	}
+}
+
+// injectedValue is the sentinel reading the injection goal looks for.
+const injectedValue = 31337
+
+// assessSteady checks all steady-scenario goals. Read-only goals are
+// evaluated before the hijack probe, which pumps device heartbeats.
+func assessSteady(tb *testbed.Testbed) ([]Goal, error) {
+	var achieved []Goal
+
+	if len(tb.Attacker().StolenData()) > 0 {
+		achieved = append(achieved, GoalStealData)
+	}
+
+	st, err := tb.Shadow()
+	if err != nil {
+		return nil, err
+	}
+	victimBound := st.BoundUser == testbed.DefaultVictimUser
+
+	if !victimBound {
+		achieved = append(achieved, GoalDisconnect)
+	} else {
+		readings, err := tb.VictimApp().Readings(tb.DeviceID())
+		if err == nil {
+			for _, r := range readings {
+				if r.Value == injectedValue {
+					achieved = append(achieved, GoalInjectData)
+					break
+				}
+			}
+		}
+	}
+
+	if tb.AttackerHasControl() {
+		achieved = append(achieved, GoalHijack)
+	}
+	return achieved, nil
+}
+
+// tbActions adapts the testbed's device into the app's UserActions.
+type tbActions struct{ tb *testbed.Testbed }
+
+func (a tbActions) PressButton(localName string) error {
+	return a.tb.VictimDevice().PressButton()
+}
+
+func (a tbActions) ResetDevice(localName string) error {
+	a.tb.VictimDevice().Reset()
+	return nil
+}
+
+func tbActionsOf(tb *testbed.Testbed) tbActions { return tbActions{tb: tb} }

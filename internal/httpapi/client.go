@@ -1,0 +1,167 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// Client talks to a Server over HTTP and implements transport.Cloud, so
+// device agents, apps and attackers can run unchanged against a remote
+// cloud.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+var _ transport.Cloud = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) apply(c *Client) { f(c) }
+
+// WithHTTPClient overrides the underlying *http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.httpc = h })
+}
+
+// NewClient creates a client for the cloud at baseURL.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		baseURL: strings.TrimSuffix(baseURL, "/"),
+		httpc:   http.DefaultClient,
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// RegisterUser implements transport.Cloud.
+func (c *Client) RegisterUser(req protocol.RegisterUserRequest) error {
+	var out struct{}
+	return c.post(RouteRegisterUser, req, &out)
+}
+
+// Login implements transport.Cloud.
+func (c *Client) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	var out protocol.LoginResponse
+	err := c.post(RouteLogin, req, &out)
+	return out, err
+}
+
+// RequestDeviceToken implements transport.Cloud.
+func (c *Client) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	var out protocol.DeviceTokenResponse
+	err := c.post(RouteDeviceToken, req, &out)
+	return out, err
+}
+
+// RequestBindToken implements transport.Cloud.
+func (c *Client) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	var out protocol.BindTokenResponse
+	err := c.post(RouteBindToken, req, &out)
+	return out, err
+}
+
+// HandleStatus implements transport.Cloud.
+func (c *Client) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	var out protocol.StatusResponse
+	err := c.post(RouteStatus, req, &out)
+	return out, err
+}
+
+// HandleBind implements transport.Cloud.
+func (c *Client) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	var out protocol.BindResponse
+	err := c.post(RouteBind, req, &out)
+	return out, err
+}
+
+// HandleUnbind implements transport.Cloud.
+func (c *Client) HandleUnbind(req protocol.UnbindRequest) error {
+	var out struct{}
+	return c.post(RouteUnbind, req, &out)
+}
+
+// HandleControl implements transport.Cloud.
+func (c *Client) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	var out protocol.ControlResponse
+	err := c.post(RouteControl, req, &out)
+	return out, err
+}
+
+// PushUserData implements transport.Cloud.
+func (c *Client) PushUserData(req protocol.PushUserDataRequest) error {
+	var out struct{}
+	return c.post(RouteUserData, req, &out)
+}
+
+// Readings implements transport.Cloud.
+func (c *Client) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	var out protocol.ReadingsResponse
+	err := c.post(RouteReadings, req, &out)
+	return out, err
+}
+
+// HandleShare implements transport.Cloud.
+func (c *Client) HandleShare(req protocol.ShareRequest) error {
+	var out struct{}
+	return c.post(RouteShare, req, &out)
+}
+
+// Shares implements transport.Cloud.
+func (c *Client) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	var out protocol.SharesResponse
+	err := c.post(RouteShares, req, &out)
+	return out, err
+}
+
+// ShadowState implements transport.Cloud.
+func (c *Client) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	var out protocol.ShadowStateResponse
+	err := c.post(RouteShadow, req, &out)
+	return out, err
+}
+
+func (c *Client) post(route string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("httpapi: encode %s: %w", route, err)
+	}
+	resp, err := c.httpc.Post(c.baseURL+route, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("httpapi: post %s: %w", route, err)
+	}
+	defer resp.Body.Close()
+
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("httpapi: read %s: %w", route, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Code == "" {
+			return fmt.Errorf("httpapi: %s: HTTP %d: %s", route, resp.StatusCode, string(data))
+		}
+		if sentinel, ok := protocol.FromWireCode(eb.Code); ok {
+			return fmt.Errorf("httpapi: %s: %s: %w", route, eb.Message, sentinel)
+		}
+		return fmt.Errorf("httpapi: %s: %s (%s)", route, eb.Message, eb.Code)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("httpapi: decode %s: %w", route, err)
+	}
+	return nil
+}

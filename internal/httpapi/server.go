@@ -1,0 +1,260 @@
+// Package httpapi exposes an emulated IoT cloud as an HTTP/JSON service
+// and provides a client that implements the same transport.Cloud interface
+// the in-process emulation uses, so devices, apps and attackers can run
+// against a cloud across a real network boundary. The server assigns each
+// request's source address from the connection — senders cannot choose it,
+// matching how the source-IP co-location defence observes addresses.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// API routes.
+const (
+	RouteRegisterUser = "/api/v1/register-user"
+	RouteLogin        = "/api/v1/login"
+	RouteDeviceToken  = "/api/v1/device-token"
+	RouteBindToken    = "/api/v1/bind-token"
+	RouteStatus       = "/api/v1/status"
+	RouteBind         = "/api/v1/bind"
+	RouteUnbind       = "/api/v1/unbind"
+	RouteControl      = "/api/v1/control"
+	RouteUserData     = "/api/v1/user-data"
+	RouteReadings     = "/api/v1/readings"
+	RouteShare        = "/api/v1/share"
+	RouteShares       = "/api/v1/shares"
+	RouteShadow       = "/api/v1/shadow"
+)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// statusForCode attaches HTTP statuses to the shared protocol wire codes.
+var statusForCode = map[string]int{
+	"auth_failed":    http.StatusUnauthorized,
+	"unknown_device": http.StatusNotFound,
+	"already_bound":  http.StatusConflict,
+	"not_bound":      http.StatusConflict,
+	"not_permitted":  http.StatusForbidden,
+	"unsupported":    http.StatusBadRequest,
+	"outside_window": http.StatusForbidden,
+	"device_offline": http.StatusServiceUnavailable,
+	"user_exists":    http.StatusConflict,
+	"bad_request":    http.StatusBadRequest,
+}
+
+// Server adapts a transport.Cloud to HTTP.
+type Server struct {
+	cloud transport.Cloud
+	mux   *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps a cloud implementation (typically *cloud.Service).
+func NewServer(cloud transport.Cloud) *Server {
+	s := &Server{cloud: cloud, mux: http.NewServeMux()}
+	s.mux.HandleFunc(RouteRegisterUser, s.handleRegisterUser)
+	s.mux.HandleFunc(RouteLogin, s.handleLogin)
+	s.mux.HandleFunc(RouteDeviceToken, s.handleDeviceToken)
+	s.mux.HandleFunc(RouteBindToken, s.handleBindToken)
+	s.mux.HandleFunc(RouteStatus, s.handleStatus)
+	s.mux.HandleFunc(RouteBind, s.handleBind)
+	s.mux.HandleFunc(RouteUnbind, s.handleUnbind)
+	s.mux.HandleFunc(RouteControl, s.handleControl)
+	s.mux.HandleFunc(RouteUserData, s.handleUserData)
+	s.mux.HandleFunc(RouteReadings, s.handleReadings)
+	s.mux.HandleFunc(RouteShare, s.handleShare)
+	s.mux.HandleFunc(RouteShares, s.handleShares)
+	s.mux.HandleFunc(RouteShadow, s.handleShadow)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleRegisterUser(w http.ResponseWriter, r *http.Request) {
+	var req protocol.RegisterUserRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	respond(w, struct{}{}, s.cloud.RegisterUser(req))
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req protocol.LoginRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.Login(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleDeviceToken(w http.ResponseWriter, r *http.Request) {
+	var req protocol.DeviceTokenRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.RequestDeviceToken(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleBindToken(w http.ResponseWriter, r *http.Request) {
+	var req protocol.BindTokenRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.RequestBindToken(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var req protocol.StatusRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.SourceIP = sourceIP(r)
+	resp, err := s.cloud.HandleStatus(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleBind(w http.ResponseWriter, r *http.Request) {
+	var req protocol.BindRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.SourceIP = sourceIP(r)
+	resp, err := s.cloud.HandleBind(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleUnbind(w http.ResponseWriter, r *http.Request) {
+	var req protocol.UnbindRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.SourceIP = sourceIP(r)
+	respond(w, struct{}{}, s.cloud.HandleUnbind(req))
+}
+
+func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
+	var req protocol.ControlRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.SourceIP = sourceIP(r)
+	resp, err := s.cloud.HandleControl(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleUserData(w http.ResponseWriter, r *http.Request) {
+	var req protocol.PushUserDataRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	respond(w, struct{}{}, s.cloud.PushUserData(req))
+}
+
+func (s *Server) handleReadings(w http.ResponseWriter, r *http.Request) {
+	var req protocol.ReadingsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.Readings(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleShare(w http.ResponseWriter, r *http.Request) {
+	var req protocol.ShareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	respond(w, struct{}{}, s.cloud.HandleShare(req))
+}
+
+func (s *Server) handleShares(w http.ResponseWriter, r *http.Request) {
+	var req protocol.SharesRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.Shares(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
+	var req protocol.ShadowStateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.ShadowState(req)
+	respond(w, resp, err)
+}
+
+// decode parses the POST body; it writes the error response itself and
+// returns false on failure.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "unreadable body")
+		return false
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("malformed JSON: %v", err))
+		return false
+	}
+	return true
+}
+
+// respond writes either the success payload or the mapped error.
+func respond(w http.ResponseWriter, payload any, err error) {
+	if err != nil {
+		if code, ok := protocol.WireCode(err); ok {
+			status, known := statusForCode[code]
+			if !known {
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, code, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if encodeErr := json.NewEncoder(w).Encode(payload); encodeErr != nil {
+		// The header is already out; nothing more to do.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Message: message})
+}
+
+// sourceIP extracts the peer address the cloud treats as the sender's
+// public IP.
+func sourceIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

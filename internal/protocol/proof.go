@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// The proof helpers below derive the HMAC credentials used where the
+// emulation needs "something only the real firmware can compute": the
+// per-device factory secret plays the role of the provisioned key material
+// (the private key of public-key designs, the session crypto of opaque
+// device protocols, the pairing code revealed over the local network).
+
+// PairingProof derives the local-pairing proof a device in setup mode
+// reveals over the LAN. The app forwards it when requesting a dynamic
+// device token, demonstrating local possession of the device.
+func PairingProof(factorySecret, deviceID string) string {
+	return hmacHex(factorySecret, "pairing:"+deviceID)
+}
+
+// StatusSignature derives the per-message signature of public-key designs
+// (AWS IoT style): an HMAC over the device ID and message kind.
+func StatusSignature(factorySecret, deviceID string, kind StatusKind) string {
+	return hmacHex(factorySecret, "status:"+deviceID+":"+kind.String())
+}
+
+// DataProof derives the in-session data proof of DataRequiresSession
+// designs from the register-time session nonce.
+func DataProof(factorySecret, sessionNonce string) string {
+	return hmacHex(factorySecret, "data:"+sessionNonce)
+}
+
+// BindProof derives the capability-binding submission proof: it ties a
+// bind token to the real device holding the factory secret.
+func BindProof(factorySecret, bindToken string) string {
+	return hmacHex(factorySecret, "bind:"+bindToken)
+}
+
+// VerifyProof compares a received proof with the expected value in
+// constant time.
+func VerifyProof(got, want string) bool {
+	return hmac.Equal([]byte(got), []byte(want))
+}
+
+func hmacHex(secret, message string) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write([]byte(message))
+	return hex.EncodeToString(mac.Sum(nil))
+}

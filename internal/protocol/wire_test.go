@@ -1,0 +1,50 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWireCodeRoundTrip(t *testing.T) {
+	for _, pair := range WireCodes() {
+		code, ok := WireCode(pair.Err)
+		if !ok || code != pair.Code {
+			t.Errorf("WireCode(%v) = %q, %v; want %q", pair.Err, code, ok, pair.Code)
+		}
+		// Wrapped errors still map.
+		wrapped := fmt.Errorf("cloud: something: %w", pair.Err)
+		code, ok = WireCode(wrapped)
+		if !ok || code != pair.Code {
+			t.Errorf("WireCode(wrapped %v) = %q, %v", pair.Err, code, ok)
+		}
+		sentinel, ok := FromWireCode(pair.Code)
+		if !ok || sentinel != pair.Err {
+			t.Errorf("FromWireCode(%q) = %v, %v", pair.Code, sentinel, ok)
+		}
+	}
+}
+
+func TestWireCodeUnknown(t *testing.T) {
+	if _, ok := WireCode(fmt.Errorf("some other error")); ok {
+		t.Error("non-protocol error mapped to a code")
+	}
+	if _, ok := FromWireCode("no_such_code"); ok {
+		t.Error("unknown code mapped to an error")
+	}
+	if _, ok := WireCode(nil); ok {
+		t.Error("nil error mapped to a code")
+	}
+}
+
+func TestWireCodesAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, pair := range WireCodes() {
+		if seen[pair.Code] {
+			t.Errorf("duplicate wire code %q", pair.Code)
+		}
+		seen[pair.Code] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("have %d wire codes, want 10", len(seen))
+	}
+}

@@ -1,0 +1,161 @@
+package tcpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// Client speaks the line protocol over one TCP connection and implements
+// transport.Cloud. Requests are serialized: the protocol is strict
+// request/response. Close the client when done.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	scanner *bufio.Scanner
+	enc     *json.Encoder
+}
+
+var _ transport.Cloud = (*Client)(nil)
+
+// Dial connects to a tcpapi server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpapi: dial %s: %w", addr, err)
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 4096), maxFrame)
+	return &Client{conn: conn, scanner: scanner, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one frame and decodes the reply into out.
+func (c *Client) roundTrip(op string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("tcpapi: encode %s: %w", op, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(request{Op: op, Payload: payload}); err != nil {
+		return fmt.Errorf("tcpapi: send %s: %w", op, err)
+	}
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return fmt.Errorf("tcpapi: read %s: %w", op, err)
+		}
+		return fmt.Errorf("tcpapi: read %s: connection closed", op)
+	}
+	var resp response
+	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+		return fmt.Errorf("tcpapi: decode %s: %w", op, err)
+	}
+	if !resp.OK {
+		if sentinel, ok := protocol.FromWireCode(resp.Code); ok {
+			return fmt.Errorf("tcpapi: %s: %s: %w", op, resp.Message, sentinel)
+		}
+		return fmt.Errorf("tcpapi: %s: %s (%s)", op, resp.Message, resp.Code)
+	}
+	if out != nil && len(resp.Payload) > 0 {
+		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			return fmt.Errorf("tcpapi: decode %s payload: %w", op, err)
+		}
+	}
+	return nil
+}
+
+// RegisterUser implements transport.Cloud.
+func (c *Client) RegisterUser(req protocol.RegisterUserRequest) error {
+	return c.roundTrip(OpRegisterUser, req, nil)
+}
+
+// Login implements transport.Cloud.
+func (c *Client) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	var out protocol.LoginResponse
+	err := c.roundTrip(OpLogin, req, &out)
+	return out, err
+}
+
+// RequestDeviceToken implements transport.Cloud.
+func (c *Client) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	var out protocol.DeviceTokenResponse
+	err := c.roundTrip(OpDeviceToken, req, &out)
+	return out, err
+}
+
+// RequestBindToken implements transport.Cloud.
+func (c *Client) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	var out protocol.BindTokenResponse
+	err := c.roundTrip(OpBindToken, req, &out)
+	return out, err
+}
+
+// HandleStatus implements transport.Cloud.
+func (c *Client) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	var out protocol.StatusResponse
+	err := c.roundTrip(OpStatus, req, &out)
+	return out, err
+}
+
+// HandleBind implements transport.Cloud.
+func (c *Client) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	var out protocol.BindResponse
+	err := c.roundTrip(OpBind, req, &out)
+	return out, err
+}
+
+// HandleUnbind implements transport.Cloud.
+func (c *Client) HandleUnbind(req protocol.UnbindRequest) error {
+	return c.roundTrip(OpUnbind, req, nil)
+}
+
+// HandleControl implements transport.Cloud.
+func (c *Client) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	var out protocol.ControlResponse
+	err := c.roundTrip(OpControl, req, &out)
+	return out, err
+}
+
+// PushUserData implements transport.Cloud.
+func (c *Client) PushUserData(req protocol.PushUserDataRequest) error {
+	return c.roundTrip(OpUserData, req, nil)
+}
+
+// Readings implements transport.Cloud.
+func (c *Client) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	var out protocol.ReadingsResponse
+	err := c.roundTrip(OpReadings, req, &out)
+	return out, err
+}
+
+// HandleShare implements transport.Cloud.
+func (c *Client) HandleShare(req protocol.ShareRequest) error {
+	return c.roundTrip(OpShare, req, nil)
+}
+
+// Shares implements transport.Cloud.
+func (c *Client) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	var out protocol.SharesResponse
+	err := c.roundTrip(OpShares, req, &out)
+	return out, err
+}
+
+// ShadowState implements transport.Cloud.
+func (c *Client) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	var out protocol.ShadowStateResponse
+	err := c.roundTrip(OpShadow, req, &out)
+	return out, err
+}

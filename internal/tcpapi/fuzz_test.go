@@ -1,0 +1,52 @@
+package tcpapi_test
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzTCPFrame throws arbitrary frames at the line-protocol server: it
+// must reply (or close) without panicking, and any reply must be a single
+// line. The seed corpus runs as a regular test outside fuzzing mode.
+func FuzzTCPFrame(f *testing.F) {
+	seeds := []string{
+		"", "{}", "{nope", `{"op":"login"}`, `{"op":"frobnicate"}`,
+		`{"op":"status","payload":{"kind":"x"}}`,
+		`{"op":"bind","payload":` + strings.Repeat("[", 32) + strings.Repeat("]", 32) + `}`,
+		"\x00\xff\x00", `{"op":"` + strings.Repeat("z", 2048) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, frame string) {
+		if strings.ContainsAny(frame, "\n") {
+			t.Skip("frames are single lines by construction")
+		}
+		_, addr := newFuzzCloud(t)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(frame + "\n")); err != nil {
+			return // server may have closed on garbage; that's fine
+		}
+		// A reply, if any, is one line of JSON; EOF is also acceptable.
+		_, _ = bufio.NewReader(conn).ReadString('\n')
+	})
+}
+
+// newFuzzCloud builds a fresh server per fuzz case (cheap) so cases are
+// independent.
+func newFuzzCloud(t *testing.T) (client interface{ Close() error }, addr string) {
+	t.Helper()
+	c, a := newTCPCloud(t)
+	return c, a
+}

@@ -1,0 +1,256 @@
+// Package tcpapi exposes an emulated IoT cloud over a raw TCP line
+// protocol — newline-delimited JSON frames — the kind of bespoke socket
+// protocol commercial devices speak (the paper's D-LINK device-message
+// forgery worked by "establishing an OpenSSL socket connection with the
+// cloud", Section VI-B). The client implements the same transport.Cloud
+// interface as the in-process and HTTP transports, so devices, apps and
+// attackers run unchanged over it.
+//
+// Frame format, one JSON object per line:
+//
+//	request:  {"op":"status","payload":{...}}
+//	response: {"ok":true,"payload":{...}}
+//	          {"ok":false,"code":"auth_failed","message":"..."}
+//
+// The server stamps every network-facing request with the connection's
+// remote address; senders cannot choose their source IP.
+package tcpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// Operation names.
+const (
+	OpRegisterUser = "register-user"
+	OpLogin        = "login"
+	OpDeviceToken  = "device-token"
+	OpBindToken    = "bind-token"
+	OpStatus       = "status"
+	OpBind         = "bind"
+	OpUnbind       = "unbind"
+	OpControl      = "control"
+	OpUserData     = "user-data"
+	OpReadings     = "readings"
+	OpShare        = "share"
+	OpShares       = "shares"
+	OpShadow       = "shadow"
+)
+
+// maxFrame bounds a single request or response line.
+const maxFrame = 1 << 20
+
+// request is the client->server frame.
+type request struct {
+	Op      string          `json:"op"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// response is the server->client frame.
+type response struct {
+	OK      bool            `json:"ok"`
+	Code    string          `json:"code,omitempty"`
+	Message string          `json:"message,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Server serves a cloud over a TCP listener.
+type Server struct {
+	cloud transport.Cloud
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a cloud implementation.
+func NewServer(cloud transport.Cloud) *Server {
+	return &Server{cloud: cloud, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("tcpapi: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("tcpapi: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn handles one connection's request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sourceIP := remoteIP(conn)
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 4096), maxFrame)
+	enc := json.NewEncoder(conn)
+
+	for scanner.Scan() {
+		var req request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{OK: false, Code: "bad_request", Message: "malformed frame"})
+			return
+		}
+		resp := s.dispatch(req, sourceIP)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one frame to the cloud.
+func (s *Server) dispatch(req request, sourceIP string) response {
+	switch req.Op {
+	case OpRegisterUser:
+		var p protocol.RegisterUserRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			return struct{}{}, s.cloud.RegisterUser(p)
+		})
+	case OpLogin:
+		var p protocol.LoginRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.Login(p) })
+	case OpDeviceToken:
+		var p protocol.DeviceTokenRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.RequestDeviceToken(p) })
+	case OpBindToken:
+		var p protocol.BindTokenRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.RequestBindToken(p) })
+	case OpStatus:
+		var p protocol.StatusRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			p.SourceIP = sourceIP
+			return s.cloud.HandleStatus(p)
+		})
+	case OpBind:
+		var p protocol.BindRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			p.SourceIP = sourceIP
+			return s.cloud.HandleBind(p)
+		})
+	case OpUnbind:
+		var p protocol.UnbindRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			p.SourceIP = sourceIP
+			return struct{}{}, s.cloud.HandleUnbind(p)
+		})
+	case OpControl:
+		var p protocol.ControlRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			p.SourceIP = sourceIP
+			return s.cloud.HandleControl(p)
+		})
+	case OpUserData:
+		var p protocol.PushUserDataRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			return struct{}{}, s.cloud.PushUserData(p)
+		})
+	case OpReadings:
+		var p protocol.ReadingsRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.Readings(p) })
+	case OpShare:
+		var p protocol.ShareRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			return struct{}{}, s.cloud.HandleShare(p)
+		})
+	case OpShares:
+		var p protocol.SharesRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.Shares(p) })
+	case OpShadow:
+		var p protocol.ShadowStateRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.ShadowState(p) })
+	default:
+		return response{OK: false, Code: "bad_request", Message: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// call decodes the payload, runs the handler, and encodes the outcome.
+func (s *Server) call(raw json.RawMessage, into any, handler func() (any, error)) response {
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, into); err != nil {
+			return response{OK: false, Code: "bad_request", Message: "malformed payload"}
+		}
+	}
+	result, err := handler()
+	if err != nil {
+		if code, ok := protocol.WireCode(err); ok {
+			return response{OK: false, Code: code, Message: err.Error()}
+		}
+		return response{OK: false, Code: "internal", Message: err.Error()}
+	}
+	payload, err := json.Marshal(result)
+	if err != nil {
+		return response{OK: false, Code: "internal", Message: err.Error()}
+	}
+	return response{OK: true, Payload: payload}
+}
+
+func remoteIP(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
+}

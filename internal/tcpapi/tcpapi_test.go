@@ -1,0 +1,245 @@
+package tcpapi_test
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/attacker"
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/tcpapi"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+const (
+	devID     = "AA:BB:CC:00:00:9A"
+	devSecret = "factory-secret-tcp"
+)
+
+func laxDesign() core.DesignSpec {
+	return core.DesignSpec{
+		Name:        "tcp-lax",
+		DeviceAuth:  core.AuthDevID,
+		Binding:     core.BindACLApp,
+		UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken, core.UnbindDevIDAlone},
+	}
+}
+
+func newTCPCloud(t *testing.T) (*tcpapi.Client, string) {
+	t.Helper()
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: devID, FactorySecret: devSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(laxDesign(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := tcpapi.NewServer(svc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = server.Serve(l)
+	}()
+	t.Cleanup(func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		<-done
+	})
+
+	client, err := tcpapi.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return client, l.Addr().String()
+}
+
+// TestLifecycleOverTCP runs the binding life cycle through the raw socket
+// protocol.
+func TestLifecycleOverTCP(t *testing.T) {
+	client, _ := newTCPCloud(t)
+
+	if err := client.RegisterUser(protocol.RegisterUserRequest{UserID: "u", Password: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	login, err := client.Login(protocol.LoginRequest{UserID: "u", Password: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleBind(protocol.BindRequest{DeviceID: devID, UserToken: login.UserToken, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleControl(protocol.ControlRequest{
+		DeviceID: devID, UserToken: login.UserToken,
+		Command: protocol.Command{ID: "c1", Name: "turn_on"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.HandleStatus(protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: devID,
+		Readings: []protocol.Reading{{Name: "power_w", Value: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Commands) != 1 || resp.Commands[0].Name != "turn_on" {
+		t.Errorf("commands = %+v", resp.Commands)
+	}
+	readings, err := client.Readings(protocol.ReadingsRequest{DeviceID: devID, UserToken: login.UserToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings.Readings) != 1 || readings.Readings[0].Value != 5 {
+		t.Errorf("readings = %+v", readings.Readings)
+	}
+	st, err := client.ShadowState(protocol.ShadowStateRequest{DeviceID: devID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != core.StateControl {
+		t.Errorf("state = %v, want control", st.State)
+	}
+}
+
+// TestDeviceMessageForgeryOverTCP reproduces the paper's D-LINK attack
+// vector: the attacker toolkit forging device messages over a raw socket
+// connection to the cloud.
+func TestDeviceMessageForgeryOverTCP(t *testing.T) {
+	client, _ := newTCPCloud(t)
+
+	if err := client.RegisterUser(protocol.RegisterUserRequest{UserID: "victim", Password: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	login, err := client.Login(protocol.LoginRequest{UserID: "victim", Password: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HandleBind(protocol.BindRequest{DeviceID: devID, UserToken: login.UserToken, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PushUserData(protocol.PushUserDataRequest{
+		DeviceID: devID, UserToken: login.UserToken,
+		Data: protocol.UserData{Kind: "schedule", Body: "on 08:00 off 22:00"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	atk, err := attacker.New("attacker", "pw", laxDesign(), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atk.ForgeStatus(devID, protocol.StatusHeartbeat, []protocol.Reading{
+		{Name: "power_w", Value: 9999},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stolen := atk.StolenData(); len(stolen) != 1 {
+		t.Errorf("stolen = %+v, want the schedule", stolen)
+	}
+}
+
+// TestErrorsSurviveTCP checks errors.Is across the socket.
+func TestErrorsSurviveTCP(t *testing.T) {
+	client, _ := newTCPCloud(t)
+	if _, err := client.Login(protocol.LoginRequest{UserID: "ghost", Password: "x"}); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("login = %v, want ErrAuthFailed", err)
+	}
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: "nope"}); !errors.Is(err, protocol.ErrUnknownDevice) {
+		t.Errorf("status = %v, want ErrUnknownDevice", err)
+	}
+}
+
+// TestMalformedFramesAndUnknownOps exercises the server's defensive
+// paths with a raw connection.
+func TestMalformedFramesAndUnknownOps(t *testing.T) {
+	_, addr := newTCPCloud(t)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reader := bufio.NewScanner(conn)
+
+	// Unknown op.
+	if _, err := conn.Write([]byte(`{"op":"frobnicate"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !reader.Scan() {
+		t.Fatal("no reply to unknown op")
+	}
+	if got := reader.Text(); !contains(got, `"bad_request"`) {
+		t.Errorf("unknown op reply = %s", got)
+	}
+
+	// Malformed JSON ends the session after an error reply.
+	if _, err := conn.Write([]byte("{nope\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !reader.Scan() {
+		t.Fatal("no reply to malformed frame")
+	}
+	if got := reader.Text(); !contains(got, "malformed frame") {
+		t.Errorf("malformed frame reply = %s", got)
+	}
+	if reader.Scan() {
+		t.Error("connection survived a malformed frame")
+	}
+}
+
+// TestManyClients checks concurrent connections against one server.
+func TestManyClients(t *testing.T) {
+	client, addr := newTCPCloud(t)
+	if err := client.RegisterUser(protocol.RegisterUserRequest{UserID: "u", Password: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			c, err := tcpapi.Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Login(protocol.LoginRequest{UserID: "u", Password: "p"}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errCh; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestClientImplementsTransport(t *testing.T) {
+	var _ transport.Cloud = (*tcpapi.Client)(nil)
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,427 @@
+package testbed
+
+import (
+	"fmt"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/vendors"
+)
+
+// Result is the outcome of one attack experiment.
+type Result struct {
+	// Variant is the attack procedure that ran.
+	Variant core.AttackVariant
+	// Outcome is the Table III classification.
+	Outcome core.Outcome
+	// Detail explains what was observed.
+	Detail string
+}
+
+// Evaluate runs one attack variant against a fresh testbed for the design
+// and classifies the outcome exactly as the paper does: ✓ when the attack
+// demonstrably lands, ✗ when it is blocked, O when the adversary lacks the
+// device-protocol knowledge to even try.
+func Evaluate(design core.DesignSpec, v core.AttackVariant, opts ...Option) (Result, error) {
+	tb, err := New(design, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	switch v {
+	case core.VariantA1:
+		return tb.runA1()
+	case core.VariantA2:
+		return tb.runA2()
+	case core.VariantA3x1:
+		return tb.runA3Unbind(core.VariantA3x1, core.UnbindDevIDAlone)
+	case core.VariantA3x2:
+		return tb.runA3Unbind(core.VariantA3x2, core.UnbindDevIDUserToken)
+	case core.VariantA3x3:
+		return tb.runA3x3()
+	case core.VariantA3x4:
+		return tb.runA3x4()
+	case core.VariantA4x1:
+		return tb.runA4x1()
+	case core.VariantA4x2:
+		return tb.runA4x2()
+	case core.VariantA4x3:
+		return tb.runA4x3()
+	default:
+		return Result{}, fmt.Errorf("testbed: unknown attack variant %v", v)
+	}
+}
+
+// EvaluateAll runs every Table II variant against the design, each on a
+// fresh testbed.
+func EvaluateAll(design core.DesignSpec, opts ...Option) ([]Result, error) {
+	variants := core.AllAttackVariants()
+	results := make([]Result, 0, len(variants))
+	for _, v := range variants {
+		r, err := Evaluate(design, v, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %v: %w", v, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// VendorResult is one vendor's measured Table III row.
+type VendorResult struct {
+	// Profile is the vendor under test.
+	Profile vendors.Profile
+	// Results holds every variant's outcome in Table II order.
+	Results []Result
+	// Row is the collapsed Table III row.
+	Row vendors.PaperRow
+}
+
+// EvaluateVendor runs the full attack suite against a vendor profile and
+// collapses the outcomes into a Table III row.
+func EvaluateVendor(p vendors.Profile) (VendorResult, error) {
+	results, err := EvaluateAll(p.Design)
+	if err != nil {
+		return VendorResult{}, fmt.Errorf("testbed: vendor %s: %w", p.Vendor, err)
+	}
+	return VendorResult{Profile: p, Results: results, Row: CollapseRow(results)}, nil
+}
+
+// CollapseRow folds per-variant results into the Table III cell format:
+// the A1 and A2 cells carry the single variant's outcome; the A3 and A4
+// cells list the succeeded variants.
+func CollapseRow(results []Result) vendors.PaperRow {
+	var row vendors.PaperRow
+	for _, r := range results {
+		switch r.Variant {
+		case core.VariantA1:
+			row.A1 = r.Outcome
+		case core.VariantA2:
+			row.A2 = r.Outcome
+		default:
+			if !r.Outcome.Succeeded() {
+				continue
+			}
+			switch r.Variant.Class() {
+			case core.A3DeviceUnbinding:
+				row.A3 = append(row.A3, r.Variant)
+			case core.A4DeviceHijacking:
+				row.A4 = append(row.A4, r.Variant)
+			}
+		}
+	}
+	return row
+}
+
+// MatchesPaper compares a measured row with the paper's published row.
+func MatchesPaper(measured, published vendors.PaperRow) bool {
+	if measured.A1 != published.A1 || measured.A2 != published.A2 {
+		return false
+	}
+	return sameVariants(measured.A3, published.A3) && sameVariants(measured.A4, published.A4)
+}
+
+func sameVariants(a, b []core.AttackVariant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[core.AttackVariant]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- attack procedures ---------------------------------------------------
+
+// runA1 forges data-bearing device messages in the control state: fake
+// readings go up, and any pending user data comes back down.
+func (tb *Testbed) runA1() (Result, error) {
+	res := Result{Variant: core.VariantA1}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+	// The victim schedules something private — the stealing target.
+	if err := tb.victim.PushSchedule(tb.deviceID, protocol.UserData{
+		Kind: "schedule", Body: "unlock 08:00, lock 22:00",
+	}); err != nil {
+		return Result{}, err
+	}
+
+	const fakePower = 9999
+	_, err := tb.atk.ForgeStatus(tb.deviceID, protocol.StatusHeartbeat, []protocol.Reading{
+		{Name: "power_w", Value: fakePower},
+	})
+	if err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged status rejected: %v", err)
+		return res, nil
+	}
+
+	bound, err := tb.victimBound()
+	if err != nil {
+		return Result{}, err
+	}
+	injected := false
+	if bound {
+		readings, err := tb.victim.Readings(tb.deviceID)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, r := range readings {
+			if r.Value == fakePower {
+				injected = true
+			}
+		}
+	}
+	stolen := len(tb.atk.StolenData()) > 0
+
+	switch {
+	case bound && injected && stolen:
+		res.Outcome = core.OutcomeSucceeded
+		res.Detail = "fake reading visible to the victim; victim's schedule exfiltrated"
+	case !bound:
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "forged status disturbed the binding instead of impersonating the device"
+	default:
+		res.Outcome = core.OutcomeFailed
+		res.Detail = fmt.Sprintf("injection=%v stolen=%v", injected, stolen)
+	}
+	return res, nil
+}
+
+// runA2 occupies the binding before the victim's first setup, then lets
+// the victim attempt a normal setup.
+func (tb *Testbed) runA2() (Result, error) {
+	res := Result{Variant: core.VariantA2}
+	_, err := tb.atk.ForgeBind(tb.deviceID)
+	if err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged bind rejected: %v", err)
+		if res.Outcome == core.OutcomeFailed {
+			// Sanity: the legitimate setup must still work.
+			if setupErr := tb.SetupVictim(); setupErr != nil {
+				return Result{}, fmt.Errorf("testbed: setup broken even without occupation: %w", setupErr)
+			}
+		}
+		return res, nil
+	}
+
+	setupErr := tb.SetupVictim()
+	if setupErr == nil && tb.VictimHasControl() {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "the victim's setup displaced the squatting binding"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeSucceeded
+	if setupErr != nil {
+		res.Detail = fmt.Sprintf("victim setup failed: %v", setupErr)
+	} else {
+		res.Detail = "victim setup completed but control never reached the device"
+	}
+	return res, nil
+}
+
+// runA3Unbind covers A3-1 (Unbind:DevId) and A3-2 (Unbind with the
+// attacker's own token): disconnect the victim via a forged unbind.
+func (tb *Testbed) runA3Unbind(v core.AttackVariant, form core.UnbindForm) (Result, error) {
+	res := Result{Variant: v}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+	if err := tb.atk.ForgeUnbind(tb.deviceID, form); err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged unbind rejected: %v", err)
+		return res, nil
+	}
+	bound, err := tb.victimBound()
+	if err != nil {
+		return Result{}, err
+	}
+	if bound {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "binding survived the forged unbind"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeSucceeded
+	res.Detail = "victim's binding revoked; device disconnected from the user"
+	return res, nil
+}
+
+// runA3x3 replaces the victim's binding with a forged bind, succeeding
+// only when the replacement does NOT grant control (otherwise the episode
+// classifies as A4-1).
+func (tb *Testbed) runA3x3() (Result, error) {
+	res := Result{Variant: core.VariantA3x3}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+	if _, err := tb.atk.ForgeBind(tb.deviceID); err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged bind rejected: %v", err)
+		return res, nil
+	}
+	bound, err := tb.victimBound()
+	if err != nil {
+		return Result{}, err
+	}
+	if bound {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "binding survived the forged bind"
+		return res, nil
+	}
+	if tb.AttackerHasControl() {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "replacement granted control: the episode classifies as A4-1"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeSucceeded
+	res.Detail = "binding replaced; the attacker gains no control, leaving pure disconnection"
+	return res, nil
+}
+
+// runA3x4 forges a registration status message so the cloud treats the
+// device as reset and drops the binding.
+func (tb *Testbed) runA3x4() (Result, error) {
+	res := Result{Variant: core.VariantA3x4}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+	if _, err := tb.atk.ForgeStatus(tb.deviceID, protocol.StatusRegister, nil); err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged registration rejected: %v", err)
+		return res, nil
+	}
+	bound, err := tb.victimBound()
+	if err != nil {
+		return Result{}, err
+	}
+	if bound {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "binding survived the forged registration"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeSucceeded
+	res.Detail = "cloud adopted the forged registration as a reset and revoked the binding"
+	return res, nil
+}
+
+// runA4x1 replaces the victim's binding in the control state and checks
+// for takeover.
+func (tb *Testbed) runA4x1() (Result, error) {
+	res := Result{Variant: core.VariantA4x1}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+	if _, err := tb.atk.ForgeBind(tb.deviceID); err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("forged bind rejected: %v", err)
+		return res, nil
+	}
+	if tb.AttackerHasControl() {
+		res.Outcome = core.OutcomeSucceeded
+		res.Detail = "existing binding manipulated without checks; attacker commands the device"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeFailed
+	res.Detail = "forged bind did not yield control of the real device"
+	return res, nil
+}
+
+// runA4x2 binds during the victim's setup window (device online, not yet
+// bound) and checks for durable takeover after the setup finishes.
+func (tb *Testbed) runA4x2() (Result, error) {
+	res := Result{Variant: core.VariantA4x2}
+	var (
+		hookRan bool
+		hookErr error
+	)
+	tb.SetPreBindHook(func() {
+		hookRan = true
+		_, hookErr = tb.atk.ForgeBind(tb.deviceID)
+	})
+	setupErr := tb.victim.SetupDevice(tb.dev.LocalName(), tb.actions)
+
+	if !hookRan {
+		res.Outcome = core.OutcomeFailed
+		res.Detail = "setup exposes no online-unbound window"
+		if setupErr != nil {
+			return Result{}, fmt.Errorf("testbed: setup failed without attack: %w", setupErr)
+		}
+		return res, nil
+	}
+	if hookErr != nil {
+		res.Outcome = classifyForgeErr(hookErr)
+		res.Detail = fmt.Sprintf("forged bind in window rejected: %v", hookErr)
+		return res, nil
+	}
+	if tb.AttackerHasControl() {
+		res.Outcome = core.OutcomeSucceeded
+		res.Detail = fmt.Sprintf("bound first in the setup window (victim setup: %v)", setupErr)
+		return res, nil
+	}
+	res.Outcome = core.OutcomeFailed
+	res.Detail = "window bind did not yield durable control"
+	return res, nil
+}
+
+// runA4x3 chains a forged unbind (A3-1 or A3-2) with a forged bind to
+// hijack from the control state.
+func (tb *Testbed) runA4x3() (Result, error) {
+	res := Result{Variant: core.VariantA4x3}
+	if err := tb.SetupVictim(); err != nil {
+		return Result{}, err
+	}
+
+	unbound := false
+	sawUnavailable := false
+	var lastErr error
+	for _, form := range []core.UnbindForm{core.UnbindDevIDAlone, core.UnbindDevIDUserToken} {
+		if !tb.design.SupportsUnbind(form) {
+			continue
+		}
+		if err := tb.atk.ForgeUnbind(tb.deviceID, form); err != nil {
+			if classifyForgeErr(err) == core.OutcomeUnconfirmed {
+				sawUnavailable = true
+			}
+			lastErr = err
+			continue
+		}
+		stillBound, err := tb.victimBound()
+		if err != nil {
+			return Result{}, err
+		}
+		if !stillBound {
+			unbound = true
+			break
+		}
+	}
+	if !unbound {
+		if sawUnavailable {
+			res.Outcome = core.OutcomeUnconfirmed
+			res.Detail = "the unbinding step could not be confirmed"
+		} else {
+			res.Outcome = core.OutcomeFailed
+			res.Detail = fmt.Sprintf("no forged unbind disconnected the victim (last: %v)", lastErr)
+		}
+		return res, nil
+	}
+
+	if _, err := tb.atk.ForgeBind(tb.deviceID); err != nil {
+		res.Outcome = classifyForgeErr(err)
+		res.Detail = fmt.Sprintf("follow-up bind rejected: %v", err)
+		return res, nil
+	}
+	if tb.AttackerHasControl() {
+		res.Outcome = core.OutcomeSucceeded
+		res.Detail = "unbind opened the online state; the follow-up bind hijacked the device"
+		return res, nil
+	}
+	res.Outcome = core.OutcomeFailed
+	res.Detail = "the chained bind did not yield control of the real device"
+	return res, nil
+}

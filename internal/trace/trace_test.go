@@ -1,0 +1,169 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/app"
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/device"
+	"github.com/iotbind/iotbind/internal/localnet"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/trace"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+const (
+	devID     = "AA:BB:CC:00:00:F1"
+	devSecret = "factory-secret-f1"
+)
+
+// runLifecycle executes a full setup with traced transports and returns
+// the recorder.
+func runLifecycle(t *testing.T, design core.DesignSpec) *trace.Recorder {
+	t.Helper()
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: devID, FactorySecret: devSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(design, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder()
+	home := localnet.NewNetwork("home", "203.0.113.7")
+	appTransport := trace.Transport(transport.StampSource(svc, home.PublicIP()), "app(alice)", rec)
+	devTransport := trace.Transport(transport.StampSource(svc, home.PublicIP()), "device(plug)", rec)
+
+	dev, err := device.New(device.Config{
+		ID: devID, FactorySecret: devSecret, LocalName: "plug", Model: "plug",
+	}, design, devTransport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Join(dev); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := app.New("alice", "pw", design, appTransport, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.RegisterAccount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Login(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SetupDevice("plug", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestFigure1SequenceDevToken asserts the Figure 1 procedure order for a
+// bind-first DevToken design: user authentication, local configuration
+// (device token issuance), binding creation, then device authentication
+// (status).
+func TestFigure1SequenceDevToken(t *testing.T) {
+	design := core.DesignSpec{
+		Name:                   "fig1",
+		DeviceAuth:             core.AuthDevToken,
+		Binding:                core.BindACLApp,
+		UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+		CheckBoundUserOnBind:   true,
+		CheckBoundUserOnUnbind: true,
+	}
+	rec := runLifecycle(t, design)
+	want := []string{
+		"RegisterUser(alice)",
+		"Login(alice) -> UserToken",
+		"RequestDeviceToken(" + devID + ") -> DevToken",
+		"Bind(DevId, UserToken)",
+		"Status(register : DevToken)",
+		"Status(heartbeat : DevToken)",
+	}
+	got := rec.Ops()
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFigure4cSequenceCapability asserts the capability flow: the bind
+// token is issued to the user and submitted by the device.
+func TestFigure4cSequenceCapability(t *testing.T) {
+	design := core.DesignSpec{
+		Name:                   "fig4c",
+		DeviceAuth:             core.AuthPublicKey,
+		Binding:                core.BindCapability,
+		UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+		CheckBoundUserOnBind:   true,
+		CheckBoundUserOnUnbind: true,
+	}
+	rec := runLifecycle(t, design)
+
+	var bindFrom string
+	for _, e := range rec.Events() {
+		if strings.HasPrefix(e.Op, "Bind(") {
+			bindFrom = e.From
+			if e.Op != "Bind(BindToken)" {
+				t.Errorf("bind op = %q, want Bind(BindToken)", e.Op)
+			}
+		}
+	}
+	if bindFrom != "device(plug)" {
+		t.Errorf("bind sent by %q, want the device (Figure 4c)", bindFrom)
+	}
+}
+
+func TestRecorderErrAndReset(t *testing.T) {
+	design := core.DesignSpec{
+		Name:        "err",
+		DeviceAuth:  core.AuthDevID,
+		Binding:     core.BindACLApp,
+		UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken},
+	}
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: devID, FactorySecret: devSecret}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(design, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	traced := trace.Transport(svc, "app(x)", rec)
+
+	if _, err := traced.Login(protocol.LoginRequest{UserID: "ghost", Password: "x"}); err == nil {
+		t.Fatal("ghost login succeeded")
+	}
+	events := rec.Events()
+	if len(events) != 1 || events[0].Err == "" {
+		t.Errorf("events = %+v, want one failed login", events)
+	}
+	if !strings.Contains(events[0].String(), "!") {
+		t.Errorf("rendered event %q should flag the error", events[0].String())
+	}
+
+	var b strings.Builder
+	if err := rec.Write(&b, "Trace"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Login(ghost)") {
+		t.Errorf("written trace missing op: %s", b.String())
+	}
+
+	rec.Reset()
+	if len(rec.Events()) != 0 {
+		t.Error("Reset left events behind")
+	}
+}

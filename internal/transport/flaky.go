@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// ErrUnavailable is the default injected transport failure.
+var ErrUnavailable = errors.New("transport: cloud unavailable")
+
+// Flaky wraps a Cloud and injects transport failures on a deterministic
+// schedule — every Nth call fails — for exercising the agents' error
+// paths: half-finished setups, dropped heartbeats, rejected forgeries.
+type Flaky struct {
+	inner Cloud
+
+	mu        sync.Mutex
+	failEvery int
+	calls     int
+	failures  int
+	err       error
+}
+
+var _ Cloud = (*Flaky)(nil)
+
+// NewFlaky wraps a cloud so that every failEvery-th call (1-based) fails
+// with ErrUnavailable. failEvery <= 0 never fails.
+func NewFlaky(inner Cloud, failEvery int) *Flaky {
+	return &Flaky{inner: inner, failEvery: failEvery, err: ErrUnavailable}
+}
+
+// SetError overrides the injected error.
+func (f *Flaky) SetError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.err = err
+}
+
+// Calls reports how many calls the wrapper has seen.
+func (f *Flaky) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Failures reports how many calls were failed by injection.
+func (f *Flaky) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}
+
+// tick advances the schedule, returning the injected error when this call
+// should fail.
+func (f *Flaky) tick(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.failEvery > 0 && f.calls%f.failEvery == 0 {
+		f.failures++
+		return fmt.Errorf("flaky %s: %w", op, f.err)
+	}
+	return nil
+}
+
+// RegisterUser implements Cloud.
+func (f *Flaky) RegisterUser(req protocol.RegisterUserRequest) error {
+	if err := f.tick("register-user"); err != nil {
+		return err
+	}
+	return f.inner.RegisterUser(req)
+}
+
+// Login implements Cloud.
+func (f *Flaky) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	if err := f.tick("login"); err != nil {
+		return protocol.LoginResponse{}, err
+	}
+	return f.inner.Login(req)
+}
+
+// RequestDeviceToken implements Cloud.
+func (f *Flaky) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	if err := f.tick("device-token"); err != nil {
+		return protocol.DeviceTokenResponse{}, err
+	}
+	return f.inner.RequestDeviceToken(req)
+}
+
+// RequestBindToken implements Cloud.
+func (f *Flaky) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	if err := f.tick("bind-token"); err != nil {
+		return protocol.BindTokenResponse{}, err
+	}
+	return f.inner.RequestBindToken(req)
+}
+
+// HandleStatus implements Cloud.
+func (f *Flaky) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	if err := f.tick("status"); err != nil {
+		return protocol.StatusResponse{}, err
+	}
+	return f.inner.HandleStatus(req)
+}
+
+// HandleBind implements Cloud.
+func (f *Flaky) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	if err := f.tick("bind"); err != nil {
+		return protocol.BindResponse{}, err
+	}
+	return f.inner.HandleBind(req)
+}
+
+// HandleUnbind implements Cloud.
+func (f *Flaky) HandleUnbind(req protocol.UnbindRequest) error {
+	if err := f.tick("unbind"); err != nil {
+		return err
+	}
+	return f.inner.HandleUnbind(req)
+}
+
+// HandleControl implements Cloud.
+func (f *Flaky) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	if err := f.tick("control"); err != nil {
+		return protocol.ControlResponse{}, err
+	}
+	return f.inner.HandleControl(req)
+}
+
+// PushUserData implements Cloud.
+func (f *Flaky) PushUserData(req protocol.PushUserDataRequest) error {
+	if err := f.tick("user-data"); err != nil {
+		return err
+	}
+	return f.inner.PushUserData(req)
+}
+
+// Readings implements Cloud.
+func (f *Flaky) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	if err := f.tick("readings"); err != nil {
+		return protocol.ReadingsResponse{}, err
+	}
+	return f.inner.Readings(req)
+}
+
+// HandleShare implements Cloud.
+func (f *Flaky) HandleShare(req protocol.ShareRequest) error {
+	if err := f.tick("share"); err != nil {
+		return err
+	}
+	return f.inner.HandleShare(req)
+}
+
+// Shares implements Cloud.
+func (f *Flaky) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	if err := f.tick("shares"); err != nil {
+		return protocol.SharesResponse{}, err
+	}
+	return f.inner.Shares(req)
+}
+
+// ShadowState implements Cloud.
+func (f *Flaky) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	if err := f.tick("shadow"); err != nil {
+		return protocol.ShadowStateResponse{}, err
+	}
+	return f.inner.ShadowState(req)
+}

@@ -1,0 +1,125 @@
+package transport_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/app"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/device"
+	"github.com/iotbind/iotbind/internal/localnet"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+func TestFlakySchedule(t *testing.T) {
+	svc := newService(t)
+	flaky := transport.NewFlaky(svc, 3) // every 3rd call fails
+
+	var failures int
+	for i := 0; i < 9; i++ {
+		if _, err := flaky.ShadowState(protocol.ShadowStateRequest{DeviceID: "d"}); err != nil {
+			if !errors.Is(err, transport.ErrUnavailable) {
+				t.Fatalf("call %d: unexpected error %v", i, err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("failures = %d, want 3", failures)
+	}
+	if flaky.Calls() != 9 || flaky.Failures() != 3 {
+		t.Errorf("counters = %d calls, %d failures", flaky.Calls(), flaky.Failures())
+	}
+}
+
+func TestFlakyNeverFailsWhenDisabled(t *testing.T) {
+	svc := newService(t)
+	flaky := transport.NewFlaky(svc, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := flaky.ShadowState(protocol.ShadowStateRequest{DeviceID: "d"}); err != nil {
+			t.Fatalf("injected failure with failEvery=0: %v", err)
+		}
+	}
+}
+
+func TestFlakyCustomError(t *testing.T) {
+	svc := newService(t)
+	flaky := transport.NewFlaky(svc, 1)
+	custom := errors.New("the backhaul is down")
+	flaky.SetError(custom)
+	if _, err := flaky.ShadowState(protocol.ShadowStateRequest{DeviceID: "d"}); !errors.Is(err, custom) {
+		t.Errorf("error = %v, want custom", err)
+	}
+}
+
+// TestAgentsSurfaceTransportFailures drives the device and app agents
+// over a failing transport: errors must propagate wrapped (so callers can
+// match ErrUnavailable) and a retry after the outage must succeed — a
+// half-finished setup does not wedge the agents.
+func TestAgentsSurfaceTransportFailures(t *testing.T) {
+	svc := newService(t)
+	flaky := transport.NewFlaky(svc, 1) // everything fails for now
+	home := localnet.NewNetwork("home", "203.0.113.7")
+
+	dev, err := device.New(device.Config{
+		ID: "d", FactorySecret: "s", LocalName: "plug", Model: "plug",
+	}, svcDesign(), flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Join(dev); err != nil {
+		t.Fatal(err)
+	}
+
+	user, err := app.New("u@example.com", "pw", svcDesign(), flaky, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: every step surfaces the injected failure.
+	if err := user.RegisterAccount(); !errors.Is(err, transport.ErrUnavailable) {
+		t.Errorf("register during outage = %v", err)
+	}
+	if err := user.Login(); !errors.Is(err, transport.ErrUnavailable) {
+		t.Errorf("login during outage = %v", err)
+	}
+	if err := dev.Provision(localnet.Provisioning{WiFiSSID: "home", WiFiPassword: "pw"}); !errors.Is(err, transport.ErrUnavailable) {
+		t.Errorf("provision during outage = %v", err)
+	}
+
+	// Recovery: switch the schedule off; the same agents finish setup.
+	flakyOff := transport.NewFlaky(svc, 0)
+	dev2, err := device.New(device.Config{
+		ID: "d", FactorySecret: "s", LocalName: "plug-2", Model: "plug",
+	}, svcDesign(), flakyOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Join(dev2); err != nil {
+		t.Fatal(err)
+	}
+	user2, err := app.New("u2@example.com", "pw", svcDesign(), flakyOff, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := user2.RegisterAccount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user2.Login(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user2.SetupDevice("plug-2", nil); err != nil {
+		t.Fatalf("setup after recovery: %v", err)
+	}
+}
+
+// svcDesign mirrors newService's design for agent construction.
+func svcDesign() core.DesignSpec {
+	return core.DesignSpec{
+		Name:        "t",
+		DeviceAuth:  core.AuthDevID,
+		Binding:     core.BindACLApp,
+		UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken},
+	}
+}

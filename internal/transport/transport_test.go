@@ -1,0 +1,147 @@
+package transport_test
+
+import (
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// recorder captures the SourceIP each request arrives with.
+type recorder struct {
+	transport.Cloud
+
+	lastIP string
+}
+
+func (r *recorder) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	r.lastIP = req.SourceIP
+	return r.Cloud.HandleStatus(req)
+}
+
+func (r *recorder) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	r.lastIP = req.SourceIP
+	return r.Cloud.HandleBind(req)
+}
+
+func (r *recorder) HandleUnbind(req protocol.UnbindRequest) error {
+	r.lastIP = req.SourceIP
+	return r.Cloud.HandleUnbind(req)
+}
+
+func (r *recorder) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	r.lastIP = req.SourceIP
+	return r.Cloud.HandleControl(req)
+}
+
+func newService(t *testing.T) *cloud.Service {
+	t.Helper()
+	design := core.DesignSpec{
+		Name:        "t",
+		DeviceAuth:  core.AuthDevID,
+		Binding:     core.BindACLApp,
+		UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken},
+	}
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: "d", FactorySecret: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(design, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestStampOverridesSenderSuppliedSource proves a party cannot spoof its
+// source address: whatever the request claims, the transport's address
+// wins.
+func TestStampOverridesSenderSuppliedSource(t *testing.T) {
+	rec := &recorder{Cloud: newService(t)}
+	stamped := transport.StampSource(rec, "203.0.113.7")
+
+	if _, err := stamped.HandleStatus(protocol.StatusRequest{
+		Kind:     protocol.StatusRegister,
+		DeviceID: "d",
+		SourceIP: "6.6.6.6", // spoofing attempt
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.lastIP != "203.0.113.7" {
+		t.Errorf("status source = %q, want stamped address", rec.lastIP)
+	}
+
+	if err := newServiceUser(t, rec.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	login, err := stamped.Login(protocol.LoginRequest{UserID: "u", Password: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stamped.HandleBind(protocol.BindRequest{
+		DeviceID: "d", UserToken: login.UserToken, SourceIP: "6.6.6.6",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.lastIP != "203.0.113.7" {
+		t.Errorf("bind source = %q, want stamped address", rec.lastIP)
+	}
+	if err := stamped.HandleUnbind(protocol.UnbindRequest{
+		DeviceID: "d", UserToken: login.UserToken, SourceIP: "6.6.6.6",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.lastIP != "203.0.113.7" {
+		t.Errorf("unbind source = %q, want stamped address", rec.lastIP)
+	}
+}
+
+func newServiceUser(t *testing.T, c transport.Cloud) error {
+	t.Helper()
+	return c.RegisterUser(protocol.RegisterUserRequest{UserID: "u", Password: "p"})
+}
+
+// TestStampPassesThroughNonNetworkCalls checks the calls without a source
+// field still work through the wrapper.
+func TestStampPassesThroughNonNetworkCalls(t *testing.T) {
+	svc := newService(t)
+	stamped := transport.StampSource(svc, "1.2.3.4")
+
+	if err := stamped.RegisterUser(protocol.RegisterUserRequest{UserID: "x", Password: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	login, err := stamped.Login(protocol.LoginRequest{UserID: "x", Password: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login.UserToken == "" {
+		t.Error("no token through stamped transport")
+	}
+	if _, err := stamped.ShadowState(protocol.ShadowStateRequest{DeviceID: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stamped.Readings(protocol.ReadingsRequest{DeviceID: "d", UserToken: login.UserToken}); err == nil {
+		t.Error("readings for unbound user succeeded")
+	}
+}
+
+// TestDistinctStampsShareOneCloud verifies two parties with different
+// addresses hit the same underlying state.
+func TestDistinctStampsShareOneCloud(t *testing.T) {
+	svc := newService(t)
+	home := transport.StampSource(svc, "203.0.113.7")
+	lair := transport.StampSource(svc, "198.51.100.66")
+
+	if _, err := home.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := lair.ShadowState(protocol.ShadowStateRequest{DeviceID: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != core.StateOnline {
+		t.Errorf("state through second stamp = %v, want online", st.State)
+	}
+}

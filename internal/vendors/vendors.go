@@ -1,0 +1,392 @@
+// Package vendors encodes the ten real-world remote-binding solutions the
+// paper evaluates (Table III) as design specs for the emulation, together
+// with the paper's published attack results for each, plus the reference
+// designs the paper discusses (the capability-based secure baseline, the
+// recommended dynamic-token practice, and a worst-case strawman).
+//
+// Each profile captures exactly the design facts Table III and Section VI
+// report: the device-authentication column, who sends the binding message,
+// the supported unbinding forms, and the cloud-side policy behaviours
+// inferred from the attack outcomes (e.g. device #5's missing bound-user
+// check on unbind, device #9's replace-without-check binding). Where the
+// paper could not confirm a detail (firmware-opaque products), the profile
+// records that and an assumed internal mode consistent with the published
+// outcomes.
+package vendors
+
+import (
+	"fmt"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/devid"
+)
+
+// IDScheme describes how a vendor assigns device IDs, with the parameters
+// needed to build a devid.Generator.
+type IDScheme struct {
+	// Scheme is the generation scheme.
+	Scheme devid.Scheme
+	// OUI is the vendor MAC prefix (SchemeMAC).
+	OUI string
+	// Prefix and Digits shape serial numbers (SchemeSequentialSerial).
+	Prefix string
+	Digits int
+	// Shipped bounds the sequential search space (SchemeSequentialSerial).
+	Shipped uint64
+	// Seed seeds random IDs (SchemeRandom128).
+	Seed uint64
+}
+
+// Generator builds the devid.Generator for the scheme.
+func (s IDScheme) Generator() (devid.Generator, error) {
+	switch s.Scheme {
+	case devid.SchemeMAC:
+		oui, err := devid.VendorOUI(s.OUI)
+		if err != nil {
+			return nil, fmt.Errorf("vendors: %w", err)
+		}
+		return devid.NewMACGenerator(oui), nil
+	case devid.SchemeSequentialSerial:
+		gen, err := devid.NewSerialGenerator(s.Prefix, s.Digits, s.Shipped)
+		if err != nil {
+			return nil, fmt.Errorf("vendors: %w", err)
+		}
+		return gen, nil
+	case devid.SchemeShortDigits:
+		gen, err := devid.NewShortDigitsGenerator(s.Digits)
+		if err != nil {
+			return nil, fmt.Errorf("vendors: %w", err)
+		}
+		return gen, nil
+	case devid.SchemeRandom128:
+		return devid.NewRandomGenerator(s.Seed), nil
+	default:
+		return nil, fmt.Errorf("vendors: unknown ID scheme %v", s.Scheme)
+	}
+}
+
+// PaperRow is one vendor's published attack results (Table III).
+type PaperRow struct {
+	// A1 is the data injection/stealing cell (✓, ✗, or O).
+	A1 core.Outcome
+	// A2 is the binding denial-of-service cell (✓ or ✗).
+	A2 core.Outcome
+	// A3 lists the device-unbinding variants that succeeded (empty = ✗).
+	A3 []core.AttackVariant
+	// A4 lists the device-hijacking variants that succeeded (empty = ✗).
+	A4 []core.AttackVariant
+}
+
+// Profile is one evaluated product: its design, ID scheme, and the paper's
+// published results.
+type Profile struct {
+	// Number is the Table III row number (1-10); 0 for reference designs.
+	Number int
+	// Vendor is the vendor name.
+	Vendor string
+	// DeviceType is the product category.
+	DeviceType string
+	// Design is the remote-binding design the emulation enforces.
+	Design core.DesignSpec
+	// IDs is the vendor's device-ID scheme.
+	IDs IDScheme
+	// LabelOnDevice reports whether the device ID is printed on the
+	// device or its packaging (6 of the 10 products).
+	LabelOnDevice bool
+	// Paper is the published Table III row (zero value for reference
+	// designs that the paper did not evaluate as products).
+	Paper PaperRow
+}
+
+// Profiles returns the ten Table III products in row order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Number: 1, Vendor: "Belkin", DeviceType: "Smart Plug",
+			Design: core.DesignSpec{
+				Name:                 "belkin-wemo",
+				DeviceAuth:           core.AuthDevToken,
+				Binding:              core.BindACLApp,
+				UnbindForms:          []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind: true,
+				// The missing bound-user check on unbind is the A3-2
+				// flaw the paper demonstrates on this product.
+				CheckBoundUserOnUnbind: false,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeMAC, OUI: "B4:75:0E"},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeFailed,
+				A2: core.OutcomeSucceeded,
+				A3: []core.AttackVariant{core.VariantA3x2},
+			},
+		},
+		{
+			Number: 2, Vendor: "BroadLink", DeviceType: "Smart Plug",
+			Design: core.DesignSpec{
+				Name:                   "broadlink-sp",
+				DeviceAuth:             core.AuthUnknown,
+				AssumedAuth:            core.AuthDevToken,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+				FirmwareOpaque:         true,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeMAC, OUI: "34:EA:34"},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeUnconfirmed,
+				A2: core.OutcomeSucceeded,
+			},
+		},
+		{
+			Number: 3, Vendor: "KONKE", DeviceType: "Smart Socket",
+			Design: core.DesignSpec{
+				Name:       "konke-mini",
+				DeviceAuth: core.AuthDevToken,
+				Binding:    core.BindACLApp,
+				// No unbinding operation at all: a new binding replaces
+				// the previous one (Section IV-C Type 3), with the
+				// post-binding token as the partial defence that keeps
+				// replacement from becoming hijacking.
+				UnbindForms:          []core.UnbindForm{core.UnbindReplaceByBind},
+				ReplaceOnBind:        true,
+				PostBindingToken:     true,
+				CheckBoundUserOnBind: false,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeSequentialSerial, Prefix: "KK", Digits: 8, Shipped: 500_000},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeFailed,
+				A2: core.OutcomeFailed,
+				A3: []core.AttackVariant{core.VariantA3x3},
+			},
+		},
+		{
+			Number: 4, Vendor: "Lightstory", DeviceType: "Smart Plug",
+			Design: core.DesignSpec{
+				Name:                   "lightstory-plug",
+				DeviceAuth:             core.AuthDevToken,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+			},
+			IDs: IDScheme{Scheme: devid.SchemeSequentialSerial, Prefix: "LS", Digits: 7, Shipped: 200_000},
+			Paper: PaperRow{
+				A1: core.OutcomeFailed,
+				A2: core.OutcomeSucceeded,
+			},
+		},
+		{
+			Number: 5, Vendor: "Orvibo", DeviceType: "Smart Plug",
+			Design: core.DesignSpec{
+				Name:                   "orvibo-wiwo",
+				DeviceAuth:             core.AuthUnknown,
+				AssumedAuth:            core.AuthDevToken,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: false,
+				FirmwareOpaque:         true,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeMAC, OUI: "AC:CF:23"},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeUnconfirmed,
+				A2: core.OutcomeSucceeded,
+				A3: []core.AttackVariant{core.VariantA3x2},
+			},
+		},
+		{
+			Number: 6, Vendor: "OZWI", DeviceType: "IP Camera",
+			Design: core.DesignSpec{
+				Name:                   "ozwi-cam",
+				DeviceAuth:             core.AuthDevID,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+				// The camera connects to the cloud before any binding
+				// exists, exposing the setup window A4-2 exploits.
+				OnlineBeforeBind: true,
+				FirmwareOpaque:   true,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeShortDigits, Digits: 7},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeUnconfirmed,
+				A2: core.OutcomeSucceeded,
+				A4: []core.AttackVariant{core.VariantA4x2},
+			},
+		},
+		{
+			Number: 7, Vendor: "Philips Hue", DeviceType: "Smart Bulb",
+			Design: core.DesignSpec{
+				Name:                   "philips-hue",
+				DeviceAuth:             core.AuthUnknown,
+				AssumedAuth:            core.AuthDevToken,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+				// Binding requires a physical button press within 30
+				// seconds, and the cloud compares the source IPs of the
+				// device's registration and the user's bind request
+				// (Section VI-B).
+				BindButtonWindow: true,
+				SourceIPCheck:    true,
+				OnlineBeforeBind: true,
+				FirmwareOpaque:   true,
+			},
+			IDs: IDScheme{Scheme: devid.SchemeSequentialSerial, Prefix: "HUE", Digits: 9, Shipped: 2_000_000},
+			Paper: PaperRow{
+				A1: core.OutcomeUnconfirmed,
+				A2: core.OutcomeFailed,
+			},
+		},
+		{
+			Number: 8, Vendor: "TP-LINK", DeviceType: "Smart Bulb",
+			Design: core.DesignSpec{
+				Name:       "tplink-lb",
+				DeviceAuth: core.AuthDevID,
+				// The only device-initiated binding in the corpus: the
+				// user credential travels through the device.
+				Binding: core.BindACLDevice,
+				UnbindForms: []core.UnbindForm{
+					core.UnbindDevIDUserToken,
+					core.UnbindDevIDAlone, // the A3-1 flaw
+				},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+				// Boot registrations are forgeable from static firmware
+				// analysis and the cloud treats them as resets (A3-4),
+				// but in-session data traffic is protected, so A1 fails.
+				SessionTiedBinding:  true,
+				DataRequiresSession: true,
+				// Normal setup factory-resets the bulb, emitting the
+				// device-sent unbind that clears any squatting binding.
+				ResetUnbindsOnSetup: true,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeMAC, OUI: "50:C7:BF"},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeFailed,
+				A2: core.OutcomeFailed,
+				A3: []core.AttackVariant{core.VariantA3x1, core.VariantA3x4},
+				A4: []core.AttackVariant{core.VariantA4x3},
+			},
+		},
+		{
+			Number: 9, Vendor: "E-Link Smart", DeviceType: "IP Camera",
+			Design: core.DesignSpec{
+				Name:        "elink-cam",
+				DeviceAuth:  core.AuthDevID,
+				Binding:     core.BindACLApp,
+				UnbindForms: []core.UnbindForm{core.UnbindDevIDUserToken},
+				// The cloud manipulates existing bindings without
+				// checking the sender against the bound user — the A4-1
+				// implementation flaw.
+				CheckBoundUserOnBind:   false,
+				CheckBoundUserOnUnbind: true,
+				FirmwareOpaque:         true,
+			},
+			IDs: IDScheme{Scheme: devid.SchemeShortDigits, Digits: 6},
+			Paper: PaperRow{
+				A1: core.OutcomeUnconfirmed,
+				A2: core.OutcomeFailed,
+				A4: []core.AttackVariant{core.VariantA4x1},
+			},
+		},
+		{
+			Number: 10, Vendor: "D-LINK", DeviceType: "Smart Plug",
+			Design: core.DesignSpec{
+				Name:                   "dlink-dsp",
+				DeviceAuth:             core.AuthDevID,
+				Binding:                core.BindACLApp,
+				UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+				CheckBoundUserOnBind:   true,
+				CheckBoundUserOnUnbind: true,
+			},
+			IDs:           IDScheme{Scheme: devid.SchemeMAC, OUI: "28:10:7B"},
+			LabelOnDevice: true,
+			Paper: PaperRow{
+				A1: core.OutcomeSucceeded,
+				A2: core.OutcomeSucceeded,
+			},
+		},
+	}
+}
+
+// SecureReference is the capability-based baseline the paper recommends
+// (Samsung SmartThings / ARTIK style): a bind token that must round-trip
+// through the physical device, with per-device keys for authentication.
+func SecureReference() Profile {
+	return Profile{
+		Vendor: "Reference", DeviceType: "Capability baseline",
+		Design: core.DesignSpec{
+			Name:                   "reference-capability",
+			DeviceAuth:             core.AuthPublicKey,
+			Binding:                core.BindCapability,
+			UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+			CheckBoundUserOnBind:   true,
+			CheckBoundUserOnUnbind: true,
+		},
+		IDs: IDScheme{Scheme: devid.SchemeRandom128, Seed: 0x5eed},
+	}
+}
+
+// RecommendedPractice is the design the paper's assessments recommend for
+// resource-constrained devices: dynamic device tokens obtained through the
+// user (Section IV-A) combined with capability-based binding authorization
+// (Section IV-B) — an app-initiated ACL bind with a DevToken alone still
+// leaves binding denial-of-service open, because any account can squat on
+// a leaked device ID first.
+func RecommendedPractice() Profile {
+	return Profile{
+		Vendor: "Reference", DeviceType: "DevToken + capability practice",
+		Design: core.DesignSpec{
+			Name:                   "reference-devtoken",
+			DeviceAuth:             core.AuthDevToken,
+			Binding:                core.BindCapability,
+			UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
+			CheckBoundUserOnBind:   true,
+			CheckBoundUserOnUnbind: true,
+		},
+		IDs: IDScheme{Scheme: devid.SchemeRandom128, Seed: 0xcafe},
+	}
+}
+
+// WorstCase is a strawman that combines every flawed choice the paper
+// observed: static-ID authentication, no authorization checks, a
+// device-ID-only unbind, and replace-on-bind semantics. The analyzer
+// derives the full Table II attack surface from it.
+func WorstCase() Profile {
+	return Profile{
+		Vendor: "Reference", DeviceType: "Worst case",
+		Design: core.DesignSpec{
+			Name:       "reference-worst",
+			DeviceAuth: core.AuthDevID,
+			Binding:    core.BindACLApp,
+			UnbindForms: []core.UnbindForm{
+				core.UnbindDevIDUserToken,
+				core.UnbindDevIDAlone,
+			},
+			SessionTiedBinding: false,
+			ReplaceOnBind:      true,
+			OnlineBeforeBind:   true,
+		},
+		IDs: IDScheme{Scheme: devid.SchemeShortDigits, Digits: 6},
+	}
+}
+
+// ByVendor returns the Table III profile with the given vendor name.
+func ByVendor(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Vendor == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

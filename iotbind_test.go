@@ -1,0 +1,201 @@
+package iotbind_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+// TestPublicAPILifecycle drives the whole public surface the way a
+// downstream user would: build a cloud for a vendor design, wire networks
+// and agents, run the binding life cycle, launch an attack, and render a
+// report.
+func TestPublicAPILifecycle(t *testing.T) {
+	profile, ok := iotbind.ByVendor("D-LINK")
+	if !ok {
+		t.Fatal("no D-LINK profile")
+	}
+	design := profile.Design
+
+	gen, err := profile.IDs.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimID, err := gen.Generate(1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	registry := iotbind.NewRegistry()
+	if err := registry.Add(iotbind.DeviceRecord{ID: victimID, FactorySecret: "s", Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	cloud, err := iotbind.NewCloud(design, registry, iotbind.WithCloudClock(func() time.Time { return now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	home := iotbind.NewNetwork("home", "203.0.113.7")
+	homeTransport := iotbind.StampSource(cloud, home.PublicIP())
+
+	dev, err := iotbind.NewDevice(iotbind.DeviceConfig{
+		ID: victimID, FactorySecret: "s", LocalName: "plug", Model: "plug",
+	}, design, homeTransport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Join(dev); err != nil {
+		t.Fatal(err)
+	}
+
+	user, err := iotbind.NewApp("user@example.com", "pw", design, homeTransport, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := user.RegisterAccount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Login(); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.SetupDevice("plug", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := user.Control(victimID, iotbind.Command{ID: "1", Name: "turn_on"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Executed(); len(got) != 1 {
+		t.Fatalf("executed = %+v", got)
+	}
+
+	// A remote attacker abuses the lax unbinding... D-LINK checks, so
+	// the forged unbind must fail.
+	lair := iotbind.NewNetwork("lair", "198.51.100.66")
+	atk, err := iotbind.NewAttacker("evil@example.com", "pw", design, iotbind.StampSource(cloud, lair.PublicIP()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.ForgeUnbind(victimID, iotbind.UnbindDevIDUserToken); !errors.Is(err, iotbind.ErrNotPermitted) {
+		t.Errorf("forged unbind = %v, want ErrNotPermitted", err)
+	}
+	// But a forged status message passes DevId authentication (A1).
+	if _, err := atk.ForgeStatus(victimID, iotbind.StatusHeartbeat, nil); err != nil {
+		t.Errorf("forged status = %v, want success on a DevId design", err)
+	}
+}
+
+// TestPublicAPIAnalysisAndReports exercises the analyzer and rendering
+// surface.
+func TestPublicAPIAnalysisAndReports(t *testing.T) {
+	rows, err := iotbind.DeriveTaxonomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Errorf("taxonomy rows = %d, want 9", len(rows))
+	}
+
+	worst := iotbind.WorstCase()
+	findings := iotbind.PredictAll(worst.Design)
+	succeeded := 0
+	for _, f := range findings {
+		if f.Outcome == iotbind.OutcomeSucceeded {
+			succeeded++
+		}
+	}
+	if succeeded < 4 {
+		t.Errorf("worst case has only %d successful attacks", succeeded)
+	}
+
+	var b strings.Builder
+	if err := iotbind.WriteFindings(&b, worst.Design, findings); err != nil {
+		t.Fatal(err)
+	}
+	if err := iotbind.WriteStateMachine(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := iotbind.WriteNotationTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := iotbind.WriteTaxonomy(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() == 0 {
+		t.Error("no report output")
+	}
+}
+
+// TestPublicAPIEvaluate runs one live evaluation through the façade.
+func TestPublicAPIEvaluate(t *testing.T) {
+	p, ok := iotbind.ByVendor("E-Link Smart")
+	if !ok {
+		t.Fatal("no E-Link profile")
+	}
+	res, err := iotbind.Evaluate(p.Design, iotbind.VariantA4x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != iotbind.OutcomeSucceeded {
+		t.Errorf("A4-1 on E-Link = %v (%s), want ✓", res.Outcome, res.Detail)
+	}
+
+	vr, err := iotbind.EvaluateVendor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iotbind.MatchesPaper(vr.Row, p.Paper) {
+		t.Errorf("E-Link row does not match paper: %+v", vr.Row)
+	}
+}
+
+// TestPublicAPIIDSchemes exercises the devid surface.
+func TestPublicAPIIDSchemes(t *testing.T) {
+	gen, err := iotbind.NewShortDigitsGenerator(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := iotbind.EstimateEnumeration(gen, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.WithinHour {
+		t.Errorf("6-digit sweep %v not within an hour", est.FullSweep)
+	}
+	var b strings.Builder
+	if err := iotbind.WriteSearchSpace(&b, []iotbind.EnumerationEstimate{est}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateMachineFacade covers the re-exported model.
+func TestStateMachineFacade(t *testing.T) {
+	m := iotbind.NewMachine()
+	if _, err := m.Apply(iotbind.EventStatus); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(iotbind.EventBind); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != iotbind.StateControl {
+		t.Errorf("state = %v, want control", m.State())
+	}
+	if _, err := iotbind.Next(iotbind.StateInitial, iotbind.EventUnbind); !errors.Is(err, iotbind.ErrInvalidTransition) {
+		t.Errorf("Next error = %v", err)
+	}
+	if len(iotbind.Figure2Edges()) != 6 || len(iotbind.TransitionTable()) != 10 {
+		t.Error("figure-2 edge counts wrong")
+	}
+	if len(iotbind.AllAttackVariants()) != 9 {
+		t.Error("variant count wrong")
+	}
+}
