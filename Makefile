@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector; the sharded cloud
+# hot path and the parallel campaign sweep are exercised directly by
+# internal/cloud/concurrency_test.go and the campaign worker tests.
+race:
+	$(GO) test -race ./...
+
+# bench compiles and smoke-runs every benchmark (100 iterations, no unit
+# tests) so perf regressions in the hot path are caught by CI, not just
+# by hand-run comparisons.
+bench:
+	$(GO) test -bench=. -benchtime=100x -run='^$$' ./...
+
+# ci is the tier-1+ verification gate: vet, build, the full suite under
+# the race detector, and a benchmark smoke run.
+ci: vet build race bench

@@ -25,6 +25,11 @@ func Predict(d DesignSpec, v AttackVariant) Finding { return analysis.Predict(d,
 // PredictAll evaluates every Table II variant against a design.
 func PredictAll(d DesignSpec) []Finding { return analysis.PredictAll(d) }
 
+// PredictMany evaluates every Table II variant against each design
+// concurrently, returning findings in the input order. Output is
+// identical to calling PredictAll per design.
+func PredictMany(designs []DesignSpec) [][]Finding { return analysis.PredictMany(designs) }
+
 // DeriveTaxonomy regenerates Table II from the device-shadow state
 // machine, returning an error if the taxonomy were inconsistent with it.
 func DeriveTaxonomy() ([]TaxonomyRow, error) { return analysis.DeriveTaxonomy() }
@@ -60,6 +65,13 @@ func WorstCase() Profile { return vendors.WorstCase() }
 // EvaluateVendor runs the full attack suite against a vendor profile and
 // collapses the outcomes into a Table III row.
 func EvaluateVendor(p Profile) (VendorResult, error) { return testbed.EvaluateVendor(p) }
+
+// EvaluateVendors runs the full attack suite against each profile
+// concurrently — the parallel Table III regeneration. Rows come back in
+// the input order and match a sequential sweep exactly.
+func EvaluateVendors(profiles []Profile) ([]VendorResult, error) {
+	return testbed.EvaluateVendors(profiles)
+}
 
 // MatchesPaper compares a measured row with the published row.
 func MatchesPaper(measured, published PaperRow) bool {

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"net"
 	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,6 +225,7 @@ func BenchmarkTable3Evaluation(b *testing.B) {
 		p := p
 		b.Run(fmt.Sprintf("%02d-%s", p.Number, p.Vendor), func(b *testing.B) {
 			var successes int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				vr, err := iotbind.EvaluateVendor(p)
 				if err != nil {
@@ -346,6 +349,8 @@ func BenchmarkAblationPolicyFlags(b *testing.B) {
 			design := hardened()
 			a.mutate(&design)
 			var successes int
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results, err := iotbind.EvaluateAll(design)
 				if err != nil {
@@ -375,6 +380,7 @@ func BenchmarkSecureVsInsecure(b *testing.B) {
 		p := p
 		b.Run(p.Design.Name, func(b *testing.B) {
 			var successes int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				results, err := iotbind.EvaluateAll(p.Design)
 				if err != nil {
@@ -405,6 +411,7 @@ func BenchmarkAttackDiscovery(b *testing.B) {
 		p := p
 		b.Run(p.Design.Name, func(b *testing.B) {
 			var found int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				attacks, err := iotbind.DiscoverAttacks(p.Design, 2)
 				if err != nil {
@@ -467,6 +474,8 @@ func BenchmarkCampaignExposure(b *testing.B) {
 		Observations: []time.Duration{time.Second, 5 * time.Second, 10 * time.Second},
 	}
 	var fraction float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		points, err := iotbind.RunCampaign(cfg)
 		if err != nil {
@@ -484,6 +493,7 @@ func BenchmarkHardening(b *testing.B) {
 		p := p
 		b.Run(p.Design.Name, func(b *testing.B) {
 			var steps int
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				plan, err := iotbind.RecommendHardening(p.Design)
 				if err != nil {
@@ -553,6 +563,148 @@ func provisioning() (p iotbind.Provisioning) {
 	p.WiFiSSID = "home"
 	p.WiFiPassword = "pw"
 	return p
+}
+
+// benchFleetCloud builds a cloud with n registered devices and one
+// logged-in user, for the fleet-concurrency benchmarks.
+func benchFleetCloud(b *testing.B, design iotbind.DesignSpec, n int) (*iotbind.Cloud, []string, string) {
+	b.Helper()
+	registry := iotbind.NewRegistry()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("AA:BB:CC:%02X:%02X:%02X", (i>>16)&0xFF, (i>>8)&0xFF, i&0xFF)
+		if err := registry.Add(iotbind.DeviceRecord{ID: ids[i], FactorySecret: benchSecret, Model: "plug"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc, err := iotbind.NewCloud(design, registry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.RegisterUser(iotbind.RegisterUserRequest{UserID: "u@example.com", Password: "pw"}); err != nil {
+		b.Fatal(err)
+	}
+	login, err := svc.Login(iotbind.LoginRequest{UserID: "u@example.com", Password: "pw"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc, ids, login.UserToken
+}
+
+// BenchmarkParallelStatusStorm hammers the cloud with concurrent
+// heartbeats across a fleet of devices — the hot path the sharded shadow
+// store parallelizes. Each goroutine heartbeats its own device, so under
+// per-device locking the handlers never contend.
+func BenchmarkParallelStatusStorm(b *testing.B) {
+	const devices = 64
+	svc, ids, _ := benchFleetCloud(b, benchDesign(iotbind.AuthDevID, iotbind.BindACLApp), devices)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := ids[int(next.Add(1))%devices]
+		req := iotbind.StatusRequest{Kind: iotbind.StatusHeartbeat, DeviceID: id}
+		for pb.Next() {
+			if _, err := svc.HandleStatus(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelBindChurn cycles bind/unbind on per-goroutine devices
+// concurrently — the mixed mutation storm of a fleet-scale occupation
+// campaign hitting one cloud.
+func BenchmarkParallelBindChurn(b *testing.B) {
+	const devices = 64
+	svc, ids, userToken := benchFleetCloud(b, benchDesign(iotbind.AuthDevID, iotbind.BindACLApp), devices)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := ids[int(next.Add(1))%devices]
+		for pb.Next() {
+			if _, err := svc.HandleBind(iotbind.BindRequest{DeviceID: id, UserToken: userToken}); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.HandleUnbind(iotbind.UnbindRequest{DeviceID: id, UserToken: userToken}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelMixedFleet interleaves heartbeats, binds, controls and
+// stats snapshots across a fleet — the closest benchmark to production
+// traffic shape.
+func BenchmarkParallelMixedFleet(b *testing.B) {
+	const devices = 64
+	svc, ids, userToken := benchFleetCloud(b, benchDesign(iotbind.AuthDevID, iotbind.BindACLApp), devices)
+	for _, id := range ids {
+		if _, err := svc.HandleStatus(iotbind.StatusRequest{Kind: iotbind.StatusRegister, DeviceID: id}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.HandleBind(iotbind.BindRequest{DeviceID: id, UserToken: userToken}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := ids[int(next.Add(1))%devices]
+		var i int
+		for pb.Next() {
+			switch i % 4 {
+			case 0, 1:
+				if _, err := svc.HandleStatus(iotbind.StatusRequest{Kind: iotbind.StatusHeartbeat, DeviceID: id}); err != nil {
+					b.Fatal(err)
+				}
+			case 2:
+				if _, err := svc.HandleControl(iotbind.ControlRequest{
+					DeviceID: id, UserToken: userToken,
+					Command: iotbind.Command{ID: "c", Name: "poke"},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			case 3:
+				_ = svc.Stats()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCampaignSweepWorkers measures the fleet-exposure campaign at
+// increasing worker-pool sizes — the parallel sweep mode that lets the
+// attack emulation saturate the sharded cloud.
+func BenchmarkCampaignSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			gen, err := iotbind.NewShortDigitsGenerator(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := mustVendor(b, "D-LINK")
+			cfg := iotbind.CampaignConfig{
+				Design: p.Design, Fleet: gen, Candidates: gen,
+				FleetSize: 50, RatePerSecond: 1000, Workers: workers,
+				Observations: []time.Duration{time.Second, 5 * time.Second, 10 * time.Second},
+			}
+			var fraction float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				points, err := iotbind.RunCampaign(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fraction = points[len(points)-1].Fraction
+			}
+			b.ReportMetric(fraction*100, "fleet-pct")
+		})
+	}
 }
 
 // BenchmarkHTTPStatusRoundTrip measures a device heartbeat through the

@@ -60,13 +60,9 @@ func run(vendor string, detail, asJSON bool) error {
 		detail = true
 	}
 
-	results := make([]iotbind.VendorResult, 0, len(profiles))
-	for _, p := range profiles {
-		vr, err := iotbind.EvaluateVendor(p)
-		if err != nil {
-			return fmt.Errorf("evaluate %s: %w", p.Vendor, err)
-		}
-		results = append(results, vr)
+	results, err := iotbind.EvaluateVendors(profiles)
+	if err != nil {
+		return fmt.Errorf("evaluate: %w", err)
 	}
 
 	if asJSON {

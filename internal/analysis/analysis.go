@@ -13,6 +13,9 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/iotbind/iotbind/internal/core"
 )
@@ -62,6 +65,42 @@ func PredictAll(d core.DesignSpec) []Finding {
 		findings = append(findings, Predict(d, v))
 	}
 	return findings
+}
+
+// PredictMany evaluates every Table II variant against each design
+// concurrently, returning findings in the input order. The designs are
+// independent — the prediction rules are pure functions of the spec — so
+// a Table II/III regeneration over a design sweep scales with the
+// available CPUs. Output is identical to calling PredictAll per design.
+func PredictMany(designs []core.DesignSpec) [][]Finding {
+	out := make([][]Finding, len(designs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(designs) {
+		workers = len(designs)
+	}
+	if workers <= 1 {
+		for i, d := range designs {
+			out[i] = PredictAll(d)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(designs) {
+					return
+				}
+				out[i] = PredictAll(designs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // ---- shared predicates -------------------------------------------------

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/attacker"
@@ -43,6 +44,14 @@ type Config struct {
 	RatePerSecond float64
 	// Observations are the elapsed times to report at (ascending).
 	Observations []time.Duration
+	// Workers is the number of concurrent sweep workers. Zero or one
+	// runs the sweep sequentially; larger values partition each
+	// observation's probe budget into contiguous index ranges swept in
+	// parallel — the fleet-concurrency mode a sharded cloud admits. The
+	// occupation curve is identical at every worker count: every
+	// candidate index is probed exactly once and per-device outcomes are
+	// independent, so the merged counts are deterministic.
+	Workers int
 }
 
 // Point is the campaign state at one observation time.
@@ -104,13 +113,13 @@ func Run(cfg Config) ([]Point, error) {
 		budget := uint64(at.Seconds() * cfg.RatePerSecond)
 		if budget > cursor {
 			chunk := budget - cursor
-			result, err := atk.SweepBindDoS(cfg.Candidates, cursor, chunk)
+			tried, hits, err := sweepChunk(atk, cfg, cursor, chunk)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: sweep at %v: %w", at, err)
 			}
-			occupied += len(result.Occupied)
-			cursor += result.Tried
-			if result.Tried < chunk {
+			occupied += hits
+			cursor += tried
+			if tried < chunk {
 				// The candidate space is exhausted; the cursor saturates.
 				cursor = budget
 			}
@@ -140,6 +149,63 @@ func WriteTable(w io.Writer, title string, points []Point) error {
 	b.WriteString("\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// sweepChunk probes the candidate range [start, start+count) and returns
+// how many indexes were actually tried (short when the space ends) and
+// how many fleet bindings were occupied. With cfg.Workers > 1 the range
+// is partitioned into contiguous sub-ranges swept concurrently; each
+// worker's per-range totals are merged in worker order, so the result is
+// identical to a sequential sweep.
+func sweepChunk(atk *attacker.Attacker, cfg Config, start, count uint64) (uint64, int, error) {
+	workers := cfg.Workers
+	if workers > 1 && uint64(workers) > count {
+		workers = int(count)
+	}
+	if workers <= 1 {
+		result, err := atk.SweepBindDoS(cfg.Candidates, start, count)
+		return result.Tried, len(result.Occupied), err
+	}
+
+	type sweepOut struct {
+		result attacker.SweepResult
+		err    error
+	}
+	outs := make([]sweepOut, workers)
+	share := count / uint64(workers)
+	extra := count % uint64(workers)
+	var (
+		wg   sync.WaitGroup
+		next = start
+	)
+	for w := 0; w < workers; w++ {
+		span := share
+		if uint64(w) < extra {
+			span++
+		}
+		wStart := next
+		next += span
+		wg.Add(1)
+		go func(w int, wStart, span uint64) {
+			defer wg.Done()
+			result, err := atk.SweepBindDoS(cfg.Candidates, wStart, span)
+			outs[w] = sweepOut{result: result, err: err}
+		}(w, wStart, span)
+	}
+	wg.Wait()
+
+	var (
+		tried uint64
+		hits  int
+	)
+	for _, out := range outs {
+		if out.err != nil {
+			return tried, hits, out.err
+		}
+		tried += out.result.Tried
+		hits += len(out.result.Occupied)
+	}
+	return tried, hits, nil
 }
 
 func min64(a, b uint64) uint64 {

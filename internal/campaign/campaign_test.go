@@ -161,3 +161,46 @@ func TestWriteTable(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignWorkersDeterministic: the parallel sweep partitions each
+// observation's probe budget across workers but must reproduce the
+// sequential exposure curve bit-for-bit at every worker count.
+func TestCampaignWorkersDeterministic(t *testing.T) {
+	gen, err := devid.NewShortDigitsGenerator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := campaign.Config{
+		Design:        dlinkDesign(t),
+		Fleet:         gen,
+		Candidates:    gen,
+		FleetSize:     40,
+		RatePerSecond: 100,
+		Observations: []time.Duration{
+			10 * time.Second,
+			50 * time.Second,
+			100 * time.Second,
+			200 * time.Second,
+		},
+	}
+	want, err := campaign.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := campaign.Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d point %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

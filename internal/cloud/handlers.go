@@ -5,13 +5,14 @@ import (
 )
 
 // The exported handler surface wraps the handler cores with activity
-// counting so Stats reflects every accepted and rejected operation.
+// counting so Stats reflects every accepted and rejected operation. The
+// counters are lock-free atomics, so counting never serializes handlers.
 
 // RegisterUser creates a user account.
 func (s *Service) RegisterUser(req protocol.RegisterUserRequest) error {
 	err := s.registerUser(req)
 	if err == nil {
-		s.statsBox.add(func(st *Stats) { st.UsersRegistered++ })
+		s.stats.usersRegistered.Add(1)
 	}
 	return err
 }
@@ -19,9 +20,7 @@ func (s *Service) RegisterUser(req protocol.RegisterUserRequest) error {
 // Login authenticates a user and issues a UserToken.
 func (s *Service) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
 	resp, err := s.login(req)
-	s.countOutcome(err,
-		func(st *Stats) { st.Logins++ },
-		func(st *Stats) { st.LoginFailures++ })
+	s.countOutcome(err, &s.stats.logins, &s.stats.loginFailures)
 	return resp, err
 }
 
@@ -32,7 +31,7 @@ func (s *Service) Login(req protocol.LoginRequest) (protocol.LoginResponse, erro
 func (s *Service) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
 	resp, err := s.requestDeviceToken(req)
 	if err == nil {
-		s.statsBox.add(func(st *Stats) { st.DeviceTokensIssued++ })
+		s.stats.deviceTokensIssued.Add(1)
 	}
 	return resp, err
 }
@@ -43,7 +42,7 @@ func (s *Service) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.
 func (s *Service) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
 	resp, err := s.requestBindToken(req)
 	if err == nil {
-		s.statsBox.add(func(st *Stats) { st.BindTokensIssued++ })
+		s.stats.bindTokensIssued.Add(1)
 	}
 	return resp, err
 }
@@ -53,9 +52,7 @@ func (s *Service) RequestBindToken(req protocol.BindTokenRequest) (protocol.Bind
 // pending commands and user data.
 func (s *Service) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
 	resp, err := s.handleStatus(req)
-	s.countOutcome(err,
-		func(st *Stats) { st.StatusAccepted++ },
-		func(st *Stats) { st.StatusRejected++ })
+	s.countOutcome(err, &s.stats.statusAccepted, &s.stats.statusRejected)
 	return resp, err
 }
 
@@ -63,26 +60,20 @@ func (s *Service) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 // mechanism and policy checks (Figure 4 / Sections IV-B, V-C, V-E).
 func (s *Service) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
 	resp, err := s.handleBind(req)
-	s.countOutcome(err,
-		func(st *Stats) { st.BindsAccepted++ },
-		func(st *Stats) { st.BindsRejected++ })
+	s.countOutcome(err, &s.stats.bindsAccepted, &s.stats.bindsRejected)
 	return resp, err
 }
 
 // HandleUnbind processes a binding-revocation message (Section IV-C).
 func (s *Service) HandleUnbind(req protocol.UnbindRequest) error {
 	err := s.handleUnbind(req)
-	s.countOutcome(err,
-		func(st *Stats) { st.UnbindsAccepted++ },
-		func(st *Stats) { st.UnbindsRejected++ })
+	s.countOutcome(err, &s.stats.unbindsAccepted, &s.stats.unbindsRejected)
 	return err
 }
 
 // HandleControl relays a command from the bound user to the device.
 func (s *Service) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
 	resp, err := s.handleControl(req)
-	s.countOutcome(err,
-		func(st *Stats) { st.ControlsQueued++ },
-		func(st *Stats) { st.ControlsRejected++ })
+	s.countOutcome(err, &s.stats.controlsQueued, &s.stats.controlsRejected)
 	return resp, err
 }

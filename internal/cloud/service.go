@@ -4,7 +4,6 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
@@ -28,14 +27,20 @@ const (
 
 // Service is one vendor's emulated IoT cloud. All methods are safe for
 // concurrent use.
+//
+// The per-device hot path is sharded: device shadows live in a
+// power-of-two-sharded store (see shadowStore) and each shadow carries
+// its own lock, so handlers for different devices run fully in parallel.
+// Accounts, tokens and activity counters each have independent
+// synchronization (RWMutex, RWMutex, lock-free atomics), so no global
+// lock exists anywhere on the request path.
 type Service struct {
 	design   core.DesignSpec
 	registry *Registry
 
-	mu       sync.Mutex
 	accounts *accountStore
 	issuer   *token.Issuer
-	shadows  map[string]*shadow
+	store    *shadowStore
 
 	now               func() time.Time
 	randomHex         func() (string, error)
@@ -44,7 +49,7 @@ type Service struct {
 	readingsRetention int
 	userTokenTTL      time.Duration
 
-	statsBox statsBox
+	stats statCounters
 }
 
 // Option configures a Service.
@@ -101,7 +106,7 @@ func NewService(design core.DesignSpec, registry *Registry, opts ...Option) (*Se
 		design:   design,
 		registry: registry,
 		accounts: newAccountStore(),
-		shadows:  make(map[string]*shadow),
+		store:    newShadowStore(),
 		now:      time.Now,
 		randomHex: func() (string, error) {
 			var b [16]byte
@@ -200,14 +205,14 @@ func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 		return protocol.StatusResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := s.now()
 	sh.refresh(now, s.heartbeatTTL)
 
 	// Device authentication (Figure 3 / Section IV-A).
-	owner, err := s.authenticateDeviceLocked(rec, req)
+	owner, err := s.authenticateDevice(rec, req)
 	if err != nil {
 		return protocol.StatusResponse{}, err
 	}
@@ -242,7 +247,7 @@ func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	// and revoke the existing binding (the device #8 behaviour that
 	// enables A3-4).
 	if s.design.SessionTiedBinding && req.Kind == protocol.StatusRegister && sh.state().BoundToUser() {
-		s.revokeBindingLocked(sh)
+		s.revokeBinding(sh)
 	}
 
 	sh.markOnline(now)
@@ -288,13 +293,13 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 		return protocol.BindResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := s.now()
 	sh.refresh(now, s.heartbeatTTL)
 
-	user, err := s.bindUserLocked(rec, req)
+	user, err := s.bindUser(rec, req)
 	if err != nil {
 		return protocol.BindResponse{}, err
 	}
@@ -317,8 +322,8 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 			// Replace the previous binding — either the explicit Type 3
 			// design or a cloud that blindly manipulates bindings
 			// (Section V-E, A4-1).
-			s.statsBox.add(func(st *Stats) { st.BindingsReplaced++ })
-			s.revokeBindingLocked(sh)
+			s.stats.bindingsReplaced.Add(1)
+			s.revokeBinding(sh)
 		}
 	}
 
@@ -341,9 +346,9 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 		return fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.refresh(s.now(), s.heartbeatTTL)
 
 	form := core.UnbindDevIDUserToken
@@ -365,7 +370,7 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 			return fmt.Errorf("cloud: unbind by non-owner: %w", protocol.ErrNotPermitted)
 		}
 	}
-	s.revokeBindingLocked(sh)
+	s.revokeBinding(sh)
 	return nil
 }
 
@@ -375,9 +380,9 @@ func (s *Service) handleControl(req protocol.ControlRequest) (protocol.ControlRe
 		return protocol.ControlResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.refresh(s.now(), s.heartbeatTTL)
 
 	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
@@ -419,9 +424,9 @@ func (s *Service) PushUserData(req protocol.PushUserDataRequest) error {
 	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
 		return fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
 	if err != nil {
 		return fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
@@ -438,9 +443,9 @@ func (s *Service) Readings(req protocol.ReadingsRequest) (protocol.ReadingsRespo
 	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
 		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
 	if err != nil {
 		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
@@ -460,9 +465,9 @@ func (s *Service) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowS
 	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
 		return protocol.ShadowStateResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.refresh(s.now(), s.heartbeatTTL)
 	return protocol.ShadowStateResponse{State: sh.state(), BoundUser: sh.boundUser}, nil
 }
@@ -470,18 +475,20 @@ func (s *Service) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowS
 // ShadowTrace returns the state-machine trace of a device shadow, for
 // experiment reporting.
 func (s *Service) ShadowTrace(deviceID string) []core.Transition {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh, ok := s.shadows[deviceID]
+	sh, ok := s.store.peek(deviceID)
 	if !ok {
 		return nil
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return sh.machine.Trace()
 }
 
-// authenticateDeviceLocked applies the design's device-authentication mode
+// authenticateDevice applies the design's device-authentication mode
 // to a status message, returning the owning account for token-based modes.
-func (s *Service) authenticateDeviceLocked(rec DeviceRecord, req protocol.StatusRequest) (string, error) {
+// It touches no shadow state; callers hold the target shadow's lock only
+// to serialize the surrounding status handling.
+func (s *Service) authenticateDevice(rec DeviceRecord, req protocol.StatusRequest) (string, error) {
 	switch s.design.EffectiveAuth() {
 	case core.AuthDevID:
 		// Static-identifier authentication: possession of the device ID
@@ -505,9 +512,10 @@ func (s *Service) authenticateDeviceLocked(rec DeviceRecord, req protocol.Status
 	}
 }
 
-// bindUserLocked resolves the user a bind request speaks for, under the
-// design's binding mechanism.
-func (s *Service) bindUserLocked(rec DeviceRecord, req protocol.BindRequest) (string, error) {
+// bindUser resolves the user a bind request speaks for, under the
+// design's binding mechanism. Account and token state have their own
+// synchronization; callers hold the target shadow's lock.
+func (s *Service) bindUser(rec DeviceRecord, req protocol.BindRequest) (string, error) {
 	switch s.design.Binding {
 	case core.BindACLApp:
 		userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
@@ -537,18 +545,11 @@ func (s *Service) bindUserLocked(rec DeviceRecord, req protocol.BindRequest) (st
 	}
 }
 
-// revokeBindingLocked clears a binding and retires its session tokens.
-func (s *Service) revokeBindingLocked(sh *shadow) {
+// revokeBinding clears a binding and retires its session tokens. The
+// caller holds sh's lock; the issuer's own lock nests inside it (shadow
+// -> issuer is the only cross-structure nesting on the hot path, and the
+// issuer never calls back into shadows, so the order cannot invert).
+func (s *Service) revokeBinding(sh *shadow) {
 	s.issuer.RevokeSubject(token.KindSession, sh.deviceID)
 	sh.unbind()
-}
-
-// shadowLocked fetches or creates the shadow for a registered device.
-func (s *Service) shadowLocked(deviceID string) *shadow {
-	sh, ok := s.shadows[deviceID]
-	if !ok {
-		sh = newShadow(deviceID)
-		s.shadows[deviceID] = sh
-	}
-	return sh
 }

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"sync"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
@@ -9,8 +10,13 @@ import (
 
 // shadow is the cloud-side representation of one device: its state-machine
 // position plus the bookkeeping the design-specific policy checks consult.
-// Shadows are guarded by the Service mutex.
+// Each shadow carries its own lock: handlers serialize per device, never
+// across devices. mu nests strictly inside the owning shard's lock (see
+// shadowStore) and may wrap calls into the token issuer, but never into
+// another shadow or back into a shard.
 type shadow struct {
+	mu sync.Mutex
+
 	deviceID string
 	machine  *core.Machine
 

@@ -20,9 +20,9 @@ func (s *Service) HandleShare(req protocol.ShareRequest) error {
 		return fmt.Errorf("cloud: guest %q: %w", req.Guest, protocol.ErrBadRequest)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	sh.refresh(s.now(), s.heartbeatTTL)
 
 	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
@@ -56,9 +56,9 @@ func (s *Service) Shares(req protocol.SharesRequest) (protocol.SharesResponse, e
 		return protocol.SharesResponse{}, fmt.Errorf("cloud: %q: %w", req.DeviceID, protocol.ErrUnknownDevice)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sh := s.shadowLocked(req.DeviceID)
+	sh := s.store.get(req.DeviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
 	if err != nil {

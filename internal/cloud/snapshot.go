@@ -53,28 +53,28 @@ type ShadowSnapshot struct {
 	Readings     []protocol.Reading  `json:"readings,omitempty"`
 }
 
-// Snapshot captures the service's full state.
+// Snapshot captures the service's full state. With the sharded store the
+// capture is per-device consistent (each shadow is copied under its own
+// lock) rather than a single cross-device atomic cut; concurrent traffic
+// on device A may or may not appear alongside a simultaneously captured
+// device B. Quiesce traffic for a bit-exact global image.
 func (s *Service) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	snap := Snapshot{
 		Version:    SnapshotVersion,
 		DesignName: s.design.Name,
 		TakenAt:    s.now(),
 		Accounts:   s.accounts.export(),
 		Tokens:     s.issuer.Export(),
-		Stats:      s.statsBox.snapshot(),
+		Stats:      s.stats.snapshot(),
 	}
 	sort.Slice(snap.Tokens, func(i, j int) bool { return snap.Tokens[i].Value < snap.Tokens[j].Value })
 
-	ids := make([]string, 0, len(s.shadows))
-	for id := range s.shadows {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		sh := s.shadows[id]
+	for _, id := range s.store.ids() {
+		sh, ok := s.store.peek(id)
+		if !ok {
+			continue
+		}
+		sh.mu.Lock()
 		ss := ShadowSnapshot{
 			DeviceID:     sh.deviceID,
 			State:        sh.state(),
@@ -92,6 +92,7 @@ func (s *Service) Snapshot() Snapshot {
 		for g := range sh.guests {
 			ss.Guests = append(ss.Guests, g)
 		}
+		sh.mu.Unlock()
 		sort.Strings(ss.Guests)
 		snap.Shadows = append(snap.Shadows, ss)
 	}
@@ -151,16 +152,12 @@ func (s *Service) Restore(snap Snapshot) error {
 		shadows[ss.DeviceID] = sh
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.issuer.Import(snap.Tokens); err != nil {
 		return fmt.Errorf("cloud: restore tokens: %w", err)
 	}
 	s.accounts.replace(snap.Accounts)
-	s.shadows = shadows
-	s.statsBox.mu.Lock()
-	s.statsBox.stats = snap.Stats
-	s.statsBox.mu.Unlock()
+	s.store.replaceAll(shadows)
+	s.stats.restore(snap.Stats)
 	return nil
 }
 

@@ -1,6 +1,6 @@
 package cloud
 
-import "sync"
+import "sync/atomic"
 
 // Stats is a snapshot of cloud activity counters — the observability
 // surface an operator (or an intrusion analyst reproducing the paper's
@@ -24,35 +24,70 @@ type Stats struct {
 	ControlsQueued, ControlsRejected int64
 }
 
-// statsBox guards the counters independently of the shadow lock so
-// account operations can count without contending with device traffic.
-type statsBox struct {
-	mu    sync.Mutex
-	stats Stats
+// statCounters are the live counters behind Stats, kept as plain atomics
+// so counting never contends with traffic — a handler bumps its counter
+// with one lock-free add, and Stats() assembles a snapshot from
+// individual atomic loads. The snapshot is therefore per-counter atomic,
+// not cross-counter: a concurrent reader may observe an accepted bind
+// before the replaced-binding counter it implies. Totals are exact once
+// traffic quiesces.
+type statCounters struct {
+	usersRegistered                                atomic.Int64
+	logins, loginFailures                          atomic.Int64
+	deviceTokensIssued, bindTokensIssued           atomic.Int64
+	statusAccepted, statusRejected                 atomic.Int64
+	bindsAccepted, bindsRejected, bindingsReplaced atomic.Int64
+	unbindsAccepted, unbindsRejected               atomic.Int64
+	controlsQueued, controlsRejected               atomic.Int64
 }
 
-func (b *statsBox) add(f func(*Stats)) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	f(&b.stats)
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		UsersRegistered:    c.usersRegistered.Load(),
+		Logins:             c.logins.Load(),
+		LoginFailures:      c.loginFailures.Load(),
+		DeviceTokensIssued: c.deviceTokensIssued.Load(),
+		BindTokensIssued:   c.bindTokensIssued.Load(),
+		StatusAccepted:     c.statusAccepted.Load(),
+		StatusRejected:     c.statusRejected.Load(),
+		BindsAccepted:      c.bindsAccepted.Load(),
+		BindsRejected:      c.bindsRejected.Load(),
+		BindingsReplaced:   c.bindingsReplaced.Load(),
+		UnbindsAccepted:    c.unbindsAccepted.Load(),
+		UnbindsRejected:    c.unbindsRejected.Load(),
+		ControlsQueued:     c.controlsQueued.Load(),
+		ControlsRejected:   c.controlsRejected.Load(),
+	}
 }
 
-func (b *statsBox) snapshot() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+// restore overwrites the live counters from a persisted snapshot.
+func (c *statCounters) restore(s Stats) {
+	c.usersRegistered.Store(s.UsersRegistered)
+	c.logins.Store(s.Logins)
+	c.loginFailures.Store(s.LoginFailures)
+	c.deviceTokensIssued.Store(s.DeviceTokensIssued)
+	c.bindTokensIssued.Store(s.BindTokensIssued)
+	c.statusAccepted.Store(s.StatusAccepted)
+	c.statusRejected.Store(s.StatusRejected)
+	c.bindsAccepted.Store(s.BindsAccepted)
+	c.bindsRejected.Store(s.BindsRejected)
+	c.bindingsReplaced.Store(s.BindingsReplaced)
+	c.unbindsAccepted.Store(s.UnbindsAccepted)
+	c.unbindsRejected.Store(s.UnbindsRejected)
+	c.controlsQueued.Store(s.ControlsQueued)
+	c.controlsRejected.Store(s.ControlsRejected)
 }
 
 // Stats returns a snapshot of the service's activity counters.
 func (s *Service) Stats() Stats {
-	return s.statsBox.snapshot()
+	return s.stats.snapshot()
 }
 
 // countOutcome bumps ok on nil error and fail otherwise.
-func (s *Service) countOutcome(err error, ok, fail func(*Stats)) {
+func (s *Service) countOutcome(err error, ok, fail *atomic.Int64) {
 	if err == nil {
-		s.statsBox.add(ok)
+		ok.Add(1)
 		return
 	}
-	s.statsBox.add(fail)
+	fail.Add(1)
 }

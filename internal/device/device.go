@@ -402,6 +402,25 @@ func (d *Device) Executed() []protocol.Command {
 	return out
 }
 
+// ExecutedSince returns a copy of the commands executed at index n or
+// later. Incremental consumers (the hub's command router) use it to read
+// only the fresh tail instead of copying the whole history every cycle.
+// An n at or past the end — including after a factory reset truncated
+// the history — yields nil.
+func (d *Device) ExecutedSince(n int) []protocol.Command {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(d.executed) {
+		return nil
+	}
+	out := make([]protocol.Command, len(d.executed)-n)
+	copy(out, d.executed[n:])
+	return out
+}
+
 // ReceivedData returns the user data delivered to the device.
 func (d *Device) ReceivedData() []protocol.UserData {
 	d.mu.Lock()

@@ -103,10 +103,14 @@ func (s *SubDevice) execute(cmd protocol.Command) {
 
 // Hub bridges a personal-area network of SubDevices to the cloud through
 // an ordinary device agent.
+// The hub lock guards only the PAN roster and routing bookkeeping; each
+// SubDevice carries its own lock, so collection and command execution
+// fan out per node without holding the hub-wide lock. Readers of the
+// roster (Sync, Subs, HubExecuted) take the lock shared.
 type Hub struct {
 	dev *device.Device
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	subs       map[string]*SubDevice
 	permitJoin bool
 	routed     int // how many hub-executed commands have been routed
@@ -160,8 +164,8 @@ func (h *Hub) Unpair(name string) {
 
 // Subs lists the paired node names, sorted.
 func (h *Hub) Subs() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	names := make([]string, 0, len(h.subs))
 	for name := range h.subs {
 		names = append(names, name)
@@ -172,8 +176,8 @@ func (h *Hub) Subs() []string {
 
 // HubExecuted returns the commands addressed to the hub itself.
 func (h *Hub) HubExecuted() []protocol.Command {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]protocol.Command, len(h.hubCmds))
 	copy(out, h.hubCmds)
 	return out
@@ -185,12 +189,12 @@ func (h *Hub) HubExecuted() []protocol.Command {
 // the hub's binding was replaced) returns the cloud error; nothing is
 // routed.
 func (h *Hub) Sync() error {
-	h.mu.Lock()
+	h.mu.RLock()
 	subs := make([]*SubDevice, 0, len(h.subs))
 	for _, s := range h.subs {
 		subs = append(subs, s)
 	}
-	h.mu.Unlock()
+	h.mu.RUnlock()
 
 	for _, s := range subs {
 		for _, r := range s.collect() {
@@ -209,11 +213,14 @@ func (h *Hub) Sync() error {
 // last sync. Commands with an unknown target are dropped with an error
 // (the real device logs and ignores them).
 func (h *Hub) routeNewCommands() error {
-	all := h.dev.Executed()
-
+	// ExecutedSince copies only the commands delivered since the last
+	// sync, so a long-lived hub never re-copies its full history. The
+	// cursor advances under the hub lock, which keeps concurrent syncs
+	// from routing the same command twice; device locks nest inside hub
+	// locks, never the other way.
 	h.mu.Lock()
-	fresh := all[h.routed:]
-	h.routed = len(all)
+	fresh := h.dev.ExecutedSince(h.routed)
+	h.routed += len(fresh)
 	subs := make(map[string]*SubDevice, len(h.subs))
 	for name, s := range h.subs {
 		subs[name] = s
@@ -221,12 +228,11 @@ func (h *Hub) routeNewCommands() error {
 	h.mu.Unlock()
 
 	var firstErr error
+	var forHub []protocol.Command
 	for _, cmd := range fresh {
 		target := cmd.Args[TargetArg]
 		if target == "" {
-			h.mu.Lock()
-			h.hubCmds = append(h.hubCmds, cmd)
-			h.mu.Unlock()
+			forHub = append(forHub, cmd)
 			continue
 		}
 		s, ok := subs[target]
@@ -237,6 +243,11 @@ func (h *Hub) routeNewCommands() error {
 			continue
 		}
 		s.execute(cmd)
+	}
+	if len(forHub) > 0 {
+		h.mu.Lock()
+		h.hubCmds = append(h.hubCmds, forHub...)
+		h.mu.Unlock()
 	}
 	return firstErr
 }

@@ -2,6 +2,9 @@ package testbed
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/protocol"
@@ -84,6 +87,53 @@ func EvaluateVendor(p vendors.Profile) (VendorResult, error) {
 		return VendorResult{}, fmt.Errorf("testbed: vendor %s: %w", p.Vendor, err)
 	}
 	return VendorResult{Profile: p, Results: results, Row: CollapseRow(results)}, nil
+}
+
+// EvaluateVendors runs the full attack suite against each profile
+// concurrently and returns the rows in the input order — the parallel
+// Table III regeneration. Every profile gets fresh testbeds (one per
+// variant, exactly as EvaluateVendor builds them), so the runs share no
+// state; results are identical to a sequential sweep. The first error
+// aborts the sweep and is returned.
+func EvaluateVendors(profiles []vendors.Profile) ([]VendorResult, error) {
+	out := make([]VendorResult, len(profiles))
+	errs := make([]error, len(profiles))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(profiles) {
+		workers = len(profiles)
+	}
+	if workers <= 1 {
+		for i, p := range profiles {
+			vr, err := EvaluateVendor(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = vr
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(profiles) {
+					return
+				}
+				out[i], errs[i] = EvaluateVendor(profiles[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // CollapseRow folds per-variant results into the Table III cell format:

@@ -138,3 +138,28 @@ func TestByVendor(t *testing.T) {
 		t.Error("ByVendor(Nonesuch) found a profile")
 	}
 }
+
+// TestEvaluateVendorsMatchesSequential: the concurrent Table III
+// regeneration reproduces the sequential sweep row for row.
+func TestEvaluateVendorsMatchesSequential(t *testing.T) {
+	profiles := vendors.Profiles()
+	got, err := EvaluateVendors(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(profiles) {
+		t.Fatalf("EvaluateVendors returned %d rows, want %d", len(got), len(profiles))
+	}
+	for i, p := range profiles {
+		want, err := EvaluateVendor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Profile.Vendor != p.Vendor {
+			t.Errorf("row %d is vendor %s, want %s (order must match input)", i, got[i].Profile.Vendor, p.Vendor)
+		}
+		if !MatchesPaper(got[i].Row, want.Row) {
+			t.Errorf("vendor %s: concurrent row %+v != sequential row %+v", p.Vendor, got[i].Row, want.Row)
+		}
+	}
+}

@@ -85,13 +85,15 @@ var (
 	ErrExpired = errors.New("token: expired")
 )
 
-// Issuer issues and verifies tokens. It is safe for concurrent use.
+// Issuer issues and verifies tokens. It is safe for concurrent use: the
+// verify path (the per-message hot path on the cloud) takes only a read
+// lock, so concurrent verifications never serialize against each other —
+// only against issuance and revocation.
 type Issuer struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	tokens map[string]Token
 	now    func() time.Time
 	random func([]byte) error
-	serial uint64
 }
 
 // Option configures an Issuer.
@@ -156,8 +158,8 @@ func (i *Issuer) Issue(kind Kind, owner, subject string, ttl time.Duration) (Tok
 // Verify checks that value is a live token of the given kind and returns
 // its metadata. Comparison against the stored credential is constant-time.
 func (i *Issuer) Verify(kind Kind, value string) (Token, error) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	i.mu.RLock()
+	defer i.mu.RUnlock()
 	tok, ok := i.lookupLocked(value)
 	if !ok {
 		return Token{}, ErrUnknownToken
@@ -197,8 +199,8 @@ func (i *Issuer) RevokeSubject(kind Kind, subject string) int {
 // Export returns every live token, for persistence. The order is
 // unspecified.
 func (i *Issuer) Export() []Token {
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	i.mu.RLock()
+	defer i.mu.RUnlock()
 	out := make([]Token, 0, len(i.tokens))
 	for _, tok := range i.tokens {
 		out = append(out, tok)
@@ -225,15 +227,15 @@ func (i *Issuer) Import(tokens []Token) error {
 
 // Len reports how many live tokens the issuer currently tracks.
 func (i *Issuer) Len() int {
-	i.mu.Lock()
-	defer i.mu.Unlock()
+	i.mu.RLock()
+	defer i.mu.RUnlock()
 	return len(i.tokens)
 }
 
 // lookupLocked finds the token for value using a constant-time comparison
 // over candidate keys, so the emulated cloud does not leak token prefixes
 // through timing (the property the paper's "random data" credentials rely
-// on). i.mu must be held.
+// on). i.mu must be held, at least for reading.
 func (i *Issuer) lookupLocked(value string) (Token, bool) {
 	// Map lookup alone would be variable-time on the key; compare the
 	// stored copy explicitly in constant time as the final gate.
@@ -255,12 +257,9 @@ func (i *Issuer) freshValue() (string, error) {
 			return "", fmt.Errorf("read entropy: %w", err)
 		}
 		value := hex.EncodeToString(buf[:])
-		i.mu.Lock()
+		i.mu.RLock()
 		_, exists := i.tokens[value]
-		if !exists {
-			i.serial++
-		}
-		i.mu.Unlock()
+		i.mu.RUnlock()
 		if !exists {
 			return value, nil
 		}
