@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build fmt vet test race bench ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +30,7 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=100x -run='^$$' ./...
 
-# ci is the tier-1+ verification gate: vet, build, the full suite under
-# the race detector, and a benchmark smoke run.
-ci: vet build race bench
+# ci is the tier-1+ verification gate: formatting, vet, build, the full
+# suite under the race detector (including the fault-injection, retry
+# and binding-under-loss tests), and a benchmark smoke run.
+ci: fmt vet build race bench

@@ -17,6 +17,7 @@ import (
 	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/localnet"
 	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/retry"
 	"github.com/iotbind/iotbind/internal/transport"
 )
 
@@ -55,6 +56,9 @@ type App struct {
 	userToken   string
 	sessions    map[string]string // deviceID -> post-binding session token
 	preBindHook func()
+
+	retryPolicy *retry.Policy
+	retrier     *retry.Transport
 }
 
 // Option configures an App.
@@ -83,6 +87,13 @@ func WithPreBindHook(hook func()) Option {
 	return optionFunc(func(a *App) { a.preBindHook = hook })
 }
 
+// WithRetry makes the app re-send failed cloud calls under the policy
+// (see package retry), so logins, binds, unbinds and control survive
+// transient transport failures. Close aborts any in-flight backoff wait.
+func WithRetry(p retry.Policy) Option {
+	return optionFunc(func(a *App) { a.retryPolicy = &p })
+}
+
 // New creates an app for a user account on the given home network.
 func New(userID, password string, design core.DesignSpec, cloud transport.Cloud, network *localnet.Network, opts ...Option) (*App, error) {
 	if err := design.Validate(); err != nil {
@@ -104,7 +115,23 @@ func New(userID, password string, design core.DesignSpec, cloud transport.Cloud,
 	for _, o := range opts {
 		o.apply(a)
 	}
+	if a.retryPolicy != nil && a.cloud != nil {
+		a.retrier = retry.Wrap(a.cloud, *a.retryPolicy)
+		a.cloud = a.retrier
+	}
 	return a, nil
+}
+
+// Close releases the app's transport-side resources: an in-flight retry
+// backoff is aborted and no further retries are attempted. The app stays
+// usable — each later call still gets one delivery attempt.
+func (a *App) Close() {
+	a.mu.Lock()
+	r := a.retrier
+	a.mu.Unlock()
+	if r != nil {
+		r.Close()
+	}
 }
 
 // UserID returns the account the app is logged into.

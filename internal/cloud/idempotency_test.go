@@ -1,0 +1,168 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// countBinds tallies accepted bind transitions in a device's trace.
+func countBinds(svc *Service, deviceID string) int {
+	n := 0
+	for _, tr := range svc.ShadowTrace(deviceID) {
+		if tr.Event == core.EventBind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBindIdempotencyReplay proves a redelivered bind is answered from the
+// log verbatim: same response, no second state transition, dedup counted.
+func TestBindIdempotencyReplay(t *testing.T) {
+	svc, _, victim, _ := newTestService(t, devIDDesign())
+
+	first, err := svc.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, IdempotencyKey: "k1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := svc.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, IdempotencyKey: "k1",
+	})
+	if err != nil {
+		t.Fatalf("redelivered bind: %v", err)
+	}
+	if replay != first {
+		t.Errorf("replayed response %+v differs from recorded %+v", replay, first)
+	}
+	if got := countBinds(svc, testDevice); got != 1 {
+		t.Errorf("bind transitions = %d, want 1", got)
+	}
+	if got := svc.Stats().BindsDeduplicated; got != 1 {
+		t.Errorf("BindsDeduplicated = %d, want 1", got)
+	}
+}
+
+// TestBindReplaySurvivesSingleUseToken is the reason replay must run
+// before credential evaluation: a capability bind token is revoked on
+// first acceptance, so re-evaluating the redelivery would reject a bind
+// that already succeeded.
+func TestBindReplaySurvivesSingleUseToken(t *testing.T) {
+	d := devIDDesign()
+	d.Name = "capability-replay"
+	d.Binding = core.BindCapability
+	svc, _, victim, _ := newTestService(t, d)
+
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	tok, err := svc.RequestBindToken(protocol.BindTokenRequest{UserToken: victim, DeviceID: testDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := protocol.BindRequest{
+		DeviceID: testDevice, BindToken: tok.BindToken,
+		BindProof: protocol.BindProof(testSecret, tok.BindToken),
+		Sender:    core.SenderDevice, IdempotencyKey: "cap-1",
+	}
+	first, err := svc.HandleBind(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token is now revoked; only the idempotency log can answer the
+	// redelivery.
+	replay, err := svc.HandleBind(req)
+	if err != nil {
+		t.Fatalf("redelivery after token revocation: %v", err)
+	}
+	if replay != first {
+		t.Errorf("replayed response %+v differs from recorded %+v", replay, first)
+	}
+	// A genuinely new bind with the spent token still fails.
+	fresh := req
+	fresh.IdempotencyKey = "cap-2"
+	if _, err := svc.HandleBind(fresh); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("token reuse under a new key = %v, want ErrAuthFailed", err)
+	}
+	if got := countBinds(svc, testDevice); got != 1 {
+		t.Errorf("bind transitions = %d, want 1", got)
+	}
+}
+
+// TestUnbindIdempotencyReplay proves the redelivered unbind reports the
+// recorded success instead of ErrNotBound, and that failed attempts are
+// never recorded — a retry after a rejection re-evaluates honestly.
+func TestUnbindIdempotencyReplay(t *testing.T) {
+	svc, _, victim, attacker := newTestService(t, devIDDesign())
+
+	if _, err := svc.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, IdempotencyKey: "b1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A rejected unbind (wrong user) must not poison its key: the
+	// redelivery re-evaluates and is rejected again.
+	atk := protocol.UnbindRequest{DeviceID: testDevice, UserToken: attacker, IdempotencyKey: "u-atk"}
+	if err := svc.HandleUnbind(atk); err == nil {
+		t.Fatal("attacker unbind accepted")
+	}
+	if err := svc.HandleUnbind(atk); err == nil {
+		t.Fatal("attacker unbind accepted on redelivery")
+	}
+
+	owner := protocol.UnbindRequest{DeviceID: testDevice, UserToken: victim, IdempotencyKey: "u1"}
+	if err := svc.HandleUnbind(owner); err != nil {
+		t.Fatal(err)
+	}
+	// Without the log this redelivery would see an unbound device and fail
+	// with ErrNotBound — the exact spurious error retries must not surface.
+	if err := svc.HandleUnbind(owner); err != nil {
+		t.Errorf("redelivered unbind = %v, want recorded success", err)
+	}
+	if got := svc.Stats().UnbindsDeduplicated; got != 1 {
+		t.Errorf("UnbindsDeduplicated = %d, want 1", got)
+	}
+	// The key is operation-scoped: a bind redelivered under the unbind's
+	// key must not replay the unbind's record.
+	if _, err := svc.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, IdempotencyKey: "u1",
+	}); err != nil {
+		t.Errorf("bind under an unbind's key = %v, want a real bind", err)
+	}
+	if got := countBinds(svc, testDevice); got != 2 {
+		t.Errorf("bind transitions = %d, want 2", got)
+	}
+}
+
+// TestIdempotencyLogEviction proves the per-shadow log is bounded: the
+// oldest record is evicted FIFO past the cap, and the map and order slice
+// stay consistent.
+func TestIdempotencyLogEviction(t *testing.T) {
+	sh := &shadow{}
+	for i := 0; i < maxIdemResults+10; i++ {
+		sh.recordIdem(fmt.Sprintf("k%d", i), idemResult{isBind: true})
+	}
+	if len(sh.idemResults) != maxIdemResults || len(sh.idemOrder) != maxIdemResults {
+		t.Fatalf("log size = %d/%d entries, want %d", len(sh.idemResults), len(sh.idemOrder), maxIdemResults)
+	}
+	if _, ok := sh.replayIdem("k0", true); ok {
+		t.Error("oldest record survived past the cap")
+	}
+	if _, ok := sh.replayIdem(fmt.Sprintf("k%d", maxIdemResults+9), true); !ok {
+		t.Error("newest record missing")
+	}
+	// Re-recording an existing key must not duplicate it in the order.
+	sh.recordIdem(fmt.Sprintf("k%d", maxIdemResults+9), idemResult{isBind: true})
+	if len(sh.idemOrder) != maxIdemResults {
+		t.Errorf("order grew to %d on re-record", len(sh.idemOrder))
+	}
+	// Empty keys are never recorded.
+	sh.recordIdem("", idemResult{isBind: true})
+	if _, ok := sh.replayIdem("", true); ok {
+		t.Error("empty key recorded")
+	}
+}

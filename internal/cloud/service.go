@@ -299,6 +299,15 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 	now := s.now()
 	sh.refresh(now, s.heartbeatTTL)
 
+	// A redelivered bind replays its recorded response without touching
+	// state or re-evaluating credentials — the first delivery may have
+	// consumed a single-use capability token, so re-evaluation would
+	// wrongly reject the retry of a bind that already succeeded.
+	if r, ok := sh.replayIdem(req.IdempotencyKey, true); ok {
+		s.stats.bindsDeduplicated.Add(1)
+		return r.bind, nil
+	}
+
 	user, err := s.bindUser(rec, req)
 	if err != nil {
 		return protocol.BindResponse{}, err
@@ -337,6 +346,7 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 		sh.sessionToken = sess.Value
 		resp.SessionToken = sess.Value
 	}
+	sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, bind: resp})
 	return resp, nil
 }
 
@@ -350,6 +360,14 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.refresh(s.now(), s.heartbeatTTL)
+
+	// A redelivered unbind whose first delivery already revoked the
+	// binding reports success again instead of ErrNotBound, so a retrying
+	// agent cannot misread its own lost response as a failed revocation.
+	if _, ok := sh.replayIdem(req.IdempotencyKey, false); ok {
+		s.stats.unbindsDeduplicated.Add(1)
+		return nil
+	}
 
 	form := core.UnbindDevIDUserToken
 	if req.UserToken == "" {
@@ -371,6 +389,7 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 		}
 	}
 	s.revokeBinding(sh)
+	sh.recordIdem(req.IdempotencyKey, idemResult{})
 	return nil
 }
 

@@ -65,6 +65,29 @@ type shadow struct {
 
 	// readings holds sensor samples the cloud accepted from "the device".
 	readings []protocol.Reading
+
+	// idemResults replays the outcome of accepted Bind/Unbind requests to
+	// retried deliveries carrying the same idempotency key, making the
+	// agents' at-least-once retry layer exactly-once for binding
+	// mutations. Only successes are recorded: a failed attempt mutated
+	// nothing, so redelivering it re-evaluates honestly. The log is
+	// transport-recovery state, not binding state — it survives unbind
+	// (the unbind's own replay record must outlive the revocation) and is
+	// bounded by maxIdemResults with FIFO eviction (idemOrder).
+	idemResults map[string]idemResult
+	idemOrder   []string
+}
+
+// maxIdemResults bounds the per-shadow idempotency log. A retry layer
+// needs a window of only its in-flight requests; 256 outlives any sane
+// redelivery horizon while keeping shadows small.
+const maxIdemResults = 256
+
+// idemResult is one recorded Bind/Unbind outcome. isBind distinguishes the
+// operation so a key can never replay across operation types.
+type idemResult struct {
+	isBind bool
+	bind   protocol.BindResponse
 }
 
 func newShadow(deviceID string) *shadow {
@@ -115,6 +138,38 @@ func (s *shadow) unbind() {
 	if s.state().BoundToUser() {
 		_, _ = s.machine.Apply(core.EventUnbind)
 	}
+}
+
+// recordIdem stores an accepted Bind/Unbind outcome under its idempotency
+// key, evicting the oldest record past the cap.
+func (s *shadow) recordIdem(key string, r idemResult) {
+	if key == "" {
+		return
+	}
+	if s.idemResults == nil {
+		s.idemResults = make(map[string]idemResult)
+	}
+	if _, exists := s.idemResults[key]; !exists {
+		s.idemOrder = append(s.idemOrder, key)
+		if len(s.idemOrder) > maxIdemResults {
+			delete(s.idemResults, s.idemOrder[0])
+			s.idemOrder = s.idemOrder[1:]
+		}
+	}
+	s.idemResults[key] = r
+}
+
+// replayIdem returns the recorded outcome for a key, matched against the
+// operation type.
+func (s *shadow) replayIdem(key string, isBind bool) (idemResult, bool) {
+	if key == "" {
+		return idemResult{}, false
+	}
+	r, ok := s.idemResults[key]
+	if !ok || r.isBind != isBind {
+		return idemResult{}, false
+	}
+	return r, true
 }
 
 // drainForDevice hands the pending commands and user data to whatever

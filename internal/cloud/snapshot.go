@@ -17,8 +17,11 @@ const SnapshotVersion = 1
 
 // Snapshot is the cloud's full persisted state: accounts, live
 // credentials, per-device shadows and the activity counters. It restores
-// into a service built for the same design; state-machine traces are not
-// persisted.
+// into a service built for the same design; state-machine traces and the
+// per-shadow idempotency replay log are not persisted (the log is
+// transport-recovery state — a restored cloud may re-execute a request
+// retried across the restore, exactly like a real failover without a
+// replicated dedup table).
 type Snapshot struct {
 	// Version is the format version.
 	Version int `json:"version"`

@@ -18,8 +18,13 @@ type Stats struct {
 	// BindingsReplaced counts accepted binds that displaced a previous
 	// binding (the replace-on-bind path attackers abuse).
 	BindsAccepted, BindsRejected, BindingsReplaced int64
-	// UnbindsAccepted and UnbindsRejected count binding revocations.
-	UnbindsAccepted, UnbindsRejected int64
+	// BindsDeduplicated counts redelivered binds answered from the
+	// idempotency log instead of being executed again.
+	BindsDeduplicated int64
+	// UnbindsAccepted and UnbindsRejected count binding revocations;
+	// UnbindsDeduplicated counts redelivered unbinds answered from the
+	// idempotency log.
+	UnbindsAccepted, UnbindsRejected, UnbindsDeduplicated int64
 	// ControlsQueued and ControlsRejected count control relay outcomes.
 	ControlsQueued, ControlsRejected int64
 }
@@ -32,31 +37,34 @@ type Stats struct {
 // before the replaced-binding counter it implies. Totals are exact once
 // traffic quiesces.
 type statCounters struct {
-	usersRegistered                                atomic.Int64
-	logins, loginFailures                          atomic.Int64
-	deviceTokensIssued, bindTokensIssued           atomic.Int64
-	statusAccepted, statusRejected                 atomic.Int64
-	bindsAccepted, bindsRejected, bindingsReplaced atomic.Int64
-	unbindsAccepted, unbindsRejected               atomic.Int64
-	controlsQueued, controlsRejected               atomic.Int64
+	usersRegistered                                       atomic.Int64
+	logins, loginFailures                                 atomic.Int64
+	deviceTokensIssued, bindTokensIssued                  atomic.Int64
+	statusAccepted, statusRejected                        atomic.Int64
+	bindsAccepted, bindsRejected, bindingsReplaced        atomic.Int64
+	bindsDeduplicated                                     atomic.Int64
+	unbindsAccepted, unbindsRejected, unbindsDeduplicated atomic.Int64
+	controlsQueued, controlsRejected                      atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		UsersRegistered:    c.usersRegistered.Load(),
-		Logins:             c.logins.Load(),
-		LoginFailures:      c.loginFailures.Load(),
-		DeviceTokensIssued: c.deviceTokensIssued.Load(),
-		BindTokensIssued:   c.bindTokensIssued.Load(),
-		StatusAccepted:     c.statusAccepted.Load(),
-		StatusRejected:     c.statusRejected.Load(),
-		BindsAccepted:      c.bindsAccepted.Load(),
-		BindsRejected:      c.bindsRejected.Load(),
-		BindingsReplaced:   c.bindingsReplaced.Load(),
-		UnbindsAccepted:    c.unbindsAccepted.Load(),
-		UnbindsRejected:    c.unbindsRejected.Load(),
-		ControlsQueued:     c.controlsQueued.Load(),
-		ControlsRejected:   c.controlsRejected.Load(),
+		UsersRegistered:     c.usersRegistered.Load(),
+		Logins:              c.logins.Load(),
+		LoginFailures:       c.loginFailures.Load(),
+		DeviceTokensIssued:  c.deviceTokensIssued.Load(),
+		BindTokensIssued:    c.bindTokensIssued.Load(),
+		StatusAccepted:      c.statusAccepted.Load(),
+		StatusRejected:      c.statusRejected.Load(),
+		BindsAccepted:       c.bindsAccepted.Load(),
+		BindsRejected:       c.bindsRejected.Load(),
+		BindingsReplaced:    c.bindingsReplaced.Load(),
+		BindsDeduplicated:   c.bindsDeduplicated.Load(),
+		UnbindsAccepted:     c.unbindsAccepted.Load(),
+		UnbindsRejected:     c.unbindsRejected.Load(),
+		UnbindsDeduplicated: c.unbindsDeduplicated.Load(),
+		ControlsQueued:      c.controlsQueued.Load(),
+		ControlsRejected:    c.controlsRejected.Load(),
 	}
 }
 
@@ -72,8 +80,10 @@ func (c *statCounters) restore(s Stats) {
 	c.bindsAccepted.Store(s.BindsAccepted)
 	c.bindsRejected.Store(s.BindsRejected)
 	c.bindingsReplaced.Store(s.BindingsReplaced)
+	c.bindsDeduplicated.Store(s.BindsDeduplicated)
 	c.unbindsAccepted.Store(s.UnbindsAccepted)
 	c.unbindsRejected.Store(s.UnbindsRejected)
+	c.unbindsDeduplicated.Store(s.UnbindsDeduplicated)
 	c.controlsQueued.Store(s.ControlsQueued)
 	c.controlsRejected.Store(s.ControlsRejected)
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/localnet"
 	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/retry"
 	"github.com/iotbind/iotbind/internal/transport"
 )
 
@@ -57,7 +58,9 @@ type Device struct {
 	executed        []protocol.Command
 	received        []protocol.UserData
 
-	now func() time.Time
+	now         func() time.Time
+	retryPolicy *retry.Policy
+	retrier     *retry.Transport
 }
 
 var _ localnet.Responder = (*Device)(nil)
@@ -79,6 +82,14 @@ func WithClock(now func() time.Time) Option {
 // WithFirmware sets the reported firmware version.
 func WithFirmware(v string) Option {
 	return optionFunc(func(d *Device) { d.firmware = v })
+}
+
+// WithRetry makes the device re-send failed cloud calls under the policy
+// (see package retry): heartbeats, registrations, binds and unbinds
+// recover from transient transport failures instead of surfacing them.
+// Close aborts any in-flight backoff wait.
+func WithRetry(p retry.Policy) Option {
+	return optionFunc(func(d *Device) { d.retryPolicy = &p })
 }
 
 // Config identifies one manufactured device.
@@ -117,7 +128,24 @@ func New(cfg Config, design core.DesignSpec, cloud transport.Cloud, opts ...Opti
 	for _, o := range opts {
 		o.apply(d)
 	}
+	if d.retryPolicy != nil && d.cloud != nil {
+		d.retrier = retry.Wrap(d.cloud, *d.retryPolicy)
+		d.cloud = d.retrier
+	}
 	return d, nil
+}
+
+// Close releases the agent's transport-side resources: an in-flight retry
+// backoff is aborted and no further retries are attempted. The device
+// itself stays usable (each call still gets one delivery attempt), so a
+// powered-off emulated device can simply stop being driven.
+func (d *Device) Close() {
+	d.mu.Lock()
+	r := d.retrier
+	d.mu.Unlock()
+	if r != nil {
+		r.Close()
+	}
 }
 
 // ID returns the device identifier — the value printed on the label that

@@ -7,10 +7,17 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/transport"
 )
+
+// DefaultTimeout bounds every request a Client makes unless overridden.
+// Without it a stalled server would park the calling agent forever —
+// http.DefaultClient has no timeout — and one hung heartbeat would freeze
+// a whole emulated fleet.
+const DefaultTimeout = 15 * time.Second
 
 // Client talks to a Server over HTTP and implements transport.Cloud, so
 // device agents, apps and attackers can run unchanged against a remote
@@ -31,16 +38,23 @@ type clientOptionFunc func(*Client)
 
 func (f clientOptionFunc) apply(c *Client) { f(c) }
 
-// WithHTTPClient overrides the underlying *http.Client.
+// WithHTTPClient overrides the underlying *http.Client. The caller owns
+// the client's timeout configuration — no default is imposed on it.
 func WithHTTPClient(h *http.Client) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.httpc = h })
+}
+
+// WithTimeout overrides the default per-request timeout. Zero disables the
+// timeout altogether (the pre-fix behaviour; useful only for debugging).
+func WithTimeout(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.httpc = &http.Client{Timeout: d} })
 }
 
 // NewClient creates a client for the cloud at baseURL.
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
 		baseURL: strings.TrimSuffix(baseURL, "/"),
-		httpc:   http.DefaultClient,
+		httpc:   &http.Client{Timeout: DefaultTimeout},
 	}
 	for _, o := range opts {
 		o.apply(c)
@@ -142,7 +156,10 @@ func (c *Client) post(route string, in, out any) error {
 	}
 	resp, err := c.httpc.Post(c.baseURL+route, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("httpapi: post %s: %w", route, err)
+		// Network-level failures (timeouts, refused connections, resets)
+		// wrap transport.ErrUnavailable so agents and retry policies
+		// classify them exactly like in-process injected faults.
+		return fmt.Errorf("httpapi: post %s: %w: %w", route, transport.ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
 

@@ -8,6 +8,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -42,16 +43,17 @@ type errorBody struct {
 
 // statusForCode attaches HTTP statuses to the shared protocol wire codes.
 var statusForCode = map[string]int{
-	"auth_failed":    http.StatusUnauthorized,
-	"unknown_device": http.StatusNotFound,
-	"already_bound":  http.StatusConflict,
-	"not_bound":      http.StatusConflict,
-	"not_permitted":  http.StatusForbidden,
-	"unsupported":    http.StatusBadRequest,
-	"outside_window": http.StatusForbidden,
-	"device_offline": http.StatusServiceUnavailable,
-	"user_exists":    http.StatusConflict,
-	"bad_request":    http.StatusBadRequest,
+	"auth_failed":       http.StatusUnauthorized,
+	"unknown_device":    http.StatusNotFound,
+	"already_bound":     http.StatusConflict,
+	"not_bound":         http.StatusConflict,
+	"not_permitted":     http.StatusForbidden,
+	"unsupported":       http.StatusBadRequest,
+	"outside_window":    http.StatusForbidden,
+	"device_offline":    http.StatusServiceUnavailable,
+	"user_exists":       http.StatusConflict,
+	"payload_too_large": http.StatusRequestEntityTooLarge,
+	"bad_request":       http.StatusBadRequest,
 }
 
 // Server adapts a transport.Cloud to HTTP.
@@ -212,6 +214,16 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
+		// An oversized body is the sender's mistake, not an unreadable
+		// one: answer 413 with the distinct payload_too_large code so the
+		// client surfaces protocol.ErrPayloadTooLarge (which retry layers
+		// know not to redeliver) instead of a generic bad_request.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad_request", "unreadable body")
 		return false
 	}

@@ -142,6 +142,12 @@ type BindRequest struct {
 	BindProof string `json:"bind_proof,omitempty"`
 	// Sender reports which party claims to send the message.
 	Sender core.Sender `json:"sender"`
+	// IdempotencyKey, when present, identifies this logical request across
+	// transport-level redeliveries: the cloud records the response of an
+	// accepted bind under the key and replays it verbatim for a retried
+	// delivery instead of executing the binding again. Empty disables
+	// deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// SourceIP is the observed source address.
 	SourceIP string `json:"-"`
 }
@@ -165,6 +171,11 @@ type UnbindRequest struct {
 	UserToken string `json:"user_token,omitempty"`
 	// Sender reports which party claims to send the message.
 	Sender core.Sender `json:"sender"`
+	// IdempotencyKey identifies this logical revocation across
+	// redeliveries, like BindRequest.IdempotencyKey: a retried unbind
+	// whose first delivery already revoked the binding reports success
+	// instead of ErrNotBound. Empty disables deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// SourceIP is the observed source address.
 	SourceIP string `json:"-"`
 }
@@ -320,6 +331,10 @@ var (
 	ErrDeviceOffline = errors.New("protocol: device offline")
 	// ErrBadRequest covers malformed requests.
 	ErrBadRequest = errors.New("protocol: bad request")
+	// ErrPayloadTooLarge is returned when a request body exceeds a front
+	// end's size limit. It is not retryable: resending the same payload
+	// can never succeed.
+	ErrPayloadTooLarge = errors.New("protocol: payload too large")
 	// ErrUserExists is returned when registering a taken user ID.
 	ErrUserExists = errors.New("protocol: user already exists")
 )

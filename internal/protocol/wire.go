@@ -18,6 +18,7 @@ var wireCodes = []struct {
 	{ErrOutsideWindow, "outside_window"},
 	{ErrDeviceOffline, "device_offline"},
 	{ErrUserExists, "user_exists"},
+	{ErrPayloadTooLarge, "payload_too_large"},
 	{ErrBadRequest, "bad_request"},
 }
 

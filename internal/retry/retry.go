@@ -1,0 +1,270 @@
+// Package retry gives an agent's view of the cloud at-least-once delivery:
+// it wraps a transport.Cloud and re-sends failed calls under a capped
+// exponential backoff with seeded jitter, so heartbeats, binds and unbinds
+// survive a lossy network instead of failing on the first dropped packet.
+//
+// Retrying a mutation is only safe if redelivery cannot apply it twice, so
+// the wrapper stamps every Bind and Unbind request with a fresh
+// idempotency key (the same key across all attempts of one logical
+// request); the cloud deduplicates redeliveries by that key. Protocol
+// errors — the cloud's definitive application-level answers, recognized by
+// their wire codes — are never retried: only transport-level failures are.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// ErrClosed is returned (wrapping the last transport error, if any) when
+// the wrapper is closed while a call is waiting to retry.
+var ErrClosed = errors.New("retry: transport closed")
+
+// Default policy parameters.
+const (
+	// DefaultMaxAttempts bounds the total deliveries of one logical call.
+	DefaultMaxAttempts = 5
+	// DefaultBaseDelay is the first backoff interval.
+	DefaultBaseDelay = 50 * time.Millisecond
+	// DefaultMaxDelay caps the exponential growth.
+	DefaultMaxDelay = 2 * time.Second
+)
+
+// Policy describes one agent's retry behaviour.
+type Policy struct {
+	// MaxAttempts is the total number of deliveries per logical call,
+	// including the first (<= 1 means no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth. Zero means uncapped.
+	MaxDelay time.Duration
+	// Seed drives the jitter RNG (full jitter: each wait is uniform in
+	// [0, backoff]), keeping retry schedules reproducible.
+	Seed int64
+	// Retryable classifies errors; nil means DefaultRetryable.
+	Retryable func(error) bool
+	// Sleep waits between attempts; nil means a real Close-interruptible
+	// timer. Experiments inject a no-op or clock-advancing sleep.
+	Sleep func(time.Duration)
+}
+
+// Default returns the default policy with the given jitter seed.
+func Default(seed int64) Policy {
+	return Policy{
+		MaxAttempts: DefaultMaxAttempts,
+		BaseDelay:   DefaultBaseDelay,
+		MaxDelay:    DefaultMaxDelay,
+		Seed:        seed,
+	}
+}
+
+// DefaultRetryable retries transport-level failures only: any error that
+// carries a protocol wire code is the cloud's final answer for the
+// request, delivered intact — retrying it cannot change the outcome.
+func DefaultRetryable(err error) bool {
+	_, isProtocol := protocol.WireCode(err)
+	return !isProtocol
+}
+
+// instanceSeq numbers wrapper instances so idempotency keys from different
+// agents in one process can never collide.
+var instanceSeq atomic.Uint64
+
+// Transport wraps a transport.Cloud with the retry policy. It is safe for
+// concurrent use; Close is idempotent and aborts any in-flight backoff
+// waits.
+type Transport struct {
+	inner  transport.Cloud
+	policy Policy
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	keyPrefix string
+	keySeq    atomic.Uint64
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ transport.Cloud = (*Transport)(nil)
+
+// Wrap builds a retrying view of inner under the policy.
+func Wrap(inner transport.Cloud, p Policy) *Transport {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Retryable == nil {
+		p.Retryable = DefaultRetryable
+	}
+	return &Transport{
+		inner:     inner,
+		policy:    p,
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		keyPrefix: fmt.Sprintf("retry-%d", instanceSeq.Add(1)),
+		done:      make(chan struct{}),
+	}
+}
+
+// Close aborts in-flight backoff waits; subsequent calls still make one
+// delivery attempt but never wait to retry.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() { close(t.done) })
+}
+
+// nextKey mints an idempotency key for one logical mutation.
+func (t *Transport) nextKey() string {
+	return fmt.Sprintf("%s-%d", t.keyPrefix, t.keySeq.Add(1))
+}
+
+// backoff returns the jittered wait before retry number attempt (1-based).
+func (t *Transport) backoff(attempt int) time.Duration {
+	d := t.policy.BaseDelay << (attempt - 1)
+	if t.policy.MaxDelay > 0 && (d > t.policy.MaxDelay || d <= 0) {
+		d = t.policy.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return time.Duration(t.rng.Int63n(int64(d) + 1))
+}
+
+// wait sleeps for the backoff, returning false if the transport closed
+// first.
+func (t *Transport) wait(d time.Duration) bool {
+	if t.policy.Sleep != nil {
+		select {
+		case <-t.done:
+			return false
+		default:
+		}
+		t.policy.Sleep(d)
+		return true
+	}
+	if d <= 0 {
+		select {
+		case <-t.done:
+			return false
+		default:
+			return true
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.done:
+		return false
+	}
+}
+
+// do drives one logical call through the attempt loop.
+func do[T any](t *Transport, op string, call func() (T, error)) (T, error) {
+	var out T
+	var err error
+	for attempt := 1; ; attempt++ {
+		out, err = call()
+		if err == nil || !t.policy.Retryable(err) || attempt >= t.policy.MaxAttempts {
+			return out, err
+		}
+		if !t.wait(t.backoff(attempt)) {
+			var zero T
+			return zero, fmt.Errorf("retry: %s after %d attempts: %w (last: %w)", op, attempt, ErrClosed, err)
+		}
+	}
+}
+
+// doErr adapts do for response-less operations.
+func doErr(t *Transport, op string, call func() error) error {
+	_, err := do(t, op, func() (struct{}, error) { return struct{}{}, call() })
+	return err
+}
+
+// RegisterUser implements transport.Cloud.
+func (t *Transport) RegisterUser(req protocol.RegisterUserRequest) error {
+	return doErr(t, "register-user", func() error { return t.inner.RegisterUser(req) })
+}
+
+// Login implements transport.Cloud.
+func (t *Transport) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	return do(t, "login", func() (protocol.LoginResponse, error) { return t.inner.Login(req) })
+}
+
+// RequestDeviceToken implements transport.Cloud.
+func (t *Transport) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	return do(t, "device-token", func() (protocol.DeviceTokenResponse, error) { return t.inner.RequestDeviceToken(req) })
+}
+
+// RequestBindToken implements transport.Cloud.
+func (t *Transport) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	return do(t, "bind-token", func() (protocol.BindTokenResponse, error) { return t.inner.RequestBindToken(req) })
+}
+
+// HandleStatus implements transport.Cloud. Status messages are naturally
+// idempotent — re-marking a device online is a no-op — so they carry no
+// key. A redelivered heartbeat can still lose commands drained by a
+// delivery whose response vanished; agents re-issue unacknowledged
+// commands, mirroring real apps.
+func (t *Transport) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	return do(t, "status", func() (protocol.StatusResponse, error) { return t.inner.HandleStatus(req) })
+}
+
+// HandleBind implements transport.Cloud, stamping one idempotency key
+// across every delivery attempt of this logical bind.
+func (t *Transport) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = t.nextKey()
+	}
+	return do(t, "bind", func() (protocol.BindResponse, error) { return t.inner.HandleBind(req) })
+}
+
+// HandleUnbind implements transport.Cloud, stamping one idempotency key
+// across every delivery attempt of this logical unbind.
+func (t *Transport) HandleUnbind(req protocol.UnbindRequest) error {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = t.nextKey()
+	}
+	return doErr(t, "unbind", func() error { return t.inner.HandleUnbind(req) })
+}
+
+// HandleControl implements transport.Cloud.
+func (t *Transport) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	return do(t, "control", func() (protocol.ControlResponse, error) { return t.inner.HandleControl(req) })
+}
+
+// PushUserData implements transport.Cloud.
+func (t *Transport) PushUserData(req protocol.PushUserDataRequest) error {
+	return doErr(t, "user-data", func() error { return t.inner.PushUserData(req) })
+}
+
+// Readings implements transport.Cloud.
+func (t *Transport) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	return do(t, "readings", func() (protocol.ReadingsResponse, error) { return t.inner.Readings(req) })
+}
+
+// HandleShare implements transport.Cloud.
+func (t *Transport) HandleShare(req protocol.ShareRequest) error {
+	return doErr(t, "share", func() error { return t.inner.HandleShare(req) })
+}
+
+// Shares implements transport.Cloud.
+func (t *Transport) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	return do(t, "shares", func() (protocol.SharesResponse, error) { return t.inner.Shares(req) })
+}
+
+// ShadowState implements transport.Cloud.
+func (t *Transport) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	return do(t, "shadow", func() (protocol.ShadowStateResponse, error) { return t.inner.ShadowState(req) })
+}

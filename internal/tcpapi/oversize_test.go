@@ -1,0 +1,26 @@
+package tcpapi_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// TestOversizedFrameRoundTripsAsPayloadTooLarge proves the TCP front end
+// answers a frame past the 1 MiB bound with the same payload_too_large
+// wire code the HTTP front end uses, so the typed client surfaces
+// protocol.ErrPayloadTooLarge instead of an unexplained hangup.
+func TestOversizedFrameRoundTripsAsPayloadTooLarge(t *testing.T) {
+	client, _ := newTCPCloud(t)
+	defer client.Close()
+
+	_, err := client.Login(protocol.LoginRequest{
+		UserID:   strings.Repeat("x", 1<<21),
+		Password: "p",
+	})
+	if !errors.Is(err, protocol.ErrPayloadTooLarge) {
+		t.Errorf("oversized frame error = %v, want ErrPayloadTooLarge", err)
+	}
+}

@@ -19,6 +19,7 @@ package tcpapi
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -158,6 +159,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	// A frame past maxFrame is the sender's mistake: answer with the same
+	// payload_too_large code the HTTP front end uses before dropping the
+	// connection, so the client sees protocol.ErrPayloadTooLarge instead
+	// of an unexplained hangup.
+	if err := scanner.Err(); errors.Is(err, bufio.ErrTooLong) {
+		_ = enc.Encode(response{OK: false, Code: "payload_too_large",
+			Message: fmt.Sprintf("frame exceeds %d bytes", maxFrame)})
 	}
 }
 

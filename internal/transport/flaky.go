@@ -32,10 +32,16 @@ func NewFlaky(inner Cloud, failEvery int) *Flaky {
 	return &Flaky{inner: inner, failEvery: failEvery, err: ErrUnavailable}
 }
 
-// SetError overrides the injected error.
+// SetError overrides the injected error. A nil err restores the default
+// ErrUnavailable: injecting a literal nil would make tick wrap a nil
+// target, producing errors that satisfy err != nil but match nothing under
+// errors.Is — every ErrUnavailable caller would misclassify the outage.
 func (f *Flaky) SetError(err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrUnavailable
+	}
 	f.err = err
 }
 
