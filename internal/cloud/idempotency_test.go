@@ -149,10 +149,10 @@ func TestIdempotencyLogEviction(t *testing.T) {
 	if len(sh.idemResults) != maxIdemResults || len(sh.idemOrder) != maxIdemResults {
 		t.Fatalf("log size = %d/%d entries, want %d", len(sh.idemResults), len(sh.idemOrder), maxIdemResults)
 	}
-	if _, ok := sh.replayIdem("k0", true); ok {
+	if _, ok, _ := sh.replayIdem("k0", true, [32]byte{}); ok {
 		t.Error("oldest record survived past the cap")
 	}
-	if _, ok := sh.replayIdem(fmt.Sprintf("k%d", maxIdemResults+9), true); !ok {
+	if _, ok, _ := sh.replayIdem(fmt.Sprintf("k%d", maxIdemResults+9), true, [32]byte{}); !ok {
 		t.Error("newest record missing")
 	}
 	// Re-recording an existing key must not duplicate it in the order.
@@ -162,7 +162,154 @@ func TestIdempotencyLogEviction(t *testing.T) {
 	}
 	// Empty keys are never recorded.
 	sh.recordIdem("", idemResult{isBind: true})
-	if _, ok := sh.replayIdem("", true); ok {
+	if _, ok, _ := sh.replayIdem("", true, [32]byte{}); ok {
 		t.Error("empty key recorded")
+	}
+}
+
+// TestBindReplayRequiresMatchingRequest closes the replay oracle: a key is
+// not a credential, so a request carrying someone else's key but different
+// credential-bearing fields is rejected outright — it neither reads the
+// recorded response (and its session token) nor executes and overwrites
+// the record. The original sender's redelivery still replays afterwards.
+func TestBindReplayRequiresMatchingRequest(t *testing.T) {
+	d := devIDDesign()
+	d.Name = "replay-oracle"
+	d.PostBindingToken = true
+	svc, _, victim, attacker := newTestService(t, d)
+
+	victimReq := protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp, IdempotencyKey: "shared",
+	}
+	first, err := svc.HandleBind(victimReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SessionToken == "" {
+		t.Fatal("no session token issued")
+	}
+
+	// The attacker guessed (or collided on) the victim's key but presents
+	// their own credentials: rejected, nothing leaked, nothing recorded.
+	stolen, err := svc.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: attacker, Sender: core.SenderApp, IdempotencyKey: "shared",
+	})
+	if !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Fatalf("foreign request under victim's key = %v, want ErrAuthFailed", err)
+	}
+	if stolen.SessionToken != "" {
+		t.Fatalf("victim's session token leaked to a key collision")
+	}
+	if got := svc.Stats().BindsDeduplicated; got != 0 {
+		t.Errorf("BindsDeduplicated = %d after rejected collision, want 0", got)
+	}
+
+	// The victim's record is intact: their redelivery replays verbatim.
+	replay, err := svc.HandleBind(victimReq)
+	if err != nil {
+		t.Fatalf("victim redelivery after collision attempt: %v", err)
+	}
+	if replay != first {
+		t.Errorf("replayed response %+v differs from recorded %+v", replay, first)
+	}
+	if got := countBinds(svc, testDevice); got != 1 {
+		t.Errorf("bind transitions = %d, want 1", got)
+	}
+}
+
+// TestSameUserRebindRecordsReplay proves the idempotent same-user re-bind
+// branch records its outcome too: its first delivery consumes the fresh
+// capability token, so only the log can answer the redelivery — without
+// the record the retry would re-evaluate the spent token and fail with
+// auth_failed, the exact spurious failure the retry layer must not surface.
+func TestSameUserRebindRecordsReplay(t *testing.T) {
+	d := devIDDesign()
+	d.Name = "capability-rebind-replay"
+	d.Binding = core.BindCapability
+	svc, _, victim, _ := newTestService(t, d)
+
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	bindWith := func(key string) (protocol.BindRequest, protocol.BindResponse) {
+		t.Helper()
+		tok, err := svc.RequestBindToken(protocol.BindTokenRequest{UserToken: victim, DeviceID: testDevice})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := protocol.BindRequest{
+			DeviceID: testDevice, BindToken: tok.BindToken,
+			BindProof: protocol.BindProof(testSecret, tok.BindToken),
+			Sender:    core.SenderDevice, IdempotencyKey: key,
+		}
+		resp, err := svc.HandleBind(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req, resp
+	}
+
+	bindWith("first")
+	// Second logical bind by the same, already-bound user with a fresh
+	// token: accepted idempotently, token spent.
+	rebind, rebindResp := bindWith("second")
+
+	replay, err := svc.HandleBind(rebind)
+	if err != nil {
+		t.Fatalf("redelivered same-user re-bind = %v, want recorded success", err)
+	}
+	if replay != rebindResp {
+		t.Errorf("replayed response %+v differs from recorded %+v", replay, rebindResp)
+	}
+	if got := svc.Stats().BindsDeduplicated; got != 1 {
+		t.Errorf("BindsDeduplicated = %d, want 1", got)
+	}
+	if got := countBinds(svc, testDevice); got != 1 {
+		t.Errorf("bind transitions = %d, want 1", got)
+	}
+}
+
+// TestRejectedBindLeavesCapabilityTokenValid proves single-use consumption
+// happens only on full acceptance: a policy rejection (here the button
+// window) leaves the token valid, so a redelivery re-evaluates to the same
+// rejection code instead of drifting to auth_failed, and an honest retry
+// after the policy is satisfied can still succeed with the same token.
+func TestRejectedBindLeavesCapabilityTokenValid(t *testing.T) {
+	d := devIDDesign()
+	d.Name = "capability-button"
+	d.Binding = core.BindCapability
+	d.BindButtonWindow = true
+	svc, _, victim, _ := newTestService(t, d)
+
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	tok, err := svc.RequestBindToken(protocol.BindTokenRequest{UserToken: victim, DeviceID: testDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := protocol.BindRequest{
+		DeviceID: testDevice, BindToken: tok.BindToken,
+		BindProof: protocol.BindProof(testSecret, tok.BindToken),
+		Sender:    core.SenderDevice, IdempotencyKey: "btn-1",
+	}
+
+	// No button pressed: rejected, and the redelivery sees the same
+	// rejection, not auth_failed on a spent token.
+	if _, err := svc.HandleBind(req); !errors.Is(err, protocol.ErrOutsideWindow) {
+		t.Fatalf("bind without button = %v, want ErrOutsideWindow", err)
+	}
+	if _, err := svc.HandleBind(req); !errors.Is(err, protocol.ErrOutsideWindow) {
+		t.Fatalf("redelivered rejected bind = %v, want ErrOutsideWindow again", err)
+	}
+
+	// Button pressed: the untouched token still binds.
+	mustStatus(t, svc, protocol.StatusRequest{
+		Kind: protocol.StatusRegister, DeviceID: testDevice, ButtonPressed: true,
+	})
+	if _, err := svc.HandleBind(req); err != nil {
+		t.Fatalf("bind inside window with the same token = %v, want success", err)
+	}
+	// Now the token is spent: a new logical bind with it fails.
+	fresh := req
+	fresh.IdempotencyKey = "btn-2"
+	if _, err := svc.HandleBind(fresh); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("token reuse after acceptance = %v, want ErrAuthFailed", err)
 	}
 }

@@ -2,8 +2,11 @@ package cloud
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
@@ -302,10 +305,16 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 	// A redelivered bind replays its recorded response without touching
 	// state or re-evaluating credentials — the first delivery may have
 	// consumed a single-use capability token, so re-evaluation would
-	// wrongly reject the retry of a bind that already succeeded.
-	if r, ok := sh.replayIdem(req.IdempotencyKey, true); ok {
+	// wrongly reject the retry of a bind that already succeeded. Replay is
+	// gated on the request fingerprint: the key alone is no credential, so
+	// a guessed or colliding key can neither harvest another request's
+	// session token nor overwrite its record.
+	fp := bindFingerprint(req)
+	if r, ok, conflict := sh.replayIdem(req.IdempotencyKey, true, fp); ok {
 		s.stats.bindsDeduplicated.Add(1)
 		return r.bind, nil
+	} else if conflict {
+		return protocol.BindResponse{}, fmt.Errorf("cloud: idempotency key reused by a different request: %w", protocol.ErrAuthFailed)
 	}
 
 	user, err := s.bindUser(rec, req)
@@ -323,8 +332,14 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 	if sh.state().BoundToUser() {
 		switch {
 		case sh.boundUser == user:
-			// Idempotent re-bind by the same user.
-			return protocol.BindResponse{BoundUser: user, SessionToken: sh.sessionToken}, nil
+			// Idempotent re-bind by the same user. This is a full
+			// acceptance: the capability token (if any) is consumed and the
+			// outcome recorded, so a redelivery whose first response was
+			// lost replays instead of failing on the spent token.
+			resp := protocol.BindResponse{BoundUser: user, SessionToken: sh.sessionToken}
+			s.consumeBindToken(req)
+			sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, fingerprint: fp, bind: resp})
+			return resp, nil
 		case s.design.CheckBoundUserOnBind && !s.design.ReplaceOnBind:
 			return protocol.BindResponse{}, fmt.Errorf("cloud: bound to another user: %w", protocol.ErrAlreadyBound)
 		default:
@@ -346,8 +361,35 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 		sh.sessionToken = sess.Value
 		resp.SessionToken = sess.Value
 	}
-	sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, bind: resp})
+	s.consumeBindToken(req)
+	sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, fingerprint: fp, bind: resp})
 	return resp, nil
+}
+
+// requestFingerprint hashes the fields that identify and authenticate a
+// request, length-delimited so adjacent fields cannot alias. Idempotency
+// replay is pinned to this fingerprint: a key only answers the exact
+// request that recorded it.
+func requestFingerprint(fields ...string) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	for _, f := range fields {
+		binary.BigEndian.PutUint64(n[:], uint64(len(f)))
+		h.Write(n[:])
+		h.Write([]byte(f))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func bindFingerprint(req protocol.BindRequest) [32]byte {
+	return requestFingerprint("bind", req.DeviceID, req.UserToken, req.UserID,
+		req.UserPassword, req.BindToken, req.BindProof, strconv.Itoa(int(req.Sender)))
+}
+
+func unbindFingerprint(req protocol.UnbindRequest) [32]byte {
+	return requestFingerprint("unbind", req.DeviceID, req.UserToken, strconv.Itoa(int(req.Sender)))
 }
 
 // HandleUnbind processes a binding-revocation message (Section IV-C).
@@ -364,9 +406,14 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 	// A redelivered unbind whose first delivery already revoked the
 	// binding reports success again instead of ErrNotBound, so a retrying
 	// agent cannot misread its own lost response as a failed revocation.
-	if _, ok := sh.replayIdem(req.IdempotencyKey, false); ok {
+	// As with binds, replay is fingerprint-gated: only the exact request
+	// that recorded the outcome may claim it.
+	fp := unbindFingerprint(req)
+	if _, ok, conflict := sh.replayIdem(req.IdempotencyKey, false, fp); ok {
 		s.stats.unbindsDeduplicated.Add(1)
 		return nil
+	} else if conflict {
+		return fmt.Errorf("cloud: idempotency key reused by a different request: %w", protocol.ErrAuthFailed)
 	}
 
 	form := core.UnbindDevIDUserToken
@@ -389,7 +436,7 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 		}
 	}
 	s.revokeBinding(sh)
-	sh.recordIdem(req.IdempotencyKey, idemResult{})
+	sh.recordIdem(req.IdempotencyKey, idemResult{fingerprint: fp})
 	return nil
 }
 
@@ -556,11 +603,23 @@ func (s *Service) bindUser(rec DeviceRecord, req protocol.BindRequest) (string, 
 		if !protocol.VerifyProof(req.BindProof, want) {
 			return "", fmt.Errorf("cloud: bind proof: %w", protocol.ErrAuthFailed)
 		}
-		// Capability tokens are single-use.
-		s.issuer.Revoke(req.BindToken)
+		// Single-use consumption is deferred to consumeBindToken: the
+		// token is spent only when the bind is fully accepted, so a
+		// policy rejection (button window, source IP, already bound)
+		// leaves it valid and a redelivery re-evaluates to the same
+		// rejection code instead of drifting to auth_failed.
 		return bindTok.Owner, nil
 	default:
 		return "", fmt.Errorf("cloud: %w: unsupported binding mechanism", protocol.ErrBadRequest)
+	}
+}
+
+// consumeBindToken retires a single-use capability token once its bind has
+// been fully accepted. The caller holds the target shadow's lock (the same
+// shadow -> issuer nesting as revokeBinding).
+func (s *Service) consumeBindToken(req protocol.BindRequest) {
+	if s.design.Binding == core.BindCapability {
+		s.issuer.Revoke(req.BindToken)
 	}
 }
 

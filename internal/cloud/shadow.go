@@ -84,10 +84,14 @@ type shadow struct {
 const maxIdemResults = 256
 
 // idemResult is one recorded Bind/Unbind outcome. isBind distinguishes the
-// operation so a key can never replay across operation types.
+// operation so a key can never replay across operation types, and
+// fingerprint pins the record to the exact request that produced it: a key
+// alone is not a credential, so replay requires presenting the same
+// credential-bearing fields the recorded delivery carried.
 type idemResult struct {
-	isBind bool
-	bind   protocol.BindResponse
+	isBind      bool
+	fingerprint [32]byte
+	bind        protocol.BindResponse
 }
 
 func newShadow(deviceID string) *shadow {
@@ -160,16 +164,24 @@ func (s *shadow) recordIdem(key string, r idemResult) {
 }
 
 // replayIdem returns the recorded outcome for a key, matched against the
-// operation type.
-func (s *shadow) replayIdem(key string, isBind bool) (idemResult, bool) {
+// operation type and the request fingerprint. A record replays only to a
+// request identical to the one that produced it; a key found under the
+// same operation with a different fingerprint is reported as a conflict so
+// the handler can reject it outright — a guessed or colliding key must
+// neither read another request's response nor execute (and re-record)
+// under it.
+func (s *shadow) replayIdem(key string, isBind bool, fp [32]byte) (r idemResult, ok, conflict bool) {
 	if key == "" {
-		return idemResult{}, false
+		return idemResult{}, false, false
 	}
-	r, ok := s.idemResults[key]
-	if !ok || r.isBind != isBind {
-		return idemResult{}, false
+	rec, found := s.idemResults[key]
+	if !found || rec.isBind != isBind {
+		return idemResult{}, false, false
 	}
-	return r, true
+	if rec.fingerprint != fp {
+		return idemResult{}, false, true
+	}
+	return rec, true, false
 }
 
 // drainForDevice hands the pending commands and user data to whatever

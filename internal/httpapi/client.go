@@ -44,10 +44,17 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.httpc = h })
 }
 
-// WithTimeout overrides the default per-request timeout. Zero disables the
-// timeout altogether (the pre-fix behaviour; useful only for debugging).
+// WithTimeout overrides the per-request timeout on whatever client is in
+// use, preserving a custom transport, cookie jar, or redirect policy
+// installed by an earlier WithHTTPClient (the client is shallow-cloned, so
+// a caller-owned *http.Client is never mutated). Zero disables the timeout
+// altogether (the pre-fix behaviour; useful only for debugging).
 func WithTimeout(d time.Duration) ClientOption {
-	return clientOptionFunc(func(c *Client) { c.httpc = &http.Client{Timeout: d} })
+	return clientOptionFunc(func(c *Client) {
+		clone := *c.httpc
+		clone.Timeout = d
+		c.httpc = &clone
+	})
 }
 
 // NewClient creates a client for the cloud at baseURL.

@@ -3,6 +3,7 @@ package httpapi_test
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -61,6 +62,39 @@ func TestClientTimeoutAgainstStalledServer(t *testing.T) {
 func TestClientDefaultTimeoutConfigured(t *testing.T) {
 	if httpapi.DefaultTimeout <= 0 {
 		t.Fatalf("DefaultTimeout = %v, want a positive bound", httpapi.DefaultTimeout)
+	}
+}
+
+// markingTransport is a RoundTripper that records it was used and answers
+// every request with an empty JSON object.
+type markingTransport struct{ used bool }
+
+func (m *markingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	m.used = true
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader("{}")),
+	}, nil
+}
+
+// TestWithTimeoutPreservesCustomClient proves WithTimeout composes with
+// WithHTTPClient instead of replacing it: the custom client's transport
+// survives, and the caller-owned *http.Client is not mutated.
+func TestWithTimeoutPreservesCustomClient(t *testing.T) {
+	mt := &markingTransport{}
+	custom := &http.Client{Transport: mt}
+
+	client := httpapi.NewClient("http://cloud.invalid",
+		httpapi.WithHTTPClient(custom), httpapi.WithTimeout(5*time.Second))
+	if err := client.RegisterUser(protocol.RegisterUserRequest{UserID: "u", Password: "p"}); err != nil {
+		t.Fatalf("request through custom transport: %v", err)
+	}
+	if !mt.used {
+		t.Error("WithTimeout discarded the custom client's transport")
+	}
+	if custom.Timeout != 0 {
+		t.Errorf("caller's client mutated: Timeout = %v, want untouched 0", custom.Timeout)
 	}
 }
 

@@ -106,11 +106,12 @@ func Wrap(inner transport.Cloud, p Policy) *Transport {
 	if p.Retryable == nil {
 		p.Retryable = DefaultRetryable
 	}
+	rng := rand.New(rand.NewSource(p.Seed))
 	return &Transport{
 		inner:     inner,
 		policy:    p,
-		rng:       rand.New(rand.NewSource(p.Seed)),
-		keyPrefix: fmt.Sprintf("retry-%d", instanceSeq.Add(1)),
+		rng:       rng,
+		keyPrefix: fmt.Sprintf("retry-%d-%08x", instanceSeq.Add(1), rng.Uint32()),
 		done:      make(chan struct{}),
 	}
 }
@@ -121,9 +122,17 @@ func (t *Transport) Close() {
 	t.closeOnce.Do(func() { close(t.done) })
 }
 
-// nextKey mints an idempotency key for one logical mutation.
+// nextKey mints an idempotency key for one logical mutation. The key pairs
+// a monotonic per-wrapper sequence with a draw from the seeded RNG:
+// deterministic under a fixed seed (reproducible experiments), but not a
+// bare global counter another party can enumerate. The cloud additionally
+// pins every key to its request fingerprint, so even a colliding key
+// replays nothing.
 func (t *Transport) nextKey() string {
-	return fmt.Sprintf("%s-%d", t.keyPrefix, t.keySeq.Add(1))
+	t.rngMu.Lock()
+	r := t.rng.Uint64()
+	t.rngMu.Unlock()
+	return fmt.Sprintf("%s-%d-%016x", t.keyPrefix, t.keySeq.Add(1), r)
 }
 
 // backoff returns the jittered wait before retry number attempt (1-based).
@@ -141,7 +150,9 @@ func (t *Transport) backoff(attempt int) time.Duration {
 }
 
 // wait sleeps for the backoff, returning false if the transport closed
-// first.
+// first. With an injected Sleep, done is re-checked after the sleep
+// returns, so Close during (or between) injected sleeps still aborts the
+// attempt loop — the Close contract holds on the injected-clock path too.
 func (t *Transport) wait(d time.Duration) bool {
 	if t.policy.Sleep != nil {
 		select {
@@ -150,7 +161,12 @@ func (t *Transport) wait(d time.Duration) bool {
 		default:
 		}
 		t.policy.Sleep(d)
-		return true
+		select {
+		case <-t.done:
+			return false
+		default:
+			return true
+		}
 	}
 	if d <= 0 {
 		select {

@@ -193,6 +193,59 @@ func TestRetryCloseAbortsBackoff(t *testing.T) {
 	}
 }
 
+// TestRetryCloseDuringInjectedSleep proves the Close contract holds on the
+// injected-clock path too: a Close that lands while (or after) an injected
+// Sleep runs is observed before the next delivery, so the call aborts with
+// ErrClosed instead of burning through its remaining attempts.
+func TestRetryCloseDuringInjectedSleep(t *testing.T) {
+	stub := &scripted{errs: errUnavailable(100)}
+	var tr *retry.Transport
+	tr = retry.Wrap(stub, retry.Policy{
+		MaxAttempts: 10, BaseDelay: time.Millisecond, Seed: 1,
+		Sleep: func(time.Duration) { tr.Close() },
+	})
+
+	_, err := tr.Login(protocol.LoginRequest{UserID: "u", Password: "p"})
+	if !errors.Is(err, retry.ErrClosed) {
+		t.Fatalf("error = %v, want ErrClosed", err)
+	}
+	if stub.calls != 1 {
+		t.Errorf("deliveries = %d, want 1 (no delivery after Close)", stub.calls)
+	}
+}
+
+// TestRetryKeysNotBareCounters proves minted keys are not a guessable
+// global sequence: wrappers with different seeds produce different keys at
+// the same sequence position, and two wrappers never share a key even in
+// one process.
+func TestRetryKeysNotBareCounters(t *testing.T) {
+	keysFor := func(seed int64) []string {
+		stub := &scripted{}
+		tr := retry.Wrap(stub, retry.Policy{MaxAttempts: 1, Seed: seed, Sleep: noSleep})
+		defer tr.Close()
+		for i := 0; i < 3; i++ {
+			if _, err := tr.HandleBind(protocol.BindRequest{DeviceID: "d"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return stub.bindKeys
+	}
+
+	a, b := keysFor(1), keysFor(2)
+	seen := map[string]bool{}
+	for _, k := range append(append([]string{}, a...), b...) {
+		if seen[k] {
+			t.Errorf("key %q minted twice across wrappers", k)
+		}
+		seen[k] = true
+	}
+	for i := range a {
+		if a[i] == fmt.Sprintf("retry-1-%d", i+1) || a[i] == fmt.Sprintf("retry-2-%d", i+1) {
+			t.Errorf("key %q is a bare instance/sequence counter", a[i])
+		}
+	}
+}
+
 // failAfterOnce delivers every call to the real cloud but swallows the
 // response of the first n Bind deliveries — the at-least-once hazard: the
 // cloud binds, the caller sees a transport error and retries.
