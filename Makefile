@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench ci
+.PHONY: all build fmt vet test race bench bench-json bench-json-smoke ci
 
 all: ci
 
@@ -30,7 +30,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=100x -run='^$$' ./...
 
+# bench-json archives a full benchmark sweep as machine-readable JSON
+# (name -> ns/op, B/op, allocs/op, custom metrics) for cross-commit
+# comparison; EXPERIMENTS.md quotes the batching numbers from it.
+bench-json:
+	$(GO) test -bench=. -benchtime=1000x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o BENCH_4.json
+
+# bench-json-smoke proves the bench->JSON pipeline still parses (one
+# iteration per benchmark, output discarded) without the full sweep's
+# runtime.
+bench-json-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o /dev/null
+
 # ci is the tier-1+ verification gate: formatting, vet, build, the full
 # suite under the race detector (including the fault-injection, retry
-# and binding-under-loss tests), and a benchmark smoke run.
-ci: fmt vet build race bench
+# and binding-under-loss tests), a benchmark smoke run, and the bench
+# JSON pipeline smoke.
+ci: fmt vet build race bench bench-json-smoke

@@ -24,6 +24,13 @@ type (
 	StatusRequest = protocol.StatusRequest
 	// StatusResponse is the cloud's answer to a status message.
 	StatusResponse = protocol.StatusResponse
+	// StatusBatchRequest carries several coalesced status messages as one
+	// wire message.
+	StatusBatchRequest = protocol.StatusBatchRequest
+	// StatusBatchResponse answers a batch with per-item results.
+	StatusBatchResponse = protocol.StatusBatchResponse
+	// StatusBatchResult is one item's outcome inside a batch response.
+	StatusBatchResult = protocol.StatusBatchResult
 	// BindRequest is a binding-creation message.
 	BindRequest = protocol.BindRequest
 	// BindResponse acknowledges an accepted binding.
@@ -158,6 +165,13 @@ func NewDevice(cfg DeviceConfig, design DesignSpec, cloudTransport CloudTranspor
 	return device.New(cfg, design, cloudTransport, opts...)
 }
 
+// WithDeviceBatching makes a device coalesce heartbeats into StatusBatch
+// messages: the queue flushes at n messages or when its oldest entry is
+// flushInterval old (zero disables the age trigger). See device.WithBatching.
+func WithDeviceBatching(n int, flushInterval time.Duration) device.Option {
+	return device.WithBatching(n, flushInterval)
+}
+
 // App is one user's instance of the vendor app.
 type App = app.App
 
@@ -214,6 +228,30 @@ func Evaluate(design DesignSpec, v AttackVariant, opts ...testbed.Option) (Attac
 // EvaluateAll runs every Table II variant against the design.
 func EvaluateAll(design DesignSpec, opts ...testbed.Option) ([]AttackResult, error) {
 	return testbed.EvaluateAll(design, opts...)
+}
+
+// ---- fleet load generation ----------------------------------------------------
+
+// FleetLoadConfig parameterizes a status-path load run: N devices × M
+// heartbeats through a wire front end, per-message or coalesced.
+type FleetLoadConfig = testbed.FleetLoadConfig
+
+// FleetLoadResult reports a load run's throughput.
+type FleetLoadResult = testbed.FleetLoadResult
+
+// FleetFrontEnd selects the wire front end a fleet load run drives.
+type FleetFrontEnd = testbed.FleetFrontEnd
+
+// The wire front ends RunFleetLoad can drive.
+const (
+	FleetFrontEndHTTP = testbed.FleetFrontEndHTTP
+	FleetFrontEndTCP  = testbed.FleetFrontEndTCP
+)
+
+// RunFleetLoad drives a fleet of heartbeating devices through a real
+// network front end and reports messages/s.
+func RunFleetLoad(cfg FleetLoadConfig) (FleetLoadResult, error) {
+	return testbed.RunFleetLoad(cfg)
 }
 
 // ---- HTTP front end -----------------------------------------------------------

@@ -191,12 +191,21 @@ type TCPServer = tcpapi.Server
 // TCPClient speaks the line protocol and implements CloudTransport.
 type TCPClient = tcpapi.Client
 
+// TCPOption configures the line protocol's frame limits on either end.
+type TCPOption = tcpapi.Option
+
+// WithTCPMaxFrame sets the maximum accepted line length in bytes — raise
+// it on both ends for large coalesced batches.
+func WithTCPMaxFrame(n int) TCPOption { return tcpapi.WithMaxFrame(n) }
+
 // NewTCPServer wraps a cloud for the raw TCP front end; call Serve with a
 // listener and Close to shut down.
-func NewTCPServer(c CloudTransport) *TCPServer { return tcpapi.NewServer(c) }
+func NewTCPServer(c CloudTransport, opts ...TCPOption) *TCPServer {
+	return tcpapi.NewServer(c, opts...)
+}
 
 // DialTCP connects a line-protocol client to a TCPServer.
-func DialTCP(addr string) (*TCPClient, error) { return tcpapi.Dial(addr) }
+func DialTCP(addr string, opts ...TCPOption) (*TCPClient, error) { return tcpapi.Dial(addr, opts...) }
 
 // ---- cloud observability and persistence ------------------------------------
 

@@ -56,6 +56,30 @@ func (s *Service) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	return resp, err
 }
 
+// HandleStatusBatch processes a batch of device status messages in one
+// call: shard-grouped dispatch, per-item outcomes (see handleStatusBatch).
+// Each item counts toward the status counters individually, so stats are
+// invariant under re-batching of the same traffic.
+func (s *Service) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	resp, err := s.handleStatusBatch(req)
+	if err != nil {
+		s.stats.statusRejected.Add(int64(len(req.Items)))
+		return resp, err
+	}
+	s.stats.statusBatches.Add(1)
+	var ok, fail int64
+	for i := range resp.Results {
+		if resp.Results[i].Code == "" {
+			ok++
+		} else {
+			fail++
+		}
+	}
+	s.stats.statusAccepted.Add(ok)
+	s.stats.statusRejected.Add(fail)
+	return resp, nil
+}
+
 // HandleBind processes a binding-creation message under the design's
 // mechanism and policy checks (Figure 4 / Sections IV-B, V-C, V-E).
 func (s *Service) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {

@@ -144,25 +144,25 @@ func TestUnbindIdempotencyReplay(t *testing.T) {
 func TestIdempotencyLogEviction(t *testing.T) {
 	sh := &shadow{}
 	for i := 0; i < maxIdemResults+10; i++ {
-		sh.recordIdem(fmt.Sprintf("k%d", i), idemResult{isBind: true})
+		sh.recordIdem(fmt.Sprintf("k%d", i), idemResult{op: idemBind})
 	}
 	if len(sh.idemResults) != maxIdemResults || len(sh.idemOrder) != maxIdemResults {
 		t.Fatalf("log size = %d/%d entries, want %d", len(sh.idemResults), len(sh.idemOrder), maxIdemResults)
 	}
-	if _, ok, _ := sh.replayIdem("k0", true, [32]byte{}); ok {
+	if _, ok, _ := sh.replayIdem("k0", idemBind, [32]byte{}); ok {
 		t.Error("oldest record survived past the cap")
 	}
-	if _, ok, _ := sh.replayIdem(fmt.Sprintf("k%d", maxIdemResults+9), true, [32]byte{}); !ok {
+	if _, ok, _ := sh.replayIdem(fmt.Sprintf("k%d", maxIdemResults+9), idemBind, [32]byte{}); !ok {
 		t.Error("newest record missing")
 	}
 	// Re-recording an existing key must not duplicate it in the order.
-	sh.recordIdem(fmt.Sprintf("k%d", maxIdemResults+9), idemResult{isBind: true})
+	sh.recordIdem(fmt.Sprintf("k%d", maxIdemResults+9), idemResult{op: idemBind})
 	if len(sh.idemOrder) != maxIdemResults {
 		t.Errorf("order grew to %d on re-record", len(sh.idemOrder))
 	}
 	// Empty keys are never recorded.
-	sh.recordIdem("", idemResult{isBind: true})
-	if _, ok, _ := sh.replayIdem("", true, [32]byte{}); ok {
+	sh.recordIdem("", idemResult{op: idemBind})
+	if _, ok, _ := sh.replayIdem("", idemBind, [32]byte{}); ok {
 		t.Error("empty key recorded")
 	}
 }

@@ -211,8 +211,32 @@ func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	sh := s.store.get(req.DeviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.statusLocked(sh, rec, req)
+}
+
+// statusLocked is the status-handling core, shared by the single-message
+// and batch paths. The caller holds sh's lock and has already validated
+// the status kind and resolved the registry record.
+func (s *Service) statusLocked(sh *shadow, rec DeviceRecord, req protocol.StatusRequest) (protocol.StatusResponse, error) {
 	now := s.now()
 	sh.refresh(now, s.heartbeatTTL)
+
+	// A redelivered keyed status replays its recorded response — commands
+	// drained by a delivery whose response vanished are re-delivered
+	// instead of lost, and piggybacked readings are never ingested twice.
+	// Like binds, replay is fingerprint-gated and happens before credential
+	// re-evaluation; the fingerprint is computed only on the keyed path, so
+	// ordinary unkeyed heartbeats pay nothing for it.
+	var fp [32]byte
+	if req.IdempotencyKey != "" {
+		fp = statusFingerprint(req)
+		if r, ok, conflict := sh.replayIdem(req.IdempotencyKey, idemStatus, fp); ok {
+			s.stats.statusDeduplicated.Add(1)
+			return r.status, nil
+		} else if conflict {
+			return protocol.StatusResponse{}, fmt.Errorf("cloud: idempotency key reused by a different request: %w", protocol.ErrAuthFailed)
+		}
+	}
 
 	// Device authentication (Figure 3 / Section IV-A).
 	owner, err := s.authenticateDevice(rec, req)
@@ -285,6 +309,9 @@ func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	if resp.Bound && req.Kind == protocol.StatusHeartbeat {
 		resp.Commands, resp.UserData = sh.drainForDevice()
 	}
+	if req.IdempotencyKey != "" {
+		sh.recordIdem(req.IdempotencyKey, idemResult{op: idemStatus, fingerprint: fp, status: resp})
+	}
 	return resp, nil
 }
 
@@ -310,7 +337,7 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 	// a guessed or colliding key can neither harvest another request's
 	// session token nor overwrite its record.
 	fp := bindFingerprint(req)
-	if r, ok, conflict := sh.replayIdem(req.IdempotencyKey, true, fp); ok {
+	if r, ok, conflict := sh.replayIdem(req.IdempotencyKey, idemBind, fp); ok {
 		s.stats.bindsDeduplicated.Add(1)
 		return r.bind, nil
 	} else if conflict {
@@ -338,7 +365,7 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 			// lost replays instead of failing on the spent token.
 			resp := protocol.BindResponse{BoundUser: user, SessionToken: sh.sessionToken}
 			s.consumeBindToken(req)
-			sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, fingerprint: fp, bind: resp})
+			sh.recordIdem(req.IdempotencyKey, idemResult{op: idemBind, fingerprint: fp, bind: resp})
 			return resp, nil
 		case s.design.CheckBoundUserOnBind && !s.design.ReplaceOnBind:
 			return protocol.BindResponse{}, fmt.Errorf("cloud: bound to another user: %w", protocol.ErrAlreadyBound)
@@ -362,7 +389,7 @@ func (s *Service) handleBind(req protocol.BindRequest) (protocol.BindResponse, e
 		resp.SessionToken = sess.Value
 	}
 	s.consumeBindToken(req)
-	sh.recordIdem(req.IdempotencyKey, idemResult{isBind: true, fingerprint: fp, bind: resp})
+	sh.recordIdem(req.IdempotencyKey, idemResult{op: idemBind, fingerprint: fp, bind: resp})
 	return resp, nil
 }
 
@@ -392,6 +419,24 @@ func unbindFingerprint(req protocol.UnbindRequest) [32]byte {
 	return requestFingerprint("unbind", req.DeviceID, req.UserToken, strconv.Itoa(int(req.Sender)))
 }
 
+// statusFingerprint covers a status message's credential-bearing fields
+// plus its data payload: two different heartbeats accidentally sharing a
+// key must conflict rather than one replaying the other's response. It is
+// computed only for keyed requests, so the unkeyed hot path never pays for
+// the hashing.
+func statusFingerprint(req protocol.StatusRequest) [32]byte {
+	fields := make([]string, 0, 8+3*len(req.Readings))
+	fields = append(fields, "status", strconv.Itoa(int(req.Kind)), req.DeviceID,
+		req.DevToken, req.Signature, req.SessionToken, req.DataProof,
+		strconv.FormatBool(req.ButtonPressed))
+	for _, rd := range req.Readings {
+		fields = append(fields, rd.Name,
+			strconv.FormatFloat(rd.Value, 'g', -1, 64),
+			strconv.FormatInt(rd.At.UnixNano(), 10))
+	}
+	return requestFingerprint(fields...)
+}
+
 // HandleUnbind processes a binding-revocation message (Section IV-C).
 func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 	if _, ok := s.registry.Lookup(req.DeviceID); !ok {
@@ -409,7 +454,7 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 	// As with binds, replay is fingerprint-gated: only the exact request
 	// that recorded the outcome may claim it.
 	fp := unbindFingerprint(req)
-	if _, ok, conflict := sh.replayIdem(req.IdempotencyKey, false, fp); ok {
+	if _, ok, conflict := sh.replayIdem(req.IdempotencyKey, idemUnbind, fp); ok {
 		s.stats.unbindsDeduplicated.Add(1)
 		return nil
 	} else if conflict {
@@ -436,7 +481,7 @@ func (s *Service) handleUnbind(req protocol.UnbindRequest) error {
 		}
 	}
 	s.revokeBinding(sh)
-	sh.recordIdem(req.IdempotencyKey, idemResult{fingerprint: fp})
+	sh.recordIdem(req.IdempotencyKey, idemResult{op: idemUnbind, fingerprint: fp})
 	return nil
 }
 

@@ -66,10 +66,11 @@ type shadow struct {
 	// readings holds sensor samples the cloud accepted from "the device".
 	readings []protocol.Reading
 
-	// idemResults replays the outcome of accepted Bind/Unbind requests to
-	// retried deliveries carrying the same idempotency key, making the
-	// agents' at-least-once retry layer exactly-once for binding
-	// mutations. Only successes are recorded: a failed attempt mutated
+	// idemResults replays the outcome of accepted Bind/Unbind and keyed
+	// Status requests to retried deliveries carrying the same idempotency
+	// key, making the agents' at-least-once retry layer exactly-once for
+	// binding mutations and for status side effects (command drains,
+	// reading ingestion). Only successes are recorded: a failed attempt mutated
 	// nothing, so redelivering it re-evaluates honestly. The log is
 	// transport-recovery state, not binding state — it survives unbind
 	// (the unbind's own replay record must outlive the revocation) and is
@@ -83,15 +84,26 @@ type shadow struct {
 // redelivery horizon while keeping shadows small.
 const maxIdemResults = 256
 
-// idemResult is one recorded Bind/Unbind outcome. isBind distinguishes the
-// operation so a key can never replay across operation types, and
-// fingerprint pins the record to the exact request that produced it: a key
-// alone is not a credential, so replay requires presenting the same
-// credential-bearing fields the recorded delivery carried.
+// idemOp tags the operation an idempotency record belongs to, so a key
+// can never replay across operation types.
+type idemOp uint8
+
+const (
+	idemBind idemOp = iota + 1
+	idemUnbind
+	idemStatus
+)
+
+// idemResult is one recorded Bind/Unbind/Status outcome. op distinguishes
+// the operation, and fingerprint pins the record to the exact request that
+// produced it: a key alone is not a credential, so replay requires
+// presenting the same credential-bearing fields the recorded delivery
+// carried.
 type idemResult struct {
-	isBind      bool
+	op          idemOp
 	fingerprint [32]byte
 	bind        protocol.BindResponse
+	status      protocol.StatusResponse
 }
 
 func newShadow(deviceID string) *shadow {
@@ -170,12 +182,12 @@ func (s *shadow) recordIdem(key string, r idemResult) {
 // the handler can reject it outright — a guessed or colliding key must
 // neither read another request's response nor execute (and re-record)
 // under it.
-func (s *shadow) replayIdem(key string, isBind bool, fp [32]byte) (r idemResult, ok, conflict bool) {
+func (s *shadow) replayIdem(key string, op idemOp, fp [32]byte) (r idemResult, ok, conflict bool) {
 	if key == "" {
 		return idemResult{}, false, false
 	}
 	rec, found := s.idemResults[key]
-	if !found || rec.isBind != isBind {
+	if !found || rec.op != op {
 		return idemResult{}, false, false
 	}
 	if rec.fingerprint != fp {

@@ -13,7 +13,15 @@ type Stats struct {
 	// DeviceTokensIssued and BindTokensIssued count credential grants.
 	DeviceTokensIssued, BindTokensIssued int64
 	// StatusAccepted and StatusRejected count device status handling.
+	// Batched items count here individually, so the totals are invariant
+	// under re-batching.
 	StatusAccepted, StatusRejected int64
+	// StatusBatches counts batch envelopes processed; the items inside
+	// them land in StatusAccepted/StatusRejected.
+	StatusBatches int64
+	// StatusDeduplicated counts redelivered keyed status messages answered
+	// from the idempotency log instead of being executed again.
+	StatusDeduplicated int64
 	// BindsAccepted and BindsRejected count binding creations;
 	// BindingsReplaced counts accepted binds that displaced a previous
 	// binding (the replace-on-bind path attackers abuse).
@@ -41,6 +49,7 @@ type statCounters struct {
 	logins, loginFailures                                 atomic.Int64
 	deviceTokensIssued, bindTokensIssued                  atomic.Int64
 	statusAccepted, statusRejected                        atomic.Int64
+	statusBatches, statusDeduplicated                     atomic.Int64
 	bindsAccepted, bindsRejected, bindingsReplaced        atomic.Int64
 	bindsDeduplicated                                     atomic.Int64
 	unbindsAccepted, unbindsRejected, unbindsDeduplicated atomic.Int64
@@ -56,6 +65,8 @@ func (c *statCounters) snapshot() Stats {
 		BindTokensIssued:    c.bindTokensIssued.Load(),
 		StatusAccepted:      c.statusAccepted.Load(),
 		StatusRejected:      c.statusRejected.Load(),
+		StatusBatches:       c.statusBatches.Load(),
+		StatusDeduplicated:  c.statusDeduplicated.Load(),
 		BindsAccepted:       c.bindsAccepted.Load(),
 		BindsRejected:       c.bindsRejected.Load(),
 		BindingsReplaced:    c.bindingsReplaced.Load(),
@@ -77,6 +88,8 @@ func (c *statCounters) restore(s Stats) {
 	c.bindTokensIssued.Store(s.BindTokensIssued)
 	c.statusAccepted.Store(s.StatusAccepted)
 	c.statusRejected.Store(s.StatusRejected)
+	c.statusBatches.Store(s.StatusBatches)
+	c.statusDeduplicated.Store(s.StatusDeduplicated)
 	c.bindsAccepted.Store(s.BindsAccepted)
 	c.bindsRejected.Store(s.BindsRejected)
 	c.bindingsReplaced.Store(s.BindingsReplaced)

@@ -1,0 +1,388 @@
+package device_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/device"
+	"github.com/iotbind/iotbind/internal/localnet"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/retry"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// provision brings a device online, failing the test on error.
+func provision(t *testing.T, dev *device.Device) {
+	t.Helper()
+	if err := dev.Provision(localnet.Provisioning{WiFiSSID: "home", WiFiPassword: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchingCountTrigger proves heartbeats queue until the batch fills,
+// then deliver as exactly one StatusBatch envelope.
+func TestBatchingCountTrigger(t *testing.T) {
+	d := design(core.AuthDevID, core.BindACLApp)
+	svc, _ := newCloud(t, d)
+	dev := newDevice(t, d, svc, device.WithBatching(3, 0))
+	provision(t, dev)
+	base := svc.Stats().StatusAccepted // the registration
+
+	for i := 0; i < 2; i++ {
+		if err := dev.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dev.PendingBatch(); got != 2 {
+		t.Fatalf("PendingBatch = %d, want 2", got)
+	}
+	if got := svc.Stats().StatusAccepted; got != base {
+		t.Fatalf("heartbeats delivered early: accepted = %d, want %d", got, base)
+	}
+
+	// The third heartbeat trips the count trigger.
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if dev.PendingBatch() != 0 || st.StatusAccepted != base+3 || st.StatusBatches != 1 {
+		t.Errorf("after flush: pending=%d accepted=%d batches=%d, want 0/%d/1",
+			dev.PendingBatch(), st.StatusAccepted, st.StatusBatches, base+3)
+	}
+}
+
+// TestBatchingAgeTrigger proves the flush-interval trigger runs off the
+// injected clock: a queue whose oldest entry is flushInterval old flushes
+// on the next Heartbeat even when far from full.
+func TestBatchingAgeTrigger(t *testing.T) {
+	d := design(core.AuthDevID, core.BindACLApp)
+	svc, _ := newCloud(t, d)
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	dev := newDevice(t, d, svc,
+		device.WithBatching(100, 5*time.Second),
+		device.WithClock(func() time.Time { return now }))
+	provision(t, dev)
+	base := svc.Stats().StatusAccepted
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second)
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PendingBatch(); got != 2 {
+		t.Fatalf("PendingBatch before interval = %d, want 2", got)
+	}
+
+	// 5s after the oldest queued message, the next heartbeat flushes all 3.
+	now = now.Add(3 * time.Second)
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if dev.PendingBatch() != 0 || st.StatusAccepted != base+3 || st.StatusBatches != 1 {
+		t.Errorf("after age flush: pending=%d accepted=%d batches=%d, want 0/%d/1",
+			dev.PendingBatch(), st.StatusAccepted, st.StatusBatches, base+3)
+	}
+}
+
+// TestExplicitFlush proves Flush delivers the queue immediately and is a
+// no-op when nothing is queued.
+func TestExplicitFlush(t *testing.T) {
+	d := design(core.AuthDevID, core.BindACLApp)
+	svc, _ := newCloud(t, d)
+	dev := newDevice(t, d, svc, device.WithBatching(10, 0))
+	provision(t, dev)
+	base := svc.Stats()
+
+	if err := dev.Flush(); err != nil {
+		t.Fatalf("empty flush = %v", err)
+	}
+	if got := svc.Stats().StatusBatches; got != base.StatusBatches {
+		t.Fatalf("empty flush sent a batch envelope")
+	}
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if dev.PendingBatch() != 0 || st.StatusAccepted != base.StatusAccepted+1 || st.StatusBatches != base.StatusBatches+1 {
+		t.Errorf("after flush: pending=%d accepted=%d batches=%d", dev.PendingBatch(), st.StatusAccepted, st.StatusBatches)
+	}
+}
+
+// TestRegisterFlushesQueueFirst proves a registration (PressButton here)
+// delivers the queued heartbeats before itself, preserving the order the
+// device produced its messages.
+func TestRegisterFlushesQueueFirst(t *testing.T) {
+	d := design(core.AuthDevID, core.BindACLApp)
+	svc, userToken := newCloud(t, d)
+	dev := newDevice(t, d, svc, device.WithBatching(10, 0))
+	provision(t, dev)
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: devID, UserToken: userToken, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+
+	dev.QueueReading("power_w", 3)
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PressButton(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PendingBatch(); got != 0 {
+		t.Errorf("PendingBatch after register = %d, want 0 (queue delivered first)", got)
+	}
+	st := svc.Stats()
+	if st.StatusBatches != 1 {
+		t.Errorf("StatusBatches = %d, want 1", st.StatusBatches)
+	}
+	r, err := svc.Readings(protocol.ReadingsRequest{DeviceID: devID, UserToken: userToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Readings) != 1 || r.Readings[0].Value != 3 {
+		t.Errorf("readings = %+v, want the queued sample delivered", r.Readings)
+	}
+}
+
+// TestResetClearsBatchQueue proves a factory reset drops queued heartbeats
+// instead of leaking them to the next owner's session.
+func TestResetClearsBatchQueue(t *testing.T) {
+	d := design(core.AuthDevID, core.BindACLApp)
+	svc, _ := newCloud(t, d)
+	dev := newDevice(t, d, svc, device.WithBatching(10, 0))
+	provision(t, dev)
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.PendingBatch(); got != 1 {
+		t.Fatalf("PendingBatch = %d, want 1", got)
+	}
+	dev.Reset()
+	if got := dev.PendingBatch(); got != 0 {
+		t.Errorf("PendingBatch after reset = %d, want 0", got)
+	}
+}
+
+// scriptedCloud overrides the batch (and status) path so device-side merge
+// behaviour can be driven with outcomes a real cloud would not produce on
+// demand. The embedded nil transport.Cloud panics on anything unscripted,
+// which doubles as an assertion that only the expected calls happen.
+type scriptedCloud struct {
+	transport.Cloud
+	batchResp protocol.StatusBatchResponse
+	batchErr  error
+	batches   int
+}
+
+func (s *scriptedCloud) HandleStatus(protocol.StatusRequest) (protocol.StatusResponse, error) {
+	return protocol.StatusResponse{}, nil
+}
+
+func (s *scriptedCloud) HandleStatusBatch(protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	s.batches++
+	return s.batchResp, s.batchErr
+}
+
+func newScriptedDevice(t *testing.T, sc *scriptedCloud) *device.Device {
+	t.Helper()
+	d := design(core.AuthDevID, core.BindACLApp)
+	dev, err := device.New(device.Config{
+		ID: devID, FactorySecret: devSecret, LocalName: "plug", Model: "plug",
+	}, d, sc, device.WithBatching(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provision(t, dev)
+	return dev
+}
+
+// TestBatchPartialFailureMergesAcceptedItems proves a flush with one
+// rejected item still ingests the accepted items' commands and data, and
+// reports the first rejection.
+func TestBatchPartialFailureMergesAcceptedItems(t *testing.T) {
+	sc := &scriptedCloud{batchResp: protocol.StatusBatchResponse{Results: []protocol.StatusBatchResult{
+		{Response: protocol.StatusResponse{
+			Commands: []protocol.Command{{ID: "c1", Name: "turn_on"}},
+			UserData: []protocol.UserData{{Kind: "schedule", Body: "on 08:00"}},
+		}},
+		{Code: "auth_failed", Message: "stale session token"},
+	}}}
+	dev := newScriptedDevice(t, sc)
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	err := dev.Heartbeat() // fills the batch of 2, flushes
+	if !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Fatalf("partial failure = %v, want ErrAuthFailed from item 1", err)
+	}
+	if got := dev.Executed(); len(got) != 1 || got[0].ID != "c1" {
+		t.Errorf("Executed = %+v, want the accepted item's command merged", got)
+	}
+	if got := dev.ReceivedData(); len(got) != 1 || got[0].Body != "on 08:00" {
+		t.Errorf("ReceivedData = %+v, want the accepted item's data merged", got)
+	}
+}
+
+// TestBatchResultCountMismatch proves a server answering with the wrong
+// result count surfaces the framing error, not a silent partial merge.
+func TestBatchResultCountMismatch(t *testing.T) {
+	sc := &scriptedCloud{batchResp: protocol.StatusBatchResponse{
+		Results: []protocol.StatusBatchResult{{}},
+	}}
+	dev := newScriptedDevice(t, sc)
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Heartbeat(); !errors.Is(err, protocol.ErrBatchMismatch) {
+		t.Errorf("mismatched results = %v, want ErrBatchMismatch", err)
+	}
+}
+
+// TestBatchTransportFailureDropsQueue proves a failed flush loses the
+// queued samples — the same loss semantics as a cut-off per-message device —
+// rather than growing the queue forever.
+func TestBatchTransportFailureDropsQueue(t *testing.T) {
+	sc := &scriptedCloud{batchErr: transport.ErrUnavailable}
+	dev := newScriptedDevice(t, sc)
+
+	if err := dev.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Heartbeat(); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("failed flush = %v, want ErrUnavailable", err)
+	}
+	if got := dev.PendingBatch(); got != 0 {
+		t.Errorf("PendingBatch after failed flush = %d, want 0", got)
+	}
+	sc.batchErr = nil
+	sc.batchResp = protocol.StatusBatchResponse{}
+	if err := dev.Flush(); err != nil {
+		t.Errorf("flush after drop = %v, want no-op", err)
+	}
+	if sc.batches != 1 {
+		t.Errorf("batch envelopes = %d, want 1 (empty queue sends nothing)", sc.batches)
+	}
+}
+
+// TestBatchedHeartbeatsEquivalentUnderRedelivery is the fault half of the
+// batching equivalence property: a batching device whose wire suffers
+// seeded fail-before and fail-after faults — every retry a full batch
+// redelivery — leaves the cloud in exactly the state a fault-free
+// per-message device produces. The retry layer stamps each item with an
+// idempotency key, and the cloud's per-item replay log turns at-least-once
+// delivery into exactly-once application.
+func TestBatchedHeartbeatsEquivalentUnderRedelivery(t *testing.T) {
+	const heartbeats = 40
+	d := design(core.AuthDevID, core.BindACLApp)
+
+	run := func(t *testing.T, wire transport.Cloud, opts ...device.Option) *device.Device {
+		t.Helper()
+		dev, err := device.New(device.Config{
+			ID: devID, FactorySecret: devSecret, LocalName: "plug", Model: "plug",
+		}, d, wire, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		provision(t, dev)
+		return dev
+	}
+
+	// Reference: clean wire, one message per heartbeat.
+	refSvc, refUser := newCloud(t, d)
+	refDev := run(t, transport.StampSource(refSvc, "203.0.113.7"))
+
+	// Subject: batched wire behind a fault plane that drops ~25% of frames
+	// before delivery and loses ~25% of responses after delivery, with a
+	// no-op sleep so the retry backoff doesn't slow the test.
+	faultSvc, faultUser := newCloud(t, d)
+	plane := transport.NewFaultPlane(11,
+		transport.WithFailBeforeRate(0.25),
+		transport.WithFailAfterRate(0.25))
+	faulty := plane.Wrap(transport.StampSource(faultSvc, "203.0.113.7"), transport.PartyDevice)
+	faultDev := run(t, faulty,
+		device.WithBatching(4, 0),
+		device.WithRetry(retry.Policy{MaxAttempts: 12, Seed: 5, Sleep: func(time.Duration) {}}))
+
+	for _, c := range []struct {
+		svc interface {
+			HandleBind(protocol.BindRequest) (protocol.BindResponse, error)
+		}
+		user string
+	}{{refSvc, refUser}, {faultSvc, faultUser}} {
+		if _, err := c.svc.HandleBind(protocol.BindRequest{DeviceID: devID, UserToken: c.user, Sender: core.SenderApp}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drive := func(t *testing.T, dev *device.Device) {
+		t.Helper()
+		for i := 0; i < heartbeats; i++ {
+			dev.QueueReading("power_w", float64(i))
+			if err := dev.Heartbeat(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := dev.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(t, refDev)
+	drive(t, faultDev)
+
+	if plane.Failures() == 0 {
+		t.Fatal("fault plane injected nothing; the property was not exercised")
+	}
+
+	// The cloud-visible outcome must be identical: same shadow state, same
+	// transition trace, same readings ingested exactly once each.
+	refSt, err := refSvc.ShadowState(protocol.ShadowStateRequest{DeviceID: devID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultSt, err := faultSvc.ShadowState(protocol.ShadowStateRequest{DeviceID: devID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSt.State != faultSt.State {
+		t.Errorf("state: faulted %v != reference %v", faultSt.State, refSt.State)
+	}
+
+	refTr, faultTr := refSvc.ShadowTrace(devID), faultSvc.ShadowTrace(devID)
+	if len(refTr) != len(faultTr) {
+		t.Fatalf("trace length: faulted %d != reference %d (%v vs %v)", len(faultTr), len(refTr), faultTr, refTr)
+	}
+	for i := range refTr {
+		if refTr[i] != faultTr[i] {
+			t.Errorf("trace[%d]: faulted %+v != reference %+v", i, faultTr[i], refTr[i])
+		}
+	}
+
+	refRd, err := refSvc.Readings(protocol.ReadingsRequest{DeviceID: devID, UserToken: refUser})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultRd, err := faultSvc.Readings(protocol.ReadingsRequest{DeviceID: devID, UserToken: faultUser})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRd.Readings) != len(faultRd.Readings) {
+		t.Fatalf("readings: faulted %d != reference %d (redelivery double-ingested or lost samples)",
+			len(faultRd.Readings), len(refRd.Readings))
+	}
+	for i := range refRd.Readings {
+		if refRd.Readings[i].Value != faultRd.Readings[i].Value {
+			t.Errorf("reading %d: faulted %v != reference %v", i, faultRd.Readings[i].Value, refRd.Readings[i].Value)
+		}
+	}
+}

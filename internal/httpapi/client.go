@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/transport"
 )
@@ -103,6 +104,14 @@ func (c *Client) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespon
 	return out, err
 }
 
+// HandleStatusBatch implements transport.Cloud: one POST carries the whole
+// coalesced batch.
+func (c *Client) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	var out protocol.StatusBatchResponse
+	err := c.post(RouteStatusBatch, req, &out)
+	return out, err
+}
+
 // HandleBind implements transport.Cloud.
 func (c *Client) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
 	var out protocol.BindResponse
@@ -157,11 +166,16 @@ func (c *Client) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowSt
 }
 
 func (c *Client) post(route string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
+	// Encode the request into a pooled buffer instead of json.Marshal's
+	// fresh slice. The buffer is released only after the response has been
+	// fully read: by then the server handler has consumed the request body,
+	// so the transport is done reading from our reader.
+	reqBuf := jsonpool.Get()
+	defer reqBuf.Put()
+	if err := reqBuf.Encode(in); err != nil {
 		return fmt.Errorf("httpapi: encode %s: %w", route, err)
 	}
-	resp, err := c.httpc.Post(c.baseURL+route, "application/json", bytes.NewReader(body))
+	resp, err := c.httpc.Post(c.baseURL+route, "application/json", bytes.NewReader(reqBuf.Bytes()))
 	if err != nil {
 		// Network-level failures (timeouts, refused connections, resets)
 		// wrap transport.ErrUnavailable so agents and retry policies
@@ -170,10 +184,12 @@ func (c *Client) post(route string, in, out any) error {
 	}
 	defer resp.Body.Close()
 
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
+	respBuf := jsonpool.Get()
+	defer respBuf.Put()
+	if _, err := respBuf.Writer().ReadFrom(io.LimitReader(resp.Body, maxBody)); err != nil {
 		return fmt.Errorf("httpapi: read %s: %w", route, err)
 	}
+	data := respBuf.Bytes()
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		if err := json.Unmarshal(data, &eb); err != nil || eb.Code == "" {

@@ -10,10 +10,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 
+	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/transport"
 )
@@ -25,6 +25,7 @@ const (
 	RouteDeviceToken  = "/api/v1/device-token"
 	RouteBindToken    = "/api/v1/bind-token"
 	RouteStatus       = "/api/v1/status"
+	RouteStatusBatch  = "/api/v1/status-batch"
 	RouteBind         = "/api/v1/bind"
 	RouteUnbind       = "/api/v1/unbind"
 	RouteControl      = "/api/v1/control"
@@ -34,6 +35,9 @@ const (
 	RouteShares       = "/api/v1/shares"
 	RouteShadow       = "/api/v1/shadow"
 )
+
+// maxBody bounds a request or response body on this front end.
+const maxBody = 1 << 20
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -72,6 +76,7 @@ func NewServer(cloud transport.Cloud) *Server {
 	s.mux.HandleFunc(RouteDeviceToken, s.handleDeviceToken)
 	s.mux.HandleFunc(RouteBindToken, s.handleBindToken)
 	s.mux.HandleFunc(RouteStatus, s.handleStatus)
+	s.mux.HandleFunc(RouteStatusBatch, s.handleStatusBatch)
 	s.mux.HandleFunc(RouteBind, s.handleBind)
 	s.mux.HandleFunc(RouteUnbind, s.handleUnbind)
 	s.mux.HandleFunc(RouteControl, s.handleControl)
@@ -130,6 +135,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	req.SourceIP = sourceIP(r)
 	resp, err := s.cloud.HandleStatus(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleStatusBatch(w http.ResponseWriter, r *http.Request) {
+	var req protocol.StatusBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	req.SourceIP = sourceIP(r)
+	resp, err := s.cloud.HandleStatusBatch(req)
 	respond(w, resp, err)
 }
 
@@ -212,8 +227,12 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST required")
 		return false
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil {
+	// Drain the body into a pooled buffer instead of io.ReadAll's fresh,
+	// growth-by-doubling slice: the steady-state heartbeat path reuses one
+	// backing array per concurrent request.
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if _, err := buf.Writer().ReadFrom(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
 		// An oversized body is the sender's mistake, not an unreadable
 		// one: answer 413 with the distinct payload_too_large code so the
 		// client surfaces protocol.ErrPayloadTooLarge (which retry layers
@@ -227,7 +246,7 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 		writeError(w, http.StatusBadRequest, "bad_request", "unreadable body")
 		return false
 	}
-	if err := json.Unmarshal(body, into); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), into); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("malformed JSON: %v", err))
 		return false
 	}
@@ -248,17 +267,23 @@ func respond(w http.ResponseWriter, payload any, err error) {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if encodeErr := json.NewEncoder(w).Encode(payload); encodeErr != nil {
-		// The header is already out; nothing more to do.
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if encodeErr := buf.Encode(payload); encodeErr != nil {
+		writeError(w, http.StatusInternalServerError, "internal", encodeErr.Error())
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, code, message string) {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	_ = buf.Encode(errorBody{Code: code, Message: message})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Message: message})
+	_, _ = w.Write(buf.Bytes())
 }
 
 // sourceIP extracts the peer address the cloud treats as the sender's

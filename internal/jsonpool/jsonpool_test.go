@@ -1,0 +1,73 @@
+package jsonpool
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	b := Get()
+	defer b.Put()
+	if err := b.Encode(map[string]int{"n": 7}); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["n"] != 7 || b.Len() != len(b.Bytes()) {
+		t.Errorf("round trip = %v (len %d/%d)", out, b.Len(), len(b.Bytes()))
+	}
+}
+
+func TestGetReturnsEmptyBuffer(t *testing.T) {
+	b := Get()
+	if err := b.Encode("leftover"); err != nil {
+		t.Fatal(err)
+	}
+	b.Put()
+	if got := Get(); got.Len() != 0 {
+		t.Errorf("reused buffer not reset: %q", got.Bytes())
+	}
+}
+
+// TestSteadyStateEncodeIsAllocationFree pins the pool's whole point: after
+// warmup, a Get/Encode/Put cycle reuses the same backing array and encoder.
+func TestSteadyStateEncodeIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	payload := struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}{Name: "power_w", Value: 7}
+
+	avg := testing.AllocsPerRun(200, func() {
+		b := Get()
+		if err := b.Encode(payload); err != nil {
+			t.Fatal(err)
+		}
+		b.Put()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state encode = %.1f allocs/op, want <= 1", avg)
+	}
+}
+
+// TestOversizedBuffersAreNotRetained proves a giant frame's backing array
+// is dropped at Put instead of pinned in the pool.
+func TestOversizedBuffersAreNotRetained(t *testing.T) {
+	b := Get()
+	if err := b.Encode(strings.Repeat("x", maxRetainedCap+1)); err != nil {
+		t.Fatal(err)
+	}
+	cap := b.Writer().Cap()
+	if cap <= maxRetainedCap {
+		t.Skipf("encode stayed within the retention cap (%d)", cap)
+	}
+	b.Put()
+	if got := Get(); got.Writer().Cap() == cap {
+		t.Error("oversized backing array came back from the pool")
+	}
+}

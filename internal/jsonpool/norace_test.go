@@ -1,0 +1,5 @@
+//go:build !race
+
+package jsonpool
+
+const raceEnabled = false

@@ -103,6 +103,15 @@ type StatusRequest struct {
 	Model    string `json:"model,omitempty"`
 	// Readings are sensor samples piggybacked on the message.
 	Readings []Reading `json:"readings,omitempty"`
+	// IdempotencyKey, when present, identifies this logical status message
+	// across transport-level redeliveries, like BindRequest.IdempotencyKey:
+	// the cloud records the response of an accepted status under the key and
+	// replays it verbatim for a retried delivery, so commands drained by a
+	// delivery whose response was lost are not lost with it and piggybacked
+	// readings are never ingested twice. Empty disables deduplication
+	// (bare online-marking is naturally idempotent). The retry layer stamps
+	// keys on batched status items.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// SourceIP is the observed source address (set by the transport, not
 	// the sender).
 	SourceIP string `json:"-"`

@@ -237,6 +237,29 @@ func (t *Transport) HandleStatus(req protocol.StatusRequest) (protocol.StatusRes
 	return do(t, "status", func() (protocol.StatusResponse, error) { return t.inner.HandleStatus(req) })
 }
 
+// HandleStatusBatch implements transport.Cloud, stamping a fresh
+// idempotency key on every item that lacks one — the same keys across all
+// delivery attempts of this logical batch. A batch that was delivered but
+// whose response vanished is then answered item-by-item from the cloud's
+// replay log on redelivery: commands drained by the lost delivery are
+// re-delivered and piggybacked readings are not ingested twice.
+func (t *Transport) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	if len(req.Items) > 0 {
+		// Copy the item slice before stamping: the caller may retain (and
+		// reuse) its slice, and a retried request must carry the same keys,
+		// not freshly minted ones.
+		items := make([]protocol.StatusRequest, len(req.Items))
+		copy(items, req.Items)
+		for i := range items {
+			if items[i].IdempotencyKey == "" {
+				items[i].IdempotencyKey = t.nextKey()
+			}
+		}
+		req.Items = items
+	}
+	return do(t, "status-batch", func() (protocol.StatusBatchResponse, error) { return t.inner.HandleStatusBatch(req) })
+}
+
 // HandleBind implements transport.Cloud, stamping one idempotency key
 // across every delivery attempt of this logical bind.
 func (t *Transport) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {

@@ -1,0 +1,73 @@
+package tcpapi
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// discardConn is a net.Conn that swallows writes; only Write is reachable
+// from writeFrame.
+type discardConn struct{}
+
+func (discardConn) Read([]byte) (int, error)         { return 0, nil }
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return nil }
+func (discardConn) RemoteAddr() net.Addr             { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestFrameEncodeAllocations pins the single-encode frame path: writing a
+// status response envelope must stay within a small constant budget. The
+// old double-encode path (payload marshaled into a RawMessage, then the
+// envelope marshaled around it) costs several allocations more per frame
+// and would trip this.
+func TestFrameEncodeAllocations(t *testing.T) {
+	resp := protocol.StatusResponse{
+		Commands: []protocol.Command{{ID: "c1", Name: "turn_on"}},
+		UserData: []protocol.UserData{{Kind: "schedule", Body: "on 08:00 off 22:00"}},
+	}
+	frame := wireResponse{OK: true, Payload: resp}
+	conn := discardConn{}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if err := writeFrame(conn, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured ~2 with the pooled encoder; 8 is the regression tripwire.
+	if avg > 8 {
+		t.Errorf("frame encode = %.1f allocs/op, want <= 8", avg)
+	}
+}
+
+// TestFrameDecodeAllocations pins the decode side: splitting a response
+// line into envelope and payload must not regress past the cost of the two
+// unmarshal passes the RawMessage design implies.
+func TestFrameDecodeAllocations(t *testing.T) {
+	line, err := json.Marshal(wireResponse{OK: true, Payload: protocol.StatusResponse{
+		Commands: []protocol.Command{{ID: "c1", Name: "turn_on"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		var resp response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatal(err)
+		}
+		var out protocol.StatusResponse
+		if err := json.Unmarshal(resp.Payload, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 20 {
+		t.Errorf("frame decode = %.1f allocs/op, want <= 20", avg)
+	}
+}

@@ -1,0 +1,153 @@
+package tcpapi_test
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/tcpapi"
+)
+
+// newTCPCloudWithOpts stands up a cloud behind a tcpapi server built with
+// the given frame options, dialing the client with its own (possibly
+// different) options.
+func newTCPCloudWithOpts(t *testing.T, serverOpts, clientOpts []tcpapi.Option) *tcpapi.Client {
+	t.Helper()
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: devID, FactorySecret: devSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(laxDesign(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := tcpapi.NewServer(svc, serverOpts...)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = server.Serve(l)
+	}()
+	t.Cleanup(func() {
+		_ = server.Close()
+		<-done
+	})
+
+	client, err := tcpapi.Dial(l.Addr().String(), clientOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+// TestStatusBatchOverTCP round-trips a mixed batch through the line
+// protocol: the envelope succeeds, and per-item outcomes — including their
+// wire-coded errors — survive the socket intact.
+func TestStatusBatchOverTCP(t *testing.T) {
+	client, _ := newTCPCloud(t)
+
+	resp, err := client.HandleStatusBatch(protocol.StatusBatchRequest{Items: []protocol.StatusRequest{
+		{Kind: protocol.StatusRegister, DeviceID: devID},
+		{Kind: protocol.StatusHeartbeat, DeviceID: "ghost"},
+		{Kind: protocol.StatusHeartbeat, DeviceID: devID,
+			Readings: []protocol.Reading{{Name: "power_w", Value: 5}}},
+	}})
+	if err != nil {
+		t.Fatalf("batch over TCP: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	if err := resp.Results[0].Err(); err != nil {
+		t.Errorf("item 0 = %v, want success", err)
+	}
+	if err := resp.Results[1].Err(); !errors.Is(err, protocol.ErrUnknownDevice) {
+		t.Errorf("item 1 = %v, want ErrUnknownDevice across the wire", err)
+	}
+	if err := resp.Results[2].Err(); err != nil {
+		t.Errorf("item 2 = %v, want success", err)
+	}
+}
+
+// TestConfiguredFrameCapRejectsAtLimit proves WithMaxFrame moves the
+// payload_too_large boundary: a frame comfortably under the default 1 MiB
+// cap is rejected by a server configured with a 4 KiB one, and the reply
+// names the configured limit.
+func TestConfiguredFrameCapRejectsAtLimit(t *testing.T) {
+	client := newTCPCloudWithOpts(t, []tcpapi.Option{tcpapi.WithMaxFrame(4096)}, nil)
+
+	_, err := client.Login(protocol.LoginRequest{
+		UserID:   strings.Repeat("x", 8192),
+		Password: "p",
+	})
+	if !errors.Is(err, protocol.ErrPayloadTooLarge) {
+		t.Fatalf("8 KiB frame at 4 KiB cap = %v, want ErrPayloadTooLarge", err)
+	}
+	if !strings.Contains(err.Error(), "4096") {
+		t.Errorf("error %q does not name the configured 4096-byte limit", err)
+	}
+
+	// The same login fits the default cap.
+	fallback, _ := newTCPCloud(t)
+	if _, err := fallback.Login(protocol.LoginRequest{
+		UserID:   strings.Repeat("x", 8192),
+		Password: "p",
+	}); !errors.Is(err, protocol.ErrAuthFailed) {
+		t.Errorf("8 KiB frame at default cap = %v, want the cloud's ErrAuthFailed", err)
+	}
+}
+
+// TestRaisedFrameCapAcceptsLargeBatch proves the cap can be raised for
+// coalesced traffic: a batch frame past the default 1 MiB bound is served
+// once both ends are configured for it.
+func TestRaisedFrameCapAcceptsLargeBatch(t *testing.T) {
+	opts := []tcpapi.Option{tcpapi.WithMaxFrame(8 << 20)}
+	client := newTCPCloudWithOpts(t, opts, opts)
+
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}); err != nil {
+		t.Fatal(err)
+	}
+	// One oversized item (a ~2 MiB firmware blob) pushes the frame well
+	// past the default cap.
+	resp, err := client.HandleStatusBatch(protocol.StatusBatchRequest{Items: []protocol.StatusRequest{
+		{Kind: protocol.StatusHeartbeat, DeviceID: devID, Firmware: strings.Repeat("v", 2<<20)},
+		{Kind: protocol.StatusHeartbeat, DeviceID: devID},
+	}})
+	if err != nil {
+		t.Fatalf("large batch at raised cap: %v", err)
+	}
+	if err := resp.FirstError(); err != nil {
+		t.Fatalf("large batch item failed: %v", err)
+	}
+}
+
+// TestClientFrameCapBoundsResponses proves the client-side knob is real: a
+// client dialed with a tiny cap fails to read an ordinary reply with
+// bufio.ErrTooLong instead of silently truncating it.
+func TestClientFrameCapBoundsResponses(t *testing.T) {
+	client := newTCPCloudWithOpts(t, nil, []tcpapi.Option{tcpapi.WithMaxFrame(16)})
+
+	_, err := client.Login(protocol.LoginRequest{UserID: "u", Password: "p"})
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("reply past client cap = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+// TestWithMaxFrameIgnoresNonPositive proves a zero/negative cap keeps the
+// default rather than disabling reads outright.
+func TestWithMaxFrameIgnoresNonPositive(t *testing.T) {
+	client := newTCPCloudWithOpts(t,
+		[]tcpapi.Option{tcpapi.WithMaxFrame(0)},
+		[]tcpapi.Option{tcpapi.WithMaxFrame(-1)})
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}); err != nil {
+		t.Errorf("status under default caps = %v", err)
+	}
+}

@@ -18,20 +18,25 @@ type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
 	scanner *bufio.Scanner
-	enc     *json.Encoder
 }
 
 var _ transport.Cloud = (*Client)(nil)
 
-// Dial connects to a tcpapi server.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a tcpapi server. Pass WithMaxFrame to accept response
+// lines past the default cap (it should match the server's configured
+// limit).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpapi: dial %s: %w", addr, err)
 	}
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 4096), maxFrame)
-	return &Client{conn: conn, scanner: scanner, enc: json.NewEncoder(conn)}, nil
+	scanner.Buffer(o.scanBuffer(), o.maxFrame)
+	return &Client{conn: conn, scanner: scanner}, nil
 }
 
 // Close closes the connection.
@@ -41,16 +46,13 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends one frame and decodes the reply into out.
+// roundTrip sends one frame and decodes the reply into out. The request
+// envelope is marshaled exactly once, payload inline, through a pooled
+// buffer — not payload-first into a RawMessage and envelope second.
 func (c *Client) roundTrip(op string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("tcpapi: encode %s: %w", op, err)
-	}
-
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(request{Op: op, Payload: payload}); err != nil {
+	if err := writeFrame(c.conn, wireRequest{Op: op, Payload: in}); err != nil {
 		return fmt.Errorf("tcpapi: send %s: %w", op, err)
 	}
 	if !c.scanner.Scan() {
@@ -107,6 +109,14 @@ func (c *Client) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindT
 func (c *Client) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
 	var out protocol.StatusResponse
 	err := c.roundTrip(OpStatus, req, &out)
+	return out, err
+}
+
+// HandleStatusBatch implements transport.Cloud: one frame carries the
+// whole coalesced batch.
+func (c *Client) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	var out protocol.StatusBatchResponse
+	err := c.roundTrip(OpStatusBatch, req, &out)
 	return out, err
 }
 

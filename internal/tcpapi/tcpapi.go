@@ -24,6 +24,7 @@ import (
 	"net"
 	"sync"
 
+	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/transport"
 )
@@ -35,6 +36,7 @@ const (
 	OpDeviceToken  = "device-token"
 	OpBindToken    = "bind-token"
 	OpStatus       = "status"
+	OpStatusBatch  = "status-batch"
 	OpBind         = "bind"
 	OpUnbind       = "unbind"
 	OpControl      = "control"
@@ -45,16 +47,54 @@ const (
 	OpShadow       = "shadow"
 )
 
-// maxFrame bounds a single request or response line.
-const maxFrame = 1 << 20
+// DefaultMaxFrame bounds a single request or response line unless
+// overridden with WithMaxFrame.
+const DefaultMaxFrame = 1 << 20
 
-// request is the client->server frame.
+// options holds the knobs shared by Server and Client.
+type options struct {
+	maxFrame int
+}
+
+func defaultOptions() options {
+	return options{maxFrame: DefaultMaxFrame}
+}
+
+// scanBuffer sizes a line scanner's initial buffer so the configured cap is
+// exact: bufio.Scanner treats the larger of the initial buffer and max as
+// the token bound, so a cap under the 4 KiB default buffer must shrink the
+// buffer too.
+func (o options) scanBuffer() []byte {
+	n := 4096
+	if o.maxFrame < n {
+		n = o.maxFrame
+	}
+	return make([]byte, n)
+}
+
+// Option configures a Server or Client.
+type Option func(*options)
+
+// WithMaxFrame sets the maximum accepted line length in bytes, on the
+// server's request scanner or the client's response scanner. A fleet that
+// coalesces large status batches raises it; a constrained deployment
+// lowers it. Non-positive values keep the default.
+func WithMaxFrame(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.maxFrame = n
+		}
+	}
+}
+
+// request is the decode side of the client->server frame: the payload
+// stays raw until the op picks its concrete type.
 type request struct {
 	Op      string          `json:"op"`
 	Payload json.RawMessage `json:"payload"`
 }
 
-// response is the server->client frame.
+// response is the decode side of the server->client frame.
 type response struct {
 	OK      bool            `json:"ok"`
 	Code    string          `json:"code,omitempty"`
@@ -62,9 +102,39 @@ type response struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
+// wireRequest and wireResponse are the encode side of the same frames.
+// Payload holds the value itself, so the whole envelope is marshaled in
+// one pass — the decode-side structs would force the payload through
+// json.Marshal into a RawMessage first and then encode those bytes again
+// inside the envelope, serializing every frame twice.
+type wireRequest struct {
+	Op      string `json:"op"`
+	Payload any    `json:"payload"`
+}
+
+type wireResponse struct {
+	OK      bool   `json:"ok"`
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+	Payload any    `json:"payload,omitempty"`
+}
+
+// writeFrame marshals one envelope through a pooled buffer and writes it
+// as a single line.
+func writeFrame(conn net.Conn, frame any) error {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.Encode(frame); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf.Bytes())
+	return err
+}
+
 // Server serves a cloud over a TCP listener.
 type Server struct {
 	cloud transport.Cloud
+	opts  options
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -74,8 +144,12 @@ type Server struct {
 }
 
 // NewServer wraps a cloud implementation.
-func NewServer(cloud transport.Cloud) *Server {
-	return &Server{cloud: cloud, conns: make(map[net.Conn]struct{})}
+func NewServer(cloud transport.Cloud, opts ...Option) *Server {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Server{cloud: cloud, opts: o, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections on l until Close is called. It blocks.
@@ -146,32 +220,31 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sourceIP := remoteIP(conn)
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 4096), maxFrame)
-	enc := json.NewEncoder(conn)
+	scanner.Buffer(s.opts.scanBuffer(), s.opts.maxFrame)
 
 	for scanner.Scan() {
 		var req request
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			_ = enc.Encode(response{OK: false, Code: "bad_request", Message: "malformed frame"})
+			_ = writeFrame(conn, wireResponse{OK: false, Code: "bad_request", Message: "malformed frame"})
 			return
 		}
 		resp := s.dispatch(req, sourceIP)
-		if err := enc.Encode(resp); err != nil {
+		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
 	}
-	// A frame past maxFrame is the sender's mistake: answer with the same
-	// payload_too_large code the HTTP front end uses before dropping the
-	// connection, so the client sees protocol.ErrPayloadTooLarge instead
-	// of an unexplained hangup.
+	// A frame past the configured cap is the sender's mistake: answer with
+	// the same payload_too_large code the HTTP front end uses before
+	// dropping the connection, so the client sees
+	// protocol.ErrPayloadTooLarge instead of an unexplained hangup.
 	if err := scanner.Err(); errors.Is(err, bufio.ErrTooLong) {
-		_ = enc.Encode(response{OK: false, Code: "payload_too_large",
-			Message: fmt.Sprintf("frame exceeds %d bytes", maxFrame)})
+		_ = writeFrame(conn, wireResponse{OK: false, Code: "payload_too_large",
+			Message: fmt.Sprintf("frame exceeds %d bytes", s.opts.maxFrame)})
 	}
 }
 
 // dispatch routes one frame to the cloud.
-func (s *Server) dispatch(req request, sourceIP string) response {
+func (s *Server) dispatch(req request, sourceIP string) wireResponse {
 	switch req.Op {
 	case OpRegisterUser:
 		var p protocol.RegisterUserRequest
@@ -192,6 +265,12 @@ func (s *Server) dispatch(req request, sourceIP string) response {
 		return s.call(req.Payload, &p, func() (any, error) {
 			p.SourceIP = sourceIP
 			return s.cloud.HandleStatus(p)
+		})
+	case OpStatusBatch:
+		var p protocol.StatusBatchRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			p.SourceIP = sourceIP
+			return s.cloud.HandleStatusBatch(p)
 		})
 	case OpBind:
 		var p protocol.BindRequest
@@ -231,29 +310,28 @@ func (s *Server) dispatch(req request, sourceIP string) response {
 		var p protocol.ShadowStateRequest
 		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.ShadowState(p) })
 	default:
-		return response{OK: false, Code: "bad_request", Message: fmt.Sprintf("unknown op %q", req.Op)}
+		return wireResponse{OK: false, Code: "bad_request", Message: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-// call decodes the payload, runs the handler, and encodes the outcome.
-func (s *Server) call(raw json.RawMessage, into any, handler func() (any, error)) response {
+// call decodes the payload, runs the handler, and builds the response
+// envelope. The handler's result rides in the envelope as a value —
+// serialized exactly once, by writeFrame — instead of being pre-marshaled
+// into a RawMessage and encoded a second time.
+func (s *Server) call(raw json.RawMessage, into any, handler func() (any, error)) wireResponse {
 	if len(raw) > 0 {
 		if err := json.Unmarshal(raw, into); err != nil {
-			return response{OK: false, Code: "bad_request", Message: "malformed payload"}
+			return wireResponse{OK: false, Code: "bad_request", Message: "malformed payload"}
 		}
 	}
 	result, err := handler()
 	if err != nil {
 		if code, ok := protocol.WireCode(err); ok {
-			return response{OK: false, Code: code, Message: err.Error()}
+			return wireResponse{OK: false, Code: code, Message: err.Error()}
 		}
-		return response{OK: false, Code: "internal", Message: err.Error()}
+		return wireResponse{OK: false, Code: "internal", Message: err.Error()}
 	}
-	payload, err := json.Marshal(result)
-	if err != nil {
-		return response{OK: false, Code: "internal", Message: err.Error()}
-	}
-	return response{OK: true, Payload: payload}
+	return wireResponse{OK: true, Payload: result}
 }
 
 func remoteIP(conn net.Conn) string {

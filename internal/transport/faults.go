@@ -258,6 +258,14 @@ func (f *Faults) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespon
 	return faultCall(f, "status", func() (protocol.StatusResponse, error) { return f.inner.HandleStatus(req) })
 }
 
+// HandleStatusBatch implements Cloud. A batch is one wire message: it
+// draws one fault schedule slot, so the whole batch is dropped (before or
+// after delivery) or delivered together — exactly how a real coalesced
+// frame fails.
+func (f *Faults) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	return faultCall(f, "status-batch", func() (protocol.StatusBatchResponse, error) { return f.inner.HandleStatusBatch(req) })
+}
+
 // HandleBind implements Cloud.
 func (f *Faults) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
 	return faultCall(f, "bind", func() (protocol.BindResponse, error) { return f.inner.HandleBind(req) })

@@ -112,6 +112,15 @@ func (f *Flaky) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespons
 	return f.inner.HandleStatus(req)
 }
 
+// HandleStatusBatch implements Cloud. A batch is one wire message, so it
+// ticks the schedule once: the whole batch is delivered or lost together.
+func (f *Flaky) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	if err := f.tick("status-batch"); err != nil {
+		return protocol.StatusBatchResponse{}, err
+	}
+	return f.inner.HandleStatusBatch(req)
+}
+
 // HandleBind implements Cloud.
 func (f *Flaky) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
 	if err := f.tick("bind"); err != nil {

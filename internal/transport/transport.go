@@ -21,6 +21,10 @@ type Cloud interface {
 	RequestBindToken(protocol.BindTokenRequest) (protocol.BindTokenResponse, error)
 	// HandleStatus processes a device status message.
 	HandleStatus(protocol.StatusRequest) (protocol.StatusResponse, error)
+	// HandleStatusBatch processes many status messages in one round trip
+	// with per-item outcomes — the hot-path amortization for
+	// heartbeat-dominated traffic.
+	HandleStatusBatch(protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error)
 	// HandleBind processes a binding-creation message.
 	HandleBind(protocol.BindRequest) (protocol.BindResponse, error)
 	// HandleUnbind processes a binding-revocation message.
@@ -75,6 +79,13 @@ func (s *stamped) RequestBindToken(req protocol.BindTokenRequest) (protocol.Bind
 func (s *stamped) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
 	req.SourceIP = s.ip
 	return s.cloud.HandleStatus(req)
+}
+
+func (s *stamped) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	// The batch travels as one wire message from one network, so a single
+	// batch-level stamp covers every item; the cloud fans it out.
+	req.SourceIP = s.ip
+	return s.cloud.HandleStatusBatch(req)
 }
 
 func (s *stamped) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
