@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// durableDir builds a real cloud.Durable directory with a few logged
+// operations, the corpus dump and verify run against.
+func durableDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	design := core.DesignSpec{
+		Name:                 "walinspect-test",
+		DeviceAuth:           core.AuthDevID,
+		Binding:              core.BindACLApp,
+		CheckBoundUserOnBind: true,
+	}
+	registry := cloud.NewRegistry()
+	const deviceID = "AA:BB:CC:00:0E:01"
+	if err := registry.Add(cloud.DeviceRecord{ID: deviceID, FactorySecret: "fs"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := cloud.OpenDurable(dir, design, registry, cloud.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.RegisterUser(protocol.RegisterUserRequest{UserID: "u@x", Password: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	login, err := d.Login(protocol.LoginRequest{UserID: "u@x", Password: "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: deviceID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: deviceID, UserToken: login.UserToken}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDumpAndVerifyDurableDir(t *testing.T) {
+	dir := durableDir(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"dump", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("dump exited %d: %s", code, errOut.Bytes())
+	}
+	text := out.String()
+	for _, want := range []string{"register_user", "login user=u@x", "status register", "bind", "4 record(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"verify", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("verify exited %d: %s", code, errOut.Bytes())
+	}
+	if !strings.Contains(out.String(), "4 record(s)") {
+		t.Errorf("verify output missing record count:\n%s", out.String())
+	}
+	// verify must not have decoded records into stdout.
+	if strings.Contains(out.String(), "register_user") {
+		t.Errorf("verify dumped records:\n%s", out.String())
+	}
+}
+
+func TestVerifyMissingDirFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"verify", filepath.Join(t.TempDir(), "nope")}, &out, &errOut); code != 1 {
+		t.Fatalf("verify of missing dir exited %d, want 1", code)
+	}
+}
+
+func TestSelfcheck(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"selfcheck"}, &out, &errOut); code != 0 {
+		t.Fatalf("selfcheck exited %d: %s", code, errOut.Bytes())
+	}
+	if !strings.Contains(out.String(), "selfcheck ok") {
+		t.Errorf("selfcheck output: %s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown command exited %d, want 2", code)
+	}
+	if code := run([]string{"dump"}, &out, &errOut); code != 2 {
+		t.Errorf("dump without dir exited %d, want 2", code)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"github.com/iotbind/iotbind/internal/hub"
 	"github.com/iotbind/iotbind/internal/modelcheck"
 	"github.com/iotbind/iotbind/internal/tcpapi"
+	"github.com/iotbind/iotbind/internal/testbed"
 	"github.com/iotbind/iotbind/internal/trace"
 	"github.com/iotbind/iotbind/internal/transport"
+	"github.com/iotbind/iotbind/internal/wal"
 )
 
 // ---- automatic attack discovery (Section VIII future work) ---------------
@@ -233,6 +235,87 @@ func NewFlakyTransport(inner CloudTransport, failEvery int) *FlakyTransport {
 
 // ErrCloudUnavailable is the injected transport failure.
 var ErrCloudUnavailable = transport.ErrUnavailable
+
+// ---- durability: write-ahead log and crash recovery ------------------------
+
+// DurableCloud is a cloud service with crash durability: every mutation
+// is logged to a write-ahead log before it is applied, state is
+// checkpointed into snapshots, and reopening the same directory
+// recovers the exact pre-crash state (latest snapshot + WAL replay).
+type DurableCloud = cloud.Durable
+
+// DurableCloudOptions configures a durable cloud.
+type DurableCloudOptions = cloud.DurableOptions
+
+// DurableRecovery reports what recovery did when a durable cloud opened.
+type DurableRecovery = cloud.DurableRecovery
+
+// OpenDurableCloud opens (or creates) a durable cloud rooted at dir.
+func OpenDurableCloud(dir string, design DesignSpec, registry *Registry, opts DurableCloudOptions) (*DurableCloud, error) {
+	return cloud.OpenDurable(dir, design, registry, opts)
+}
+
+// WithPersistentIdempotency includes per-shadow idempotency replay logs
+// in snapshots, keeping keyed requests at-most-once across restarts.
+func WithPersistentIdempotency() CloudOption { return cloud.WithPersistentIdempotency() }
+
+// WAL is a segmented, checksummed write-ahead log.
+type WAL = wal.Log
+
+// WALOptions configures a write-ahead log.
+type WALOptions = wal.Options
+
+// WALSyncPolicy selects when appends reach stable storage.
+type WALSyncPolicy = wal.SyncPolicy
+
+// The fsync policies, ordered from weakest to strongest durability.
+const (
+	WALSyncOff         = wal.SyncOff
+	WALSyncGrouped     = wal.SyncGrouped
+	WALSyncEveryRecord = wal.SyncEveryRecord
+)
+
+// OpenWAL opens (or creates) a write-ahead log in dir, recovering any
+// torn tail left by a crash.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// WALScanReport summarizes a read-only integrity scan of a WAL directory.
+type WALScanReport = wal.ScanReport
+
+// ScanWAL walks every record in a WAL directory without opening it for
+// writes, reporting integrity (including torn tails) and invoking fn,
+// when non-nil, per record.
+func ScanWAL(dir string, fn func(lsn uint64, payload []byte) error) (WALScanReport, error) {
+	return wal.Scan(dir, 0, fn)
+}
+
+// ErrWALCorrupt reports corruption before the tail of a log — data that
+// was once acknowledged as synced and can no longer be read.
+var ErrWALCorrupt = wal.ErrCorrupt
+
+// CrashRecoveryConfig parameterizes a seeded crash-fault run.
+type CrashRecoveryConfig = testbed.CrashRecoveryConfig
+
+// CrashRecoveryResult reports one crash-fault run.
+type CrashRecoveryResult = testbed.CrashRecoveryResult
+
+// RunCrashRecovery drives a workload against a durable cloud while a
+// seeded kill schedule crashes it at WAL write stages, recovering after
+// every crash, and proves the survivor's final state byte-identical to a
+// never-crashed reference.
+func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
+	return testbed.RunCrashRecovery(cfg)
+}
+
+// SwitchableTransport is an atomically swappable cloud transport:
+// agents hold it across a backend restart while the harness swaps the
+// recovered instance in underneath their retries.
+type SwitchableTransport = transport.Switchable
+
+// NewSwitchableTransport wraps the initial backend.
+func NewSwitchableTransport(inner CloudTransport) *SwitchableTransport {
+	return transport.NewSwitchable(inner)
+}
 
 // Compile-time checks that the traced transport still satisfies the
 // transport contract.

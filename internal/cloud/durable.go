@@ -1,0 +1,687 @@
+package cloud
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/jsonpool"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/token"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// Durable wraps a Service with write-ahead logging and snapshot-anchored
+// recovery: every state mutation is appended to the WAL before it is
+// applied, checkpoints write a Snapshot and delete the WAL segments it
+// covers, and OpenDurable rebuilds the service by restoring the latest
+// valid snapshot and replaying the WAL tail.
+//
+// Replay is deterministic by construction. Each record carries the wall
+// time its operation executed at, and operation entropy (token values,
+// session nonces) is drawn from a DRBG seeded by the directory's master
+// seed and the record's LSN — so a replayed operation issues the exact
+// credentials the live execution issued, and the recovered Snapshot is
+// byte-identical to a snapshot of the logged prefix.
+//
+// One deliberate exception keeps the durability tax off the liveness
+// path: a pure keep-alive heartbeat (unkeyed, no readings, no button,
+// not a registration) mutates only lastSeen, the online flip and the
+// status counters, so it is applied without a WAL record; if it drains
+// queued commands or user data — a durable mutation — a record is
+// appended after the fact so the drain survives a restart. Liveness
+// state lost this way is re-established by the next heartbeat, and the
+// skipped counters are durable as of the last checkpoint.
+//
+// Durable implements the same handler surface as Service (the
+// transport.Cloud contract) and is safe for concurrent use; logged
+// operations serialize on the WAL mutex, which also fixes the replay
+// order.
+type Durable struct {
+	dir    string
+	svc    *Service
+	log    *wal.Log
+	wall   func() time.Time
+	master [32]byte
+
+	mu       sync.Mutex
+	op       atomic.Pointer[durableOp]
+	recovery DurableRecovery
+	closed   bool
+}
+
+// durableOp pins the clock (and, for logged operations, the entropy
+// stream) of the operation currently executing under d.mu. Read paths
+// outside the mutex observe a nil pointer and fall back to wall time.
+type durableOp struct {
+	at time.Time
+	g  *drbg
+}
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// WAL configures the log (fsync policy, segment size, failpoint).
+	// InitialLSN is overwritten: it is anchored to the recovered
+	// snapshot.
+	WAL wal.Options
+	// Clock overrides the wall clock (tests, testbeds).
+	Clock func() time.Time
+	// ServiceOptions are forwarded to the underlying Service —
+	// WithPersistentIdempotency, TTL overrides, and the like. Clock,
+	// nonce-source and token-issuer options are installed by Durable
+	// itself and must not be passed here.
+	ServiceOptions []Option
+}
+
+// DurableRecovery describes what OpenDurable rebuilt.
+type DurableRecovery struct {
+	// SnapshotLSN is the LSN the restored snapshot covered (0 when the
+	// directory had no usable snapshot).
+	SnapshotLSN uint64
+	// SnapshotsSkipped counts snapshot files that failed to parse or
+	// restore — torn checkpoints left behind by a crash, skipped in
+	// favour of an older valid one.
+	SnapshotsSkipped int
+	// Replayed is how many WAL records were re-executed on top of the
+	// snapshot.
+	Replayed int
+	// WAL is the log's own scan/truncation report.
+	WAL wal.RecoveryInfo
+}
+
+// durableMeta is the dir/meta.json sidecar: the design the directory
+// belongs to and the master entropy seed replay determinism hangs off.
+type durableMeta struct {
+	Version    int    `json:"version"`
+	Design     string `json:"design"`
+	MasterSeed string `json:"master_seed"`
+}
+
+const durableMetaVersion = 1
+
+// ErrDurableClosed is returned by operations on a closed Durable.
+var ErrDurableClosed = errors.New("cloud: durable cloud closed")
+
+// OpenDurable opens (creating if necessary) a durable cloud rooted at
+// dir: meta.json, snap-*.json checkpoints, and a wal/ subdirectory.
+func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts DurableOptions) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cloud: open durable: %w", err)
+	}
+	d := &Durable{dir: dir, wall: opts.Clock}
+	if d.wall == nil {
+		d.wall = time.Now
+	}
+	if err := d.loadOrCreateMeta(design.Name); err != nil {
+		return nil, err
+	}
+
+	// Latest valid snapshot first: a checkpoint torn by a crash is
+	// skipped in favour of its predecessor (the WAL behind it was only
+	// truncated after the snapshot fully landed, so the predecessor's
+	// tail is still complete).
+	snapLSN, snap, skipped, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	d.recovery.SnapshotLSN = snapLSN
+	d.recovery.SnapshotsSkipped = skipped
+
+	walOpts := opts.WAL
+	walOpts.InitialLSN = snapLSN + 1
+	log, err := wal.Open(filepath.Join(dir, "wal"), walOpts)
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	d.recovery.WAL = log.Recovery()
+
+	issuer := token.NewIssuer(token.WithClock(d.now), token.WithRandom(d.readEntropy))
+	svcOpts := append(append([]Option(nil), opts.ServiceOptions...),
+		WithClock(d.now), WithRandomHex(d.randomHex), WithTokenIssuer(issuer))
+	svc, err := NewService(design, registry, svcOpts...)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	d.svc = svc
+
+	if snapLSN > 0 {
+		if err := svc.Restore(snap); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("cloud: restore checkpoint at LSN %d: %w", snapLSN, err)
+		}
+	}
+
+	replayErr := log.Replay(snapLSN+1, func(lsn uint64, payload []byte) error {
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
+		}
+		d.op.Store(&durableOp{at: rec.at, g: newDRBG(&d.master, lsn)})
+		err = rec.apply(svc)
+		d.op.Store(nil)
+		if err != nil {
+			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
+		}
+		d.recovery.Replayed++
+		return nil
+	})
+	if replayErr != nil {
+		log.Close()
+		return nil, replayErr
+	}
+	return d, nil
+}
+
+// loadOrCreateMeta reads dir/meta.json or writes a fresh one with a
+// random master seed, and pins the directory to the design.
+func (d *Durable) loadOrCreateMeta(designName string) error {
+	path := filepath.Join(d.dir, "meta.json")
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var meta durableMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return fmt.Errorf("cloud: meta.json: %w", err)
+		}
+		if meta.Version != durableMetaVersion {
+			return fmt.Errorf("cloud: %w: meta version %d, want %d", protocol.ErrBadRequest, meta.Version, durableMetaVersion)
+		}
+		if meta.Design != designName {
+			return fmt.Errorf("cloud: %w: directory belongs to design %q, not %q", protocol.ErrBadRequest, meta.Design, designName)
+		}
+		seed, err := hex.DecodeString(meta.MasterSeed)
+		if err != nil || len(seed) != len(d.master) {
+			return fmt.Errorf("cloud: %w: meta.json master seed malformed", protocol.ErrBadRequest)
+		}
+		copy(d.master[:], seed)
+		return nil
+	case os.IsNotExist(err):
+		if _, err := rand.Read(d.master[:]); err != nil {
+			return fmt.Errorf("cloud: master seed: %w", err)
+		}
+		meta := durableMeta{Version: durableMetaVersion, Design: designName, MasterSeed: hex.EncodeToString(d.master[:])}
+		data, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return fmt.Errorf("cloud: meta.json: %w", err)
+		}
+		return atomicWriteFile(path, append(data, '\n'))
+	default:
+		return fmt.Errorf("cloud: meta.json: %w", err)
+	}
+}
+
+// ---- deterministic replay plumbing -----------------------------------------
+
+// drbg is a deterministic SHA-256 counter generator. Each logged
+// operation gets its own stream seeded by (master seed, LSN): live
+// execution and replay of the same record draw identical bytes, and no
+// two records ever share a stream.
+type drbg struct {
+	seed [40]byte // master(32) || LSN(8)
+	blk  [32]byte
+	ctr  uint64
+	rem  int // unread bytes of blk
+}
+
+func newDRBG(master *[32]byte, lsn uint64) *drbg {
+	g := &drbg{}
+	copy(g.seed[:32], master[:])
+	binary.LittleEndian.PutUint64(g.seed[32:], lsn)
+	return g
+}
+
+func (g *drbg) read(p []byte) {
+	for len(p) > 0 {
+		if g.rem == 0 {
+			var in [48]byte
+			copy(in[:40], g.seed[:])
+			binary.LittleEndian.PutUint64(in[40:], g.ctr)
+			g.blk = sha256.Sum256(in[:])
+			g.ctr++
+			g.rem = len(g.blk)
+		}
+		n := copy(p, g.blk[len(g.blk)-g.rem:])
+		g.rem -= n
+		p = p[n:]
+	}
+}
+
+// now is the service clock: inside an operation it is the record's
+// time, outside (read paths, snapshot timestamps) it is wall time.
+func (d *Durable) now() time.Time {
+	if op := d.op.Load(); op != nil {
+		return op.at
+	}
+	return d.wall()
+}
+
+// readEntropy feeds the token issuer: logged operations draw from the
+// per-record DRBG, anything else (never on the logged path) falls back
+// to the system source.
+func (d *Durable) readEntropy(p []byte) error {
+	if op := d.op.Load(); op != nil && op.g != nil {
+		op.g.read(p)
+		return nil
+	}
+	_, err := rand.Read(p)
+	return err
+}
+
+// randomHex feeds the service's nonce source from the same stream.
+func (d *Durable) randomHex() (string, error) {
+	var b [16]byte
+	if err := d.readEntropy(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// ---- logged execution ------------------------------------------------------
+
+// logThenApply appends the encoded record and, only if the append
+// succeeded, executes apply under the record's clock and entropy. The
+// caller holds d.mu. A failed append (including a simulated crash)
+// leaves the service untouched: write-ahead means nothing unlogged is
+// ever applied.
+func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) error, apply func() (T, error)) (T, error) {
+	var zero T
+	at := d.wall().UTC()
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := encode(buf, at); err != nil {
+		return zero, fmt.Errorf("cloud: encode WAL record: %w", err)
+	}
+	lsn, err := d.log.Append(buf.Bytes())
+	if err != nil {
+		return zero, fmt.Errorf("cloud: durable log: %w", err)
+	}
+	d.op.Store(&durableOp{at: at, g: newDRBG(&d.master, lsn)})
+	resp, aerr := apply()
+	d.op.Store(nil)
+	return resp, aerr
+}
+
+// logJSON is logThenApply for the cold JSON-envelope operations.
+func logJSON[T any](d *Durable, op, src string, fill func(*walEnvelope), apply func() (T, error)) (T, error) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return zero, ErrDurableClosed
+	}
+	return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
+		env := walEnvelope{Op: op, At: walEncodeTime(at), Src: src}
+		fill(&env)
+		return buf.Encode(env)
+	}, apply)
+}
+
+// statusNeedsWAL decides whether a status message is a durable mutation
+// (log-before) or pure liveness (apply, log only on drain). Registers
+// always log: they set the device address, may open button windows,
+// mint session nonces and revoke session-tied bindings.
+func statusNeedsWAL(req *protocol.StatusRequest) bool {
+	return req.Kind != protocol.StatusHeartbeat ||
+		req.IdempotencyKey != "" ||
+		len(req.Readings) > 0 ||
+		req.ButtonPressed
+}
+
+// ---- the handler surface ---------------------------------------------------
+
+// RegisterUser creates a user account, durably.
+func (d *Durable) RegisterUser(req protocol.RegisterUserRequest) error {
+	_, err := logJSON(d, "register_user", "", func(env *walEnvelope) { env.RegisterUser = &req },
+		func() (struct{}, error) { return struct{}{}, d.svc.RegisterUser(req) })
+	return err
+}
+
+// Login authenticates a user and durably issues a UserToken.
+func (d *Durable) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	return logJSON(d, "login", "", func(env *walEnvelope) { env.Login = &req },
+		func() (protocol.LoginResponse, error) { return d.svc.Login(req) })
+}
+
+// RequestDeviceToken durably issues a dynamic device token.
+func (d *Durable) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	return logJSON(d, "device_token", "", func(env *walEnvelope) { env.DeviceToken = &req },
+		func() (protocol.DeviceTokenResponse, error) { return d.svc.RequestDeviceToken(req) })
+}
+
+// RequestBindToken durably issues a capability binding token.
+func (d *Durable) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	return logJSON(d, "bind_token", "", func(env *walEnvelope) { env.BindToken = &req },
+		func() (protocol.BindTokenResponse, error) { return d.svc.RequestBindToken(req) })
+}
+
+// HandleBind processes a binding-creation message, durably.
+func (d *Durable) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	return logJSON(d, "bind", req.SourceIP, func(env *walEnvelope) { env.Bind = &req },
+		func() (protocol.BindResponse, error) { return d.svc.HandleBind(req) })
+}
+
+// HandleUnbind processes a binding-revocation message, durably.
+func (d *Durable) HandleUnbind(req protocol.UnbindRequest) error {
+	_, err := logJSON(d, "unbind", req.SourceIP, func(env *walEnvelope) { env.Unbind = &req },
+		func() (struct{}, error) { return struct{}{}, d.svc.HandleUnbind(req) })
+	return err
+}
+
+// HandleControl relays a command, durably (the queued command is inbox
+// state a crash must not lose).
+func (d *Durable) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	return logJSON(d, "control", req.SourceIP, func(env *walEnvelope) { env.Control = &req },
+		func() (protocol.ControlResponse, error) { return d.svc.HandleControl(req) })
+}
+
+// PushUserData stores user state for the device, durably.
+func (d *Durable) PushUserData(req protocol.PushUserDataRequest) error {
+	_, err := logJSON(d, "push", "", func(env *walEnvelope) { env.Push = &req },
+		func() (struct{}, error) { return struct{}{}, d.svc.PushUserData(req) })
+	return err
+}
+
+// HandleShare grants or revokes guest access, durably.
+func (d *Durable) HandleShare(req protocol.ShareRequest) error {
+	_, err := logJSON(d, "share", "", func(env *walEnvelope) { env.Share = &req },
+		func() (struct{}, error) { return struct{}{}, d.svc.HandleShare(req) })
+	return err
+}
+
+// HandleStatus processes a device status message. Durable mutations
+// (registers, keyed or data-bearing heartbeats) are logged before they
+// apply; pure keep-alives take the liveness path documented on Durable.
+func (d *Durable) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	if statusNeedsWAL(&req) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.closed {
+			return protocol.StatusResponse{}, ErrDurableClosed
+		}
+		return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
+			encodeStatusRecord(buf.Writer(), at, &req)
+			return nil
+		}, func() (protocol.StatusResponse, error) { return d.svc.HandleStatus(req) })
+	}
+
+	// Liveness fast path: apply first under the wall clock (no op
+	// context — a bare heartbeat draws no entropy, and the record time
+	// is only needed if it drained state, which is rare). A drain makes
+	// it durable after the fact. The mutex still covers the apply so a
+	// drain record's log position matches its apply order relative to
+	// logged operations — replay must not drain items queued after it.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return protocol.StatusResponse{}, ErrDurableClosed
+	}
+	resp, err := d.svc.HandleStatus(req)
+	if err == nil && (len(resp.Commands) > 0 || len(resp.UserData) > 0) {
+		buf := jsonpool.Get()
+		encodeStatusRecord(buf.Writer(), d.wall().UTC(), &req)
+		_, lerr := d.log.Append(buf.Bytes())
+		buf.Put()
+		if lerr != nil {
+			// The WAL is dead and the drain never became durable; fail
+			// the delivery so the recovered cloud (which still holds
+			// the queued items) redelivers them.
+			d.mu.Unlock()
+			return protocol.StatusResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
+		}
+	}
+	d.mu.Unlock()
+	return resp, err
+}
+
+// HandleStatusBatch processes a status batch. A batch containing any
+// durable item is logged whole before applying; an all-liveness batch
+// applies first and is logged only if some item drained inbox state.
+func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return protocol.StatusBatchResponse{}, ErrDurableClosed
+	}
+	needsWAL := false
+	for i := range req.Items {
+		if statusNeedsWAL(&req.Items[i]) {
+			needsWAL = true
+			break
+		}
+	}
+	if needsWAL {
+		return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
+			encodeBatchRecord(buf.Writer(), at, &req)
+			return nil
+		}, func() (protocol.StatusBatchResponse, error) { return d.svc.HandleStatusBatch(req) })
+	}
+
+	resp, err := d.svc.HandleStatusBatch(req)
+	if err == nil {
+		drained := false
+		for i := range resp.Results {
+			r := &resp.Results[i]
+			if len(r.Response.Commands) > 0 || len(r.Response.UserData) > 0 {
+				drained = true
+				break
+			}
+		}
+		if drained {
+			buf := jsonpool.Get()
+			defer buf.Put()
+			encodeBatchRecord(buf.Writer(), d.wall().UTC(), &req)
+			if _, lerr := d.log.Append(buf.Bytes()); lerr != nil {
+				return protocol.StatusBatchResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
+			}
+		}
+	}
+	return resp, err
+}
+
+// Readings passes through: a pure read.
+func (d *Durable) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	return d.svc.Readings(req)
+}
+
+// Shares passes through: a pure read.
+func (d *Durable) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	return d.svc.Shares(req)
+}
+
+// ShadowState passes through. It may apply heartbeat expiry under wall
+// time; expiry is a pure function of (now, lastSeen), so live and
+// recovered clouds converge on the same answer without a record.
+func (d *Durable) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	return d.svc.ShadowState(req)
+}
+
+// ---- checkpointing and lifecycle -------------------------------------------
+
+// snapSuffix and snapPrefix name checkpoint files snap-<lsn>.json.
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+)
+
+func snapshotPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
+}
+
+// Checkpoint syncs the WAL, writes a snapshot anchored at the current
+// LSN, then deletes WAL segments and older snapshots wholly covered by
+// it. Crash-safe in every window: the snapshot lands atomically
+// (tmp+rename, both fsynced) before any truncation, so recovery always
+// finds either the new checkpoint or the old one with its full WAL
+// tail.
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if err := d.log.Sync(); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	lsn := d.log.LastLSN()
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.EncodeIndent(d.svc.Snapshot(), "", "  "); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	if err := atomicWriteFile(snapshotPath(d.dir, lsn), buf.Bytes()); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	if _, err := d.log.TruncateBefore(lsn + 1); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	// Older checkpoints are now redundant; losing this cleanup to a
+	// crash costs disk, not correctness.
+	if snaps, err := listSnapshots(d.dir); err == nil {
+		for _, s := range snaps {
+			if s.lsn < lsn {
+				_ = os.Remove(s.path)
+			}
+		}
+	}
+	return nil
+}
+
+// AppliedOps returns how many logged operations the durable cloud has
+// applied over its lifetime (equivalently: the last LSN). Restart
+// harnesses use it as the resume oracle — for an all-logged workload it
+// is exactly the count of workload operations whose effects survived.
+func (d *Durable) AppliedOps() uint64 { return d.log.LastLSN() }
+
+// Recovery reports what OpenDurable rebuilt.
+func (d *Durable) Recovery() DurableRecovery { return d.recovery }
+
+// Service exposes the underlying in-memory service (snapshots,
+// diagnostics). Mutating it directly bypasses the WAL.
+func (d *Durable) Service() *Service { return d.svc }
+
+// Design returns the design spec the cloud enforces.
+func (d *Durable) Design() core.DesignSpec { return d.svc.Design() }
+
+// Snapshot captures the current state (see Service.Snapshot).
+func (d *Durable) Snapshot() Snapshot { return d.svc.Snapshot() }
+
+// WriteSnapshot serializes the current state as JSON.
+func (d *Durable) WriteSnapshot(w interface{ Write([]byte) (int, error) }) error {
+	return d.svc.WriteSnapshot(w)
+}
+
+// Close syncs and closes the WAL. The directory reopens with
+// OpenDurable; a clean close replays to the identical state.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+// ---- snapshot discovery ----------------------------------------------------
+
+type snapEntry struct {
+	lsn  uint64
+	path string
+}
+
+// listSnapshots enumerates checkpoint files, newest first.
+func listSnapshots(dir string) ([]snapEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: list snapshots: %w", err)
+	}
+	var snaps []snapEntry
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapEntry{lsn: lsn, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn > snaps[j].lsn })
+	return snaps, nil
+}
+
+// loadLatestSnapshot returns the newest parseable checkpoint, skipping
+// torn ones.
+func loadLatestSnapshot(dir string) (uint64, Snapshot, int, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, Snapshot{}, 0, err
+	}
+	skipped := 0
+	for _, s := range snaps {
+		f, err := os.Open(s.path)
+		if err != nil {
+			skipped++
+			continue
+		}
+		snap, err := ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			skipped++
+			continue
+		}
+		return s.lsn, snap, skipped, nil
+	}
+	return 0, Snapshot{}, skipped, nil
+}
+
+// atomicWriteFile writes data to path via a temp file, fsyncing the
+// file before the rename and the directory after, so a crash leaves
+// either the old file or the complete new one.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	defer df.Close()
+	if err := df.Sync(); err != nil {
+		return fmt.Errorf("cloud: write %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

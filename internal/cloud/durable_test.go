@@ -1,0 +1,441 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// newDurable opens a durable cloud in dir with a fixed manual clock and
+// one registered device.
+func newDurable(t *testing.T, dir string, opts DurableOptions) (*Durable, *testClock) {
+	t.Helper()
+	clock := newTestClock()
+	if opts.Clock == nil {
+		opts.Clock = clock.Now
+	}
+	reg := NewRegistry()
+	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDurable(dir, devIDDesign(), reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, clock
+}
+
+// durableLogin registers and logs in a user through the durable layer.
+func durableLogin(t *testing.T, d *Durable, user, pw string) string {
+	t.Helper()
+	if err := d.RegisterUser(protocol.RegisterUserRequest{UserID: user, Password: pw}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := d.Login(protocol.LoginRequest{UserID: user, Password: pw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.UserToken
+}
+
+// encodeState renders a durable cloud's state for byte-level comparison.
+func encodeState(t *testing.T, d *Durable) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, d.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runLoggedWorkload drives every logged operation type through the
+// durable cloud: account creation, logins, registration, bind, control,
+// data push, sharing, keyed heartbeats (drains + readings), a batch and
+// an unbind/rebind cycle. Only logged operations appear, so replay
+// rebuilds the state exactly.
+func runLoggedWorkload(t *testing.T, d *Durable, clock *testClock) {
+	t.Helper()
+	victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+	durableLogin(t, d, "guest@example.com", "pw-guest")
+
+	if _, err := d.HandleStatus(protocol.StatusRequest{
+		Kind: protocol.StatusRegister, DeviceID: testDevice, Firmware: "1.0", Model: "plug",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	if _, err := d.HandleBind(protocol.BindRequest{
+		DeviceID: testDevice, UserToken: victim, IdempotencyKey: "bind-1", SourceIP: "10.0.0.2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: victim,
+		Command: protocol.Command{ID: "c1", Name: "turn_on", Args: map[string]string{"level": "3"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PushUserData(protocol.PushUserDataRequest{
+		DeviceID: testDevice, UserToken: victim,
+		Data: protocol.UserData{Kind: "schedule", Body: "on@dusk"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: victim, Guest: "guest@example.com",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	resp, err := d.HandleStatus(protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "hb-1",
+		Readings: []protocol.Reading{{Name: "power_w", Value: 3.5, At: clock.Now()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Commands) != 1 || len(resp.UserData) != 1 {
+		t.Fatalf("keyed heartbeat drained %d commands, %d data items; want 1, 1", len(resp.Commands), len(resp.UserData))
+	}
+	clock.Advance(time.Second)
+	if _, err := d.HandleStatusBatch(protocol.StatusBatchRequest{
+		SourceIP: "10.0.0.9",
+		Items: []protocol.StatusRequest{
+			{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "hb-2"},
+			{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "hb-3",
+				Readings: []protocol.Reading{{Name: "power_w", Value: 4.25, At: clock.Now()}}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoveryByteIdentical is the subsystem's core contract: a
+// reopened durable cloud replays the WAL into a state whose Snapshot
+// encoding is byte-for-byte identical to the live cloud's.
+func TestDurableRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{})
+	runLoggedWorkload(t, d, clock)
+
+	want := encodeState(t, d)
+	ops := d.AppliedOps()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	rec := d2.Recovery()
+	if rec.SnapshotLSN != 0 || rec.Replayed != int(ops) {
+		t.Fatalf("recovery = %+v, want snapshot 0 and %d replayed", rec, ops)
+	}
+	got := encodeState(t, d2)
+	if !bytes.Equal(want, got) {
+		t.Errorf("recovered snapshot differs from live snapshot:\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestDurableCheckpointAnchorsRecovery proves a checkpoint becomes the
+// recovery base: segments behind it are deleted, the snapshot restores,
+// and only post-checkpoint records replay.
+func TestDurableCheckpointAnchorsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{WAL: wal.Options{SegmentSize: 256}})
+	runLoggedWorkload(t, d, clock)
+
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	checkpointLSN := d.AppliedOps()
+
+	// Two more logged operations after the checkpoint.
+	clock.Advance(time.Second)
+	if _, err := d.HandleStatus(protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "hb-post",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.HandleShare(protocol.ShareRequest{
+		DeviceID: testDevice, UserToken: "", Guest: "guest@example.com", Revoke: true,
+	}); err == nil {
+		// Missing token must fail. Write-ahead means the attempt is
+		// logged anyway; replay re-executes it and it fails identically.
+		t.Fatal("share without token succeeded")
+	}
+	want := encodeState(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tiny segment size forced rotations; after the checkpoint only
+	// segments at or after the anchor may remain.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Errorf("%d WAL segments survive the checkpoint, want <= 2", len(segs))
+	}
+
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now, WAL: wal.Options{SegmentSize: 256}})
+	rec := d2.Recovery()
+	if rec.SnapshotLSN != checkpointLSN {
+		t.Errorf("recovered from snapshot LSN %d, want %d", rec.SnapshotLSN, checkpointLSN)
+	}
+	if rec.Replayed != 2 {
+		t.Errorf("replayed %d records, want 2 (post-checkpoint heartbeat + failed share)", rec.Replayed)
+	}
+	if got := encodeState(t, d2); !bytes.Equal(want, got) {
+		t.Error("recovered snapshot differs from live snapshot after checkpoint")
+	}
+	// Exactly one checkpoint file remains.
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].lsn != checkpointLSN {
+		t.Errorf("snapshot files = %+v, want exactly one at LSN %d", snaps, checkpointLSN)
+	}
+}
+
+// TestDurableCrashLosesNothingApplied injects a crash mid-frame: the
+// append fails, the operation is rejected, and reopening recovers every
+// operation that was acknowledged — the torn tail truncates silently.
+func TestDurableCrashLosesNothingApplied(t *testing.T) {
+	dir := t.TempDir()
+	appends := 0
+	var crashAt int
+	fp := func(stage wal.Stage) wal.Crash {
+		if stage == wal.StageFramePayload {
+			appends++
+			if appends == crashAt {
+				return wal.CrashKeep
+			}
+		}
+		return wal.CrashNone
+	}
+	crashAt = 5 // register_user, login, status register, bind, then control tears
+	d, clock := newDurable(t, dir, DurableOptions{
+		WAL: wal.Options{Policy: wal.SyncEveryRecord, Failpoint: fp},
+	})
+	victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim}); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeState(t, d)
+
+	// The 5th append tears mid-frame: the control op must fail and must
+	// not have been applied (write-ahead).
+	_, err := d.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "turn_on"},
+	})
+	if !errors.Is(err, wal.ErrCrashed) {
+		t.Fatalf("control during crash = %v, want ErrCrashed", err)
+	}
+	if got := encodeState(t, d); !bytes.Equal(want, got) {
+		t.Error("crashed append mutated state: write-ahead violated")
+	}
+	d.Close()
+
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	rec := d2.Recovery()
+	if !rec.WAL.Report.Torn {
+		t.Error("recovery did not report the torn tail")
+	}
+	if rec.Replayed != 4 {
+		t.Errorf("replayed %d records, want 4", rec.Replayed)
+	}
+	if got := encodeState(t, d2); !bytes.Equal(want, got) {
+		t.Error("recovered state differs from last acknowledged state")
+	}
+}
+
+// TestDurablePersistentIdempotencyAcrossRestart proves the opt-in log
+// keeps keyed mutations at-most-once across both recovery paths: WAL
+// replay (which re-records the outcome) and snapshot restore (which
+// carries the log itself).
+func TestDurablePersistentIdempotencyAcrossRestart(t *testing.T) {
+	for _, mode := range []string{"replay", "checkpoint"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := DurableOptions{ServiceOptions: []Option{WithPersistentIdempotency()}}
+			d, clock := newDurable(t, dir, opts)
+			victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+			req := protocol.BindRequest{DeviceID: testDevice, UserToken: victim, IdempotencyKey: "bind-1"}
+			first, err := d.HandleBind(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == "checkpoint" {
+				if err := d.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d.Close()
+
+			d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now, ServiceOptions: opts.ServiceOptions})
+			replayed, err := d2.HandleBind(req)
+			if err != nil {
+				t.Fatalf("redelivered bind after restart: %v", err)
+			}
+			if replayed != first {
+				t.Errorf("replayed response %+v differs from original %+v", replayed, first)
+			}
+			if got := d2.Service().Stats().BindsDeduplicated; got != 1 {
+				t.Errorf("BindsDeduplicated = %d, want 1 (redelivery answered from the persisted log)", got)
+			}
+		})
+	}
+}
+
+// TestDurableLivenessSkip pins the fast path: a bare heartbeat appends
+// no WAL record, but one that drains inbox state logs after the fact so
+// the drain survives a restart.
+func TestDurableLivenessSkip(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{})
+	victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim}); err != nil {
+		t.Fatal(err)
+	}
+	base := d.AppliedOps()
+
+	// Bare heartbeat with nothing queued: pure liveness, no record.
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.AppliedOps(); got != base {
+		t.Errorf("bare heartbeat appended a WAL record (LSN %d -> %d)", base, got)
+	}
+
+	// Queue a command, then drain it with another bare heartbeat: the
+	// drain must be logged.
+	if _, err := d.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "turn_on"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Commands) != 1 {
+		t.Fatalf("draining heartbeat returned %d commands, want 1", len(resp.Commands))
+	}
+	if got := d.AppliedOps(); got != base+2 {
+		t.Errorf("AppliedOps = %d, want %d (control + logged drain)", got, base+2)
+	}
+	d.Close()
+
+	// The drain survives: the recovered inbox is empty.
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	snap := d2.Snapshot()
+	if len(snap.Shadows) != 1 || len(snap.Shadows[0].CommandInbox) != 0 {
+		t.Errorf("recovered command inbox = %+v, want empty (drain was logged)", snap.Shadows)
+	}
+}
+
+// TestDurableMetaPinsDesign proves a directory cannot be reopened under
+// a different design.
+func TestDurableMetaPinsDesign(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := newDurable(t, dir, DurableOptions{})
+	d.Close()
+
+	reg := NewRegistry()
+	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(dir, devTokenDesign(), reg, DurableOptions{}); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("reopen under different design = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestDurableSkipsTornCheckpoint proves a checkpoint file torn by a
+// crash mid-write is skipped in favour of the WAL tail behind it.
+func TestDurableSkipsTornCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{})
+	runLoggedWorkload(t, d, clock)
+	want := encodeState(t, d)
+	ops := d.AppliedOps()
+	d.Close()
+
+	// A torn snapshot claiming to cover everything: recovery must not
+	// trust it.
+	torn := snapshotPath(dir, ops)
+	if err := os.WriteFile(torn, []byte(`{"version":1,"design_name":"devid-acl","acc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	rec := d2.Recovery()
+	if rec.SnapshotsSkipped != 1 || rec.SnapshotLSN != 0 {
+		t.Errorf("recovery = %+v, want the torn checkpoint skipped and full replay", rec)
+	}
+	if got := encodeState(t, d2); !bytes.Equal(want, got) {
+		t.Error("recovered state differs after skipping torn checkpoint")
+	}
+}
+
+// TestDurableClosedRefusesOperations pins the closed-state error.
+func TestDurableClosedRefusesOperations(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := newDurable(t, dir, DurableOptions{})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second close = %v, want nil", err)
+	}
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice}); !errors.Is(err, ErrDurableClosed) {
+		t.Errorf("status after close = %v, want ErrDurableClosed", err)
+	}
+	if err := d.RegisterUser(protocol.RegisterUserRequest{UserID: "u", Password: "p"}); !errors.Is(err, ErrDurableClosed) {
+		t.Errorf("register after close = %v, want ErrDurableClosed", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrDurableClosed) {
+		t.Errorf("checkpoint after close = %v, want ErrDurableClosed", err)
+	}
+}
+
+// TestDescribeWALRecords sanity-checks the walinspect rendering over a
+// real log: every record describes without error and carries its op.
+func TestDescribeWALRecords(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{})
+	runLoggedWorkload(t, d, clock)
+	d.Close()
+
+	var lines []string
+	_, err := wal.Scan(filepath.Join(dir, "wal"), 0, func(lsn uint64, payload []byte) error {
+		line, err := DescribeWALRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: %v", lsn, err)
+		}
+		lines = append(lines, line)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, op := range []string{"register_user", "login", "bind", "control", "push", "share", "status", "batch"} {
+		if !strings.Contains(joined, op) {
+			t.Errorf("no described record mentions %q:\n%s", op, joined)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cloud
+
+const raceEnabled = false

@@ -51,6 +51,7 @@ type Service struct {
 	buttonWindow      time.Duration
 	readingsRetention int
 	userTokenTTL      time.Duration
+	persistIdem       bool
 
 	stats statCounters
 }
@@ -95,6 +96,23 @@ func WithUserTokenTTL(ttl time.Duration) Option {
 // need deterministic tokens).
 func WithTokenIssuer(iss *token.Issuer) Option {
 	return optionFunc(func(s *Service) { s.issuer = iss })
+}
+
+// WithRandomHex injects the nonce source used for session nonces.
+// Durable clouds install a logged-entropy source here so a replayed
+// operation regenerates the exact nonce it drew live.
+func WithRandomHex(f func() (string, error)) Option {
+	return optionFunc(func(s *Service) { s.randomHex = f })
+}
+
+// WithPersistentIdempotency includes the per-shadow idempotency replay
+// log in snapshots, so at-most-once semantics for keyed requests
+// survive a restore. The default leaves it out: the log is
+// transport-recovery state, and a cloud restored without it behaves
+// like a real failover lacking a replicated dedup table (see the
+// Snapshot doc comment).
+func WithPersistentIdempotency() Option {
+	return optionFunc(func(s *Service) { s.persistIdem = true })
 }
 
 // NewService builds a cloud for the given design and device registry.

@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"encoding/hex"
+	"fmt"
 	"sync"
 	"time"
 
@@ -194,6 +196,62 @@ func (s *shadow) replayIdem(key string, op idemOp, fp [32]byte) (r idemResult, o
 		return idemResult{}, false, true
 	}
 	return rec, true, false
+}
+
+// exportIdem copies the idempotency log in FIFO order for persistence
+// (WithPersistentIdempotency snapshots). The caller holds s.mu.
+func (s *shadow) exportIdem() []IdemRecord {
+	if len(s.idemOrder) == 0 {
+		return nil
+	}
+	out := make([]IdemRecord, 0, len(s.idemOrder))
+	for _, key := range s.idemOrder {
+		r, ok := s.idemResults[key]
+		if !ok {
+			continue
+		}
+		rec := IdemRecord{
+			Key:         key,
+			Op:          uint8(r.op),
+			Fingerprint: hex.EncodeToString(r.fingerprint[:]),
+		}
+		switch r.op {
+		case idemBind:
+			bind := r.bind
+			rec.Bind = &bind
+		case idemStatus:
+			status := r.status
+			rec.Status = &status
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// importIdem rebuilds the idempotency log from a persisted snapshot,
+// preserving FIFO eviction order. Malformed records are rejected so a
+// hand-edited snapshot cannot smuggle in an unverifiable entry.
+func (s *shadow) importIdem(records []IdemRecord) error {
+	for _, rec := range records {
+		op := idemOp(rec.Op)
+		if rec.Key == "" || op < idemBind || op > idemStatus {
+			return fmt.Errorf("idempotency record %q: %w", rec.Key, protocol.ErrBadRequest)
+		}
+		fp, err := hex.DecodeString(rec.Fingerprint)
+		if err != nil || len(fp) != 32 {
+			return fmt.Errorf("idempotency record %q fingerprint: %w", rec.Key, protocol.ErrBadRequest)
+		}
+		r := idemResult{op: op}
+		copy(r.fingerprint[:], fp)
+		if rec.Bind != nil {
+			r.bind = *rec.Bind
+		}
+		if rec.Status != nil {
+			r.status = *rec.Status
+		}
+		s.recordIdem(rec.Key, r)
+	}
+	return nil
 }
 
 // drainForDevice hands the pending commands and user data to whatever

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/token"
 )
@@ -17,11 +18,14 @@ const SnapshotVersion = 1
 
 // Snapshot is the cloud's full persisted state: accounts, live
 // credentials, per-device shadows and the activity counters. It restores
-// into a service built for the same design; state-machine traces and the
-// per-shadow idempotency replay log are not persisted (the log is
-// transport-recovery state — a restored cloud may re-execute a request
-// retried across the restore, exactly like a real failover without a
-// replicated dedup table).
+// into a service built for the same design; state-machine traces are
+// never persisted. The per-shadow idempotency replay log is persisted
+// only for services built WithPersistentIdempotency: by default it is
+// dropped (the log is transport-recovery state — a restored cloud may
+// re-execute a request retried across the restore, exactly like a real
+// failover without a replicated dedup table), while the opt-in keeps
+// keyed requests at-most-once across the restore, which cloud.Durable
+// relies on for crash recovery of in-flight redeliveries.
 type Snapshot struct {
 	// Version is the format version.
 	Version int `json:"version"`
@@ -54,6 +58,20 @@ type ShadowSnapshot struct {
 	CommandInbox []protocol.Command  `json:"command_inbox,omitempty"`
 	DataInbox    []protocol.UserData `json:"data_inbox,omitempty"`
 	Readings     []protocol.Reading  `json:"readings,omitempty"`
+	// IdemLog is the idempotency replay log in FIFO-eviction order,
+	// present only for services built WithPersistentIdempotency.
+	IdemLog []IdemRecord `json:"idem_log,omitempty"`
+}
+
+// IdemRecord is one persisted idempotency-log entry: the key, the
+// operation it answers, the request fingerprint gating replay, and the
+// recorded response.
+type IdemRecord struct {
+	Key         string                   `json:"key"`
+	Op          uint8                    `json:"op"`
+	Fingerprint string                   `json:"fp"`
+	Bind        *protocol.BindResponse   `json:"bind,omitempty"`
+	Status      *protocol.StatusResponse `json:"status,omitempty"`
 }
 
 // Snapshot captures the service's full state. With the sharded store the
@@ -92,6 +110,9 @@ func (s *Service) Snapshot() Snapshot {
 			DataInbox:    append([]protocol.UserData(nil), sh.dataInbox...),
 			Readings:     append([]protocol.Reading(nil), sh.readings...),
 		}
+		if s.persistIdem {
+			ss.IdemLog = sh.exportIdem()
+		}
 		for g := range sh.guests {
 			ss.Guests = append(ss.Guests, g)
 		}
@@ -104,9 +125,19 @@ func (s *Service) Snapshot() Snapshot {
 
 // WriteSnapshot serializes a snapshot as JSON.
 func (s *Service) WriteSnapshot(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.Snapshot()); err != nil {
+	return EncodeSnapshot(w, s.Snapshot())
+}
+
+// EncodeSnapshot serializes a snapshot as indented JSON through the
+// pooled codec, so periodic checkpointing does not allocate a fresh
+// encoder and buffer per capture.
+func EncodeSnapshot(w io.Writer, snap Snapshot) error {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.EncodeIndent(snap, "", "  "); err != nil {
+		return fmt.Errorf("cloud: write snapshot: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("cloud: write snapshot: %w", err)
 	}
 	return nil
@@ -152,6 +183,9 @@ func (s *Service) Restore(snap Snapshot) error {
 				sh.guests[g] = true
 			}
 		}
+		if err := sh.importIdem(ss.IdemLog); err != nil {
+			return fmt.Errorf("cloud: restore %q: %w", ss.DeviceID, err)
+		}
 		shadows[ss.DeviceID] = sh
 	}
 
@@ -164,11 +198,16 @@ func (s *Service) Restore(snap Snapshot) error {
 	return nil
 }
 
-// ReadSnapshot parses a JSON snapshot.
+// ReadSnapshot parses a JSON snapshot. The input is staged through a
+// pooled buffer so repeated recovery reads reuse one backing array.
 func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if _, err := buf.Writer().ReadFrom(r); err != nil {
+		return Snapshot{}, fmt.Errorf("cloud: read snapshot: %w", err)
+	}
 	var snap Snapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&snap); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
 		return Snapshot{}, fmt.Errorf("cloud: read snapshot: %w", err)
 	}
 	return snap, nil

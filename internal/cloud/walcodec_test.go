@@ -1,0 +1,137 @@
+package cloud
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+func TestWALCodecStatusRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 1, 500, time.UTC)
+	req := &protocol.StatusRequest{
+		Kind:           protocol.StatusRegister,
+		DeviceID:       testDevice,
+		DevToken:       "devtok",
+		Signature:      "sig",
+		SessionToken:   "sess",
+		DataProof:      "proof",
+		ButtonPressed:  true,
+		Firmware:       "1.2",
+		Model:          "plug",
+		IdempotencyKey: "k1",
+		SourceIP:       "10.0.0.7",
+		Readings: []protocol.Reading{
+			{Name: "power_w", Value: 3.25, At: at},
+			{Name: "temp_c", Value: -1.5, At: time.Time{}},
+		},
+	}
+	var buf bytes.Buffer
+	encodeStatusRecord(&buf, at, req)
+	rec, err := decodeWALRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.at.Equal(at) {
+		t.Errorf("at = %v, want %v", rec.at, at)
+	}
+	if rec.status == nil {
+		t.Fatal("decoded record has no status request")
+	}
+	if !reflect.DeepEqual(rec.status, req) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", rec.status, req)
+	}
+}
+
+func TestWALCodecBatchRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 2, 0, time.UTC)
+	req := &protocol.StatusBatchRequest{
+		SourceIP: "10.0.0.9",
+		Items: []protocol.StatusRequest{
+			{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "a"},
+			{Kind: protocol.StatusRegister, DeviceID: testDevice, SourceIP: "10.0.0.3",
+				Readings: []protocol.Reading{{Name: "power_w", Value: 1, At: at}}},
+		},
+	}
+	var buf bytes.Buffer
+	encodeBatchRecord(&buf, at, req)
+	rec, err := decodeWALRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.batch == nil {
+		t.Fatal("decoded record has no batch request")
+	}
+	if !reflect.DeepEqual(rec.batch, req) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", rec.batch, req)
+	}
+}
+
+// TestWALCodecTruncationIsError proves every truncation of a valid
+// binary record decodes to an error, never a panic or a silent partial
+// request.
+func TestWALCodecTruncationIsError(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 3, 0, time.UTC)
+	var buf bytes.Buffer
+	encodeStatusRecord(&buf, at, &protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "k",
+		Readings: []protocol.Reading{{Name: "power_w", Value: 2, At: at}},
+	})
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := decodeWALRecord(full[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	if _, err := decodeWALRecord(append(append([]byte(nil), full...), 0xFF)); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+}
+
+// TestSnapshotCodecSteadyStateAllocations extends the jsonpool
+// allocation guard to the snapshot codec: repeated EncodeSnapshot /
+// ReadSnapshot cycles must reuse pooled buffers rather than grow a
+// fresh encoder and staging array per checkpoint.
+func TestSnapshotCodecSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	svc, clock, victim, _ := newTestService(t, devIDDesign())
+	mustStatus(t, svc, protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	if _, err := svc.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second)
+	snap := svc.Snapshot()
+
+	var encoded bytes.Buffer
+	if err := EncodeSnapshot(&encoded, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// The absolute count is dominated by encoding/json reflection over
+	// the snapshot value itself; the guard pins it to a ceiling well
+	// below what a per-call encoder + staging buffer would cost, so a
+	// regression that abandons the pool trips it.
+	encAvg := testing.AllocsPerRun(100, func() {
+		if err := EncodeSnapshot(io.Discard, snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAvg > 40 {
+		t.Errorf("steady-state EncodeSnapshot = %.1f allocs/op, want <= 40", encAvg)
+	}
+
+	data := encoded.Bytes()
+	readAvg := testing.AllocsPerRun(100, func() {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if readAvg > 300 {
+		t.Errorf("steady-state ReadSnapshot = %.1f allocs/op, want <= 300", readAvg)
+	}
+}

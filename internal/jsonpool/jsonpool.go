@@ -55,6 +55,17 @@ func (b *Buffer) Put() {
 // to the buffer.
 func (b *Buffer) Encode(v any) error { return b.enc.Encode(v) }
 
+// EncodeIndent appends v's indented JSON encoding to the buffer. The
+// encoder is restored to compact mode before returning, so an indented
+// use (snapshot files) never leaks formatting into a pooled encoder's
+// next wire-path borrow.
+func (b *Buffer) EncodeIndent(v any, prefix, indent string) error {
+	b.enc.SetIndent(prefix, indent)
+	err := b.enc.Encode(v)
+	b.enc.SetIndent("", "")
+	return err
+}
+
 // Bytes returns the buffered contents. The slice aliases the buffer: it
 // must not be used after Put.
 func (b *Buffer) Bytes() []byte { return b.buf.Bytes() }

@@ -71,3 +71,46 @@ func TestOversizedBuffersAreNotRetained(t *testing.T) {
 		t.Error("oversized backing array came back from the pool")
 	}
 }
+
+// TestEncodeIndentRestoresCompactMode proves an indented use (snapshot
+// files) cannot leak formatting into the pooled encoder's next borrow.
+func TestEncodeIndentRestoresCompactMode(t *testing.T) {
+	b := Get()
+	defer b.Put()
+	if err := b.EncodeIndent(map[string]int{"n": 7}, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b.Bytes()), "\n  ") {
+		t.Errorf("EncodeIndent produced compact output: %q", b.Bytes())
+	}
+	mark := b.Len()
+	if err := b.Encode(map[string]int{"n": 8}); err != nil {
+		t.Fatal(err)
+	}
+	if compact := string(b.Bytes()[mark:]); strings.Contains(compact, "  ") {
+		t.Errorf("encode after EncodeIndent still indented: %q", compact)
+	}
+}
+
+// TestSteadyStateEncodeIndentIsAllocationFree extends the allocation
+// guard to the indented path the snapshot codec uses.
+func TestSteadyStateEncodeIndentIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	payload := struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}{Name: "power_w", Value: 7}
+
+	avg := testing.AllocsPerRun(200, func() {
+		b := Get()
+		if err := b.EncodeIndent(payload, "", "  "); err != nil {
+			t.Fatal(err)
+		}
+		b.Put()
+	})
+	if avg > 1 {
+		t.Errorf("steady-state indented encode = %.1f allocs/op, want <= 1", avg)
+	}
+}

@@ -1,0 +1,409 @@
+package testbed
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// CrashRecoveryConfig parameterizes a crash-fault run: a deterministic
+// workload of logged operations driven against a durable cloud whose
+// WAL is armed with seeded kill-points, each crash followed by a
+// restart that must recover exactly the durable prefix.
+type CrashRecoveryConfig struct {
+	// Design is the vendor design under test.
+	Design core.DesignSpec
+	// Ops is the workload length after setup (default 60). Every
+	// operation is a logged mutation, so operation index maps 1:1 onto
+	// WAL LSNs and the log length is the resume oracle.
+	Ops int
+	// KillPoints is how many seeded crashes to inject (default 20).
+	KillPoints int
+	// Seed drives the kill schedule: the gap to the next crash, the
+	// frame/sync stage it lands on, and whether the torn tail keeps or
+	// drops the unsynced suffix.
+	Seed int64
+	// Policy is the WAL fsync policy (default grouped).
+	Policy wal.SyncPolicy
+	// GroupEvery overrides the grouped-policy fsync interval (default 2,
+	// so sync-stage kill-points occur at workload frequency).
+	GroupEvery int
+	// SegmentSize overrides the WAL segment size (default 4 KiB, small
+	// enough that rotations happen mid-run).
+	SegmentSize int
+	// PersistIdempotency opts the cloud into the persisted per-shadow
+	// idempotency log, making keyed redeliveries at-most-once across
+	// restarts.
+	PersistIdempotency bool
+	// CheckpointEvery checkpoints the victim every N workload operations
+	// (0 disables). Checkpoints race the kill schedule like any other
+	// durable work: a crash mid-checkpoint must fall back cleanly.
+	CheckpointEvery int
+}
+
+// CrashRecoveryResult reports a crash-fault run.
+type CrashRecoveryResult struct {
+	// Ops is the workload length executed.
+	Ops int
+	// Crashes is how many kill-points actually fired.
+	Crashes int
+	// TornTails counts recoveries that found (and truncated) a torn
+	// frame at the tail of the log.
+	TornTails int
+	// DroppedTails counts recoveries whose durable log was shorter than
+	// the acknowledged prefix — unsynced records lost by a drop-style
+	// crash, re-executed by the harness.
+	DroppedTails int
+	// MaxLostAcked is the largest number of acknowledged operations any
+	// single crash lost. Zero under SyncEveryRecord.
+	MaxLostAcked uint64
+	// Checkpoints counts checkpoints that completed.
+	Checkpoints int
+	// Replayed is the total number of WAL records re-executed across all
+	// recoveries.
+	Replayed int
+	// StagesHit counts crashes per WAL stage.
+	StagesHit map[wal.Stage]int
+}
+
+// killer is the seeded failpoint: armed with a countdown, it crashes
+// the WAL at the n-th staged event after arming.
+type killer struct {
+	mu        sync.Mutex
+	armed     bool
+	countdown int
+	crash     wal.Crash
+	lastStage wal.Stage
+}
+
+func (k *killer) fail(stage wal.Stage) wal.Crash {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.armed {
+		return wal.CrashNone
+	}
+	k.countdown--
+	if k.countdown > 0 {
+		return wal.CrashNone
+	}
+	k.armed = false
+	k.lastStage = stage
+	return k.crash
+}
+
+func (k *killer) arm(countdown int, crash wal.Crash) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armed = true
+	k.countdown = countdown
+	k.crash = crash
+}
+
+func (k *killer) disarm() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.armed = false
+}
+
+// crashOp is one deterministic workload operation, addressed by index.
+type crashOp func(c transport.Cloud) error
+
+// crashWorkload builds the operation list: a rotation of control,
+// data-push, share and keyed draining heartbeats, every one of them a
+// logged mutation.
+func crashWorkload(ops int, deviceID, userToken string, now func() time.Time) []crashOp {
+	list := make([]crashOp, ops)
+	for i := range list {
+		i := i
+		switch i % 5 {
+		case 0:
+			list[i] = func(c transport.Cloud) error {
+				_, err := c.HandleControl(protocol.ControlRequest{
+					DeviceID: deviceID, UserToken: userToken,
+					Command: protocol.Command{ID: fmt.Sprintf("cmd-%d", i), Name: "toggle"},
+				})
+				return err
+			}
+		case 1:
+			list[i] = func(c transport.Cloud) error {
+				return c.PushUserData(protocol.PushUserDataRequest{
+					DeviceID: deviceID, UserToken: userToken,
+					Data: protocol.UserData{Kind: "schedule", Body: fmt.Sprintf("slot-%d", i)},
+				})
+			}
+		case 3:
+			list[i] = func(c transport.Cloud) error {
+				return c.HandleShare(protocol.ShareRequest{
+					DeviceID: deviceID, UserToken: userToken,
+					Guest: "guest@crash.example", Revoke: (i/5)%2 == 1,
+				})
+			}
+		default: // 2, 4: keyed heartbeats that drain and carry a reading
+			list[i] = func(c transport.Cloud) error {
+				_, err := c.HandleStatus(protocol.StatusRequest{
+					Kind: protocol.StatusHeartbeat, DeviceID: deviceID,
+					IdempotencyKey: fmt.Sprintf("op-%d", i),
+					Readings:       []protocol.Reading{{Name: "power_w", Value: float64(i), At: now()}},
+				})
+				return err
+			}
+		}
+	}
+	return list
+}
+
+// crashSetup runs the uncounted prelude — accounts, login, device
+// registration, bind — and returns the victim user's token. Five WAL
+// records, matching crashSetupRecords.
+func crashSetup(c transport.Cloud, deviceID string) (string, error) {
+	if err := c.RegisterUser(protocol.RegisterUserRequest{UserID: "victim@crash.example", Password: "pw"}); err != nil {
+		return "", err
+	}
+	if err := c.RegisterUser(protocol.RegisterUserRequest{UserID: "guest@crash.example", Password: "pw"}); err != nil {
+		return "", err
+	}
+	login, err := c.Login(protocol.LoginRequest{UserID: "victim@crash.example", Password: "pw"})
+	if err != nil {
+		return "", err
+	}
+	if _, err := c.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: deviceID}); err != nil {
+		return "", err
+	}
+	if _, err := c.HandleBind(protocol.BindRequest{
+		DeviceID: deviceID, UserToken: login.UserToken, IdempotencyKey: "setup-bind",
+	}); err != nil {
+		return "", err
+	}
+	return login.UserToken, nil
+}
+
+const crashSetupRecords = 5
+
+// RunCrashRecovery drives the configured workload against a durable
+// cloud under seeded kill-points, restarting after every crash, and
+// proves the final recovered state is byte-identical to a never-crashed
+// reference executing the same workload with the same entropy.
+//
+// The resume oracle is the WAL itself: every workload operation appends
+// exactly one record, so after a restart the recovered log length says
+// which operations are durable (never re-executed — that would
+// double-apply) and which were lost with the torn or dropped tail
+// (re-executed, drawing the same per-LSN entropy the lost execution
+// drew). Agents keep a single transport.Switchable across restarts, the
+// way a reconnecting client keeps its retry wrapper.
+func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 60
+	}
+	if cfg.KillPoints <= 0 {
+		cfg.KillPoints = 20
+	}
+	if cfg.GroupEvery <= 0 {
+		cfg.GroupEvery = 2
+	}
+	if cfg.SegmentSize <= 0 {
+		cfg.SegmentSize = 4 << 10
+	}
+	res := CrashRecoveryResult{Ops: cfg.Ops, StagesHit: make(map[wal.Stage]int)}
+	fail := func(err error) (CrashRecoveryResult, error) {
+		return res, fmt.Errorf("testbed: crash recovery: %w", err)
+	}
+
+	root, err := os.MkdirTemp("", "crashrec-*")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(root)
+
+	const deviceID = "AA:BB:CC:0F:00:01"
+	registry := cloud.NewRegistry()
+	if err := registry.Add(cloud.DeviceRecord{ID: deviceID, FactorySecret: "factory-secret-crash", Model: cfg.Design.Name}); err != nil {
+		return fail(err)
+	}
+	frozen := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return frozen }
+	var svcOpts []cloud.Option
+	if cfg.PersistIdempotency {
+		svcOpts = append(svcOpts, cloud.WithPersistentIdempotency())
+	}
+
+	// The victim first: opening it mints the master seed the reference
+	// must share for replayed entropy (tokens, nonces) to line up.
+	kill := &killer{}
+	victimDir := filepath.Join(root, "victim")
+	openVictim := func() (*cloud.Durable, error) {
+		return cloud.OpenDurable(victimDir, cfg.Design, registry, cloud.DurableOptions{
+			Clock: clock,
+			WAL: wal.Options{
+				Policy: cfg.Policy, GroupEvery: cfg.GroupEvery,
+				SegmentSize: cfg.SegmentSize, Failpoint: kill.fail,
+			},
+			ServiceOptions: svcOpts,
+		})
+	}
+	victim, err := openVictim()
+	if err != nil {
+		return fail(err)
+	}
+	defer func() { victim.Close() }()
+
+	refDir := filepath.Join(root, "ref")
+	if err := os.MkdirAll(refDir, 0o755); err != nil {
+		return fail(err)
+	}
+	meta, err := os.ReadFile(filepath.Join(victimDir, "meta.json"))
+	if err != nil {
+		return fail(err)
+	}
+	if err := os.WriteFile(filepath.Join(refDir, "meta.json"), meta, 0o644); err != nil {
+		return fail(err)
+	}
+	ref, err := cloud.OpenDurable(refDir, cfg.Design, registry, cloud.DurableOptions{
+		Clock:          clock,
+		WAL:            wal.Options{Policy: wal.SyncOff},
+		ServiceOptions: svcOpts,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer ref.Close()
+
+	// Reference run: the whole workload, no faults.
+	refToken, err := crashSetup(ref, deviceID)
+	if err != nil {
+		return fail(err)
+	}
+	for _, op := range crashWorkload(cfg.Ops, deviceID, refToken, clock) {
+		_ = op(ref) // app-level rejections are part of the workload
+	}
+
+	// Victim setup runs before the kill schedule arms.
+	sw := transport.NewSwitchable(victim)
+	token, err := crashSetup(sw, deviceID)
+	if err != nil {
+		return fail(err)
+	}
+	if token != refToken {
+		return fail(fmt.Errorf("replay determinism broken: victim token %q, reference token %q", token, refToken))
+	}
+	workload := crashWorkload(cfg.Ops, deviceID, token, clock)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	armNext := func() {
+		crash := wal.CrashKeep
+		if rng.Intn(2) == 1 {
+			crash = wal.CrashDrop
+		}
+		kill.arm(1+rng.Intn(6), crash)
+	}
+	armNext()
+
+	restart := func() error {
+		res.Crashes++
+		if err := victim.Close(); err != nil {
+			return err
+		}
+		v, err := openVictim()
+		if err != nil {
+			return err
+		}
+		victim = v
+		sw.Swap(victim)
+		rec := victim.Recovery()
+		res.Replayed += rec.Replayed
+		if rec.WAL.Report.Torn {
+			res.TornTails++
+		}
+		res.StagesHit[kill.lastStage]++
+		if res.Crashes < cfg.KillPoints {
+			armNext()
+		} else {
+			kill.disarm()
+		}
+		return nil
+	}
+
+	lastAcked := victim.AppliedOps()
+	i := 0
+	for i < cfg.Ops {
+		err := workload[i](sw)
+		if errors.Is(err, wal.ErrCrashed) {
+			if err := restart(); err != nil {
+				return fail(err)
+			}
+			applied := victim.AppliedOps()
+			if applied < lastAcked {
+				res.DroppedTails++
+				if lost := lastAcked - applied; lost > res.MaxLostAcked {
+					res.MaxLostAcked = lost
+				}
+			}
+			// Resume where the durable log ends: records at or below
+			// `applied` replayed, everything after is re-executed.
+			i = int(applied) - crashSetupRecords
+			lastAcked = applied
+			continue
+		}
+		lastAcked = victim.AppliedOps()
+		i++
+		if cfg.CheckpointEvery > 0 && i%cfg.CheckpointEvery == 0 {
+			switch err := victim.Checkpoint(); {
+			case err == nil:
+				res.Checkpoints++
+			case errors.Is(err, wal.ErrCrashed):
+				if err := restart(); err != nil {
+					return fail(err)
+				}
+				applied := victim.AppliedOps()
+				if applied < lastAcked {
+					res.DroppedTails++
+					if lost := lastAcked - applied; lost > res.MaxLostAcked {
+						res.MaxLostAcked = lost
+					}
+				}
+				i = int(applied) - crashSetupRecords
+				lastAcked = applied
+			default:
+				return fail(err)
+			}
+		}
+	}
+	kill.disarm()
+
+	// One final restart through the full recovery path, then the
+	// verdict: the recovered state must encode byte-identically to the
+	// never-crashed reference.
+	if err := victim.Close(); err != nil {
+		return fail(err)
+	}
+	v, err := openVictim()
+	if err != nil {
+		return fail(err)
+	}
+	victim = v
+	res.Replayed += victim.Recovery().Replayed
+
+	var want, got bytes.Buffer
+	if err := cloud.EncodeSnapshot(&want, ref.Snapshot()); err != nil {
+		return fail(err)
+	}
+	if err := cloud.EncodeSnapshot(&got, victim.Snapshot()); err != nil {
+		return fail(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		return fail(fmt.Errorf("recovered state diverged from reference after %d crashes:\nreference:\n%s\nrecovered:\n%s",
+			res.Crashes, want.Bytes(), got.Bytes()))
+	}
+	return res, nil
+}

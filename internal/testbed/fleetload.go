@@ -46,6 +46,14 @@ type FleetLoadConfig struct {
 	// Workers bounds the concurrent device drivers (default 4, capped at
 	// Devices).
 	Workers int
+	// ReadingEvery makes every Nth heartbeat of each device carry a
+	// sensor reading (0 disables), pushing data-bearing status messages
+	// through the load path alongside bare keep-alives.
+	ReadingEvery int
+	// OnService exposes the freshly built cloud service to the caller
+	// before traffic starts. Snapshot-under-load tests use it to capture
+	// concurrent snapshots while the fleet is live.
+	OnService func(*cloud.Service)
 }
 
 // FleetLoadResult reports one load run.
@@ -102,6 +110,9 @@ func RunFleetLoad(cfg FleetLoadConfig) (FleetLoadResult, error) {
 	svc, err := cloud.NewService(cfg.Design, registry, cloud.WithClock(clock.Now))
 	if err != nil {
 		return FleetLoadResult{}, fmt.Errorf("testbed: fleet load: %w", err)
+	}
+	if cfg.OnService != nil {
+		cfg.OnService(svc)
 	}
 
 	// Stand up the requested front end on a loopback listener.
@@ -202,6 +213,9 @@ func RunFleetLoad(cfg FleetLoadConfig) (FleetLoadResult, error) {
 			defer wg.Done()
 			for _, dev := range batch {
 				for n := 0; n < cfg.Heartbeats; n++ {
+					if cfg.ReadingEvery > 0 && n%cfg.ReadingEvery == 0 {
+						dev.QueueReading("power_w", float64(n))
+					}
 					if err := dev.Heartbeat(); err != nil {
 						fail(err)
 						return

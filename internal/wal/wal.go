@@ -1,0 +1,633 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultSegmentSize rotates segments at 4 MiB — large enough to
+	// amortize file creation, small enough that snapshot-anchored
+	// truncation reclaims space promptly.
+	DefaultSegmentSize = 4 << 20
+	// DefaultGroupEvery is the group-commit window: under SyncGrouped
+	// the log fsyncs once per this many appends.
+	DefaultGroupEvery = 32
+	// writerBufSize is the bufio buffer in front of the segment file.
+	writerBufSize = 64 << 10
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+// The fsync policies.
+const (
+	// SyncGrouped fsyncs once every GroupEvery appends (group commit):
+	// a crash loses at most the last unsynced group.
+	SyncGrouped SyncPolicy = iota
+	// SyncEveryRecord fsyncs after every append: nothing acknowledged
+	// is ever lost.
+	SyncEveryRecord
+	// SyncOff never fsyncs on the append path; the OS writes back at
+	// its leisure. Close and explicit Sync still flush.
+	SyncOff
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryRecord:
+		return "every"
+	case SyncGrouped:
+		return "grouped"
+	case SyncOff:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a log. The zero value is usable: 4 MiB segments,
+// 1 MiB records, group commit every 32 appends, LSNs from 1.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes.
+	SegmentSize int
+	// MaxRecord bounds one record's payload.
+	MaxRecord int
+	// Policy selects the fsync policy.
+	Policy SyncPolicy
+	// GroupEvery is the group-commit window under SyncGrouped.
+	GroupEvery int
+	// InitialLSN numbers the first record of an empty directory
+	// (default 1). A log reopened over existing segments continues from
+	// the scan instead. cloud.Durable passes snapshotLSN+1 here so LSNs
+	// stay dense across compactions that empty the directory.
+	InitialLSN uint64
+	// Failpoint, when non-nil, is consulted at each write-path stage
+	// and may inject a simulated crash (crash-fault testing).
+	Failpoint Failpoint
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = DefaultSegmentSize
+	}
+	if o.MaxRecord <= 0 {
+		o.MaxRecord = DefaultMaxRecord
+	}
+	if o.GroupEvery <= 0 {
+		o.GroupEvery = DefaultGroupEvery
+	}
+	if o.InitialLSN == 0 {
+		o.InitialLSN = 1
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// segmentMeta tracks one on-disk segment.
+type segmentMeta struct {
+	path  string
+	first uint64 // LSN of the segment's first record
+}
+
+// Log is a segmented append-only write-ahead log. All methods are safe
+// for concurrent use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File
+	w          *bufio.Writer
+	segments   []segmentMeta // sorted; last is the active segment
+	segSize    int64         // bytes written to the active segment (incl. buffered)
+	syncedSize int64         // active-segment size at the last fsync
+	nextLSN    uint64
+	sinceSync  int
+	scratch    []byte
+	recovery   RecoveryInfo
+	crashed    bool
+	closed     bool
+	err        error // sticky I/O error
+}
+
+// RecoveryInfo describes what Open found and repaired.
+type RecoveryInfo struct {
+	// Report is the directory scan at open time.
+	Report ScanReport
+	// TruncatedBytes is how much torn tail Open cut off the last
+	// segment (0 when the log was clean).
+	TruncatedBytes int64
+}
+
+// Open scans dir, truncates a torn tail if the last segment has one,
+// and opens the log for appending after the last valid record. The
+// directory is created if absent.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	report, err := Scan(dir, opts.MaxRecord, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &Log{dir: dir, opts: opts, recovery: RecoveryInfo{Report: report}}
+
+	for _, seg := range report.Segments {
+		l.segments = append(l.segments, segmentMeta{path: seg.Path, first: seg.FirstLSN})
+	}
+	l.nextLSN = report.LastLSN + 1
+	if n := len(report.Segments); n == 0 {
+		l.nextLSN = opts.InitialLSN
+	} else {
+		// A segment torn down to zero valid records still names the LSN
+		// its next append must carry.
+		if last := report.Segments[n-1]; last.Records == 0 {
+			l.nextLSN = last.FirstLSN
+		}
+		if l.nextLSN < opts.InitialLSN {
+			return nil, fmt.Errorf("%w: directory ends at LSN %d, caller expects at least %d",
+				ErrCorrupt, l.nextLSN-1, opts.InitialLSN)
+		}
+	}
+
+	if report.Torn {
+		if err := os.Truncate(report.TornSegment, report.TornOffset); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		l.recovery.TruncatedBytes = report.TornBytes
+	}
+
+	if n := len(l.segments); n > 0 {
+		active := l.segments[n-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek segment: %w", err)
+		}
+		if report.Torn {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: sync truncated segment: %w", err)
+			}
+		}
+		l.f = f
+		l.segSize = size
+		l.syncedSize = size
+		l.w = bufio.NewWriterSize(f, writerBufSize)
+	} else if err := l.openSegmentLocked(l.nextLSN); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Recovery reports what Open found and repaired.
+func (l *Log) Recovery() RecoveryInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recovery
+}
+
+// LastLSN returns the sequence number of the last appended record, or
+// InitialLSN-1 when the log is empty.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Segments returns the on-disk segment paths, oldest first.
+func (l *Log) Segments() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.segments))
+	for i, s := range l.segments {
+		out[i] = s.path
+	}
+	return out
+}
+
+// segmentPath names a segment by its first LSN; the zero-padded fixed
+// width keeps lexical and numeric order identical.
+func segmentPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d.wal", first))
+}
+
+// openSegmentLocked creates and activates a fresh segment whose first
+// record will carry the given LSN.
+func (l *Log) openSegmentLocked(first uint64) error {
+	path := segmentPath(l.dir, first)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, writerBufSize)
+	l.segSize = 0
+	l.syncedSize = 0
+	l.segments = append(l.segments, segmentMeta{path: path, first: first})
+	return nil
+}
+
+// Append writes one record and returns its LSN. Depending on the sync
+// policy the record may or may not be on stable storage when Append
+// returns; Sync forces the matter.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	if len(payload) == 0 {
+		return 0, fmt.Errorf("wal: append: %w: empty record", ErrBadFrame)
+	}
+	if len(payload) > l.opts.MaxRecord {
+		return 0, fmt.Errorf("wal: append: %w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+
+	l.scratch = appendFrame(l.scratch[:0], l.nextLSN, payload)
+	frame := l.scratch
+
+	// Rotate before the record that would overflow the segment, so a
+	// frame never spans files. Rotation syncs the outgoing segment:
+	// unsynced bytes never straddle a segment boundary.
+	if l.segSize > 0 && l.segSize+int64(len(frame)) > int64(l.opts.SegmentSize) {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+
+	lsn := l.nextLSN
+	if err := l.writeFrameLocked(frame); err != nil {
+		return 0, err
+	}
+	l.segSize += int64(len(frame))
+	l.nextLSN++
+	l.sinceSync++
+
+	switch l.opts.Policy {
+	case SyncEveryRecord:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncGrouped:
+		if l.sinceSync >= l.opts.GroupEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lsn, nil
+}
+
+// writeFrameLocked pushes one encoded frame into the buffered writer,
+// consulting the failpoint at the mid-frame stages.
+func (l *Log) writeFrameLocked(frame []byte) error {
+	fp := l.opts.Failpoint
+	if fp == nil {
+		if _, err := l.w.Write(frame); err != nil {
+			return l.fail(err)
+		}
+		return nil
+	}
+	hdr, payload := frame[:frameHeaderSize], frame[frameHeaderSize:]
+	if _, err := l.w.Write(hdr); err != nil {
+		return l.fail(err)
+	}
+	if c := fp(StageFrameHeader); c != CrashNone {
+		return l.crashLocked(c)
+	}
+	half := len(payload) / 2
+	if _, err := l.w.Write(payload[:half]); err != nil {
+		return l.fail(err)
+	}
+	if c := fp(StageFramePayload); c != CrashNone {
+		return l.crashLocked(c)
+	}
+	if _, err := l.w.Write(payload[half:]); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if fp := l.opts.Failpoint; fp != nil {
+		if c := fp(StageBeforeSync); c != CrashNone {
+			return l.crashLocked(c)
+		}
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(err)
+	}
+	l.syncedSize = l.segSize
+	l.sinceSync = 0
+	if fp := l.opts.Failpoint; fp != nil {
+		if c := fp(StageAfterSync); c != CrashNone {
+			return l.crashLocked(c)
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync) and opens the
+// next one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// crashLocked applies a simulated crash. CrashKeep flushes the write
+// buffer so partial frames land in the file (the torn tail); CrashDrop
+// truncates back to the last fsync, losing every unsynced byte. Either
+// way the log is dead afterwards.
+func (l *Log) crashLocked(c Crash) error {
+	switch c {
+	case CrashKeep:
+		_ = l.w.Flush()
+		_ = l.f.Sync()
+	case CrashDrop:
+		l.w.Reset(l.f) // discard buffered bytes
+		_ = l.f.Truncate(l.syncedSize)
+		_ = l.f.Sync()
+	}
+	_ = l.f.Close()
+	l.crashed = true
+	return ErrCrashed
+}
+
+// fail records a sticky I/O error.
+func (l *Log) fail(err error) error {
+	err = fmt.Errorf("wal: %w", err)
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+func (l *Log) usableLocked() error {
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.crashed:
+		return ErrCrashed
+	case l.err != nil:
+		return l.err
+	}
+	return nil
+}
+
+// Replay streams every record with LSN >= from, in order, through fn.
+// It reads the on-disk segments after flushing buffered appends (no
+// fsync), so it observes everything appended so far. Appends are held
+// off for the duration.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	_, err := Scan(l.dir, l.opts.MaxRecord, func(lsn uint64, payload []byte) error {
+		if lsn < from {
+			return nil
+		}
+		return fn(lsn, payload)
+	})
+	return err
+}
+
+// TruncateBefore deletes segments whose records all precede keep —
+// they are wholly covered by a snapshot at keep-1. The active segment
+// survives regardless, so the LSN chain stays anchored on disk. It
+// returns how many segments were removed.
+func (l *Log) TruncateBefore(keep uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	removed := 0
+	for len(l.segments) > 1 && l.segments[1].first <= keep {
+		if err := os.Remove(l.segments[0].path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.segments = l.segments[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes, fsyncs and closes the log. A crashed log closes
+// without touching the file again.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.crashed {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return l.fail(err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return l.fail(err)
+	}
+	return l.f.Close()
+}
+
+// SegmentInfo describes one scanned segment.
+type SegmentInfo struct {
+	// Path is the segment file.
+	Path string
+	// FirstLSN is the segment's name: the LSN of its first record.
+	FirstLSN uint64
+	// Records is how many valid frames the segment holds.
+	Records int
+	// Bytes is the segment's valid prefix length.
+	Bytes int64
+}
+
+// ScanReport summarizes a directory scan.
+type ScanReport struct {
+	// Segments are the scanned segments, oldest first.
+	Segments []SegmentInfo
+	// Records is the total valid frame count.
+	Records int
+	// FirstLSN and LastLSN bound the valid records (both 0 when the
+	// log is empty).
+	FirstLSN, LastLSN uint64
+	// Torn reports a torn tail: the last segment ends in bytes that do
+	// not parse as a complete valid frame.
+	Torn bool
+	// TornSegment, TornOffset and TornBytes locate the tear: the file,
+	// the offset of the last valid frame boundary, and how many bytes
+	// dangle past it.
+	TornSegment string
+	TornOffset  int64
+	TornBytes   int64
+	// TornReason is the parse error that ended the scan.
+	TornReason string
+}
+
+// Scan reads every segment in dir in order, verifying frame checksums
+// and LSN continuity, optionally streaming payloads through fn. Damage
+// in the last segment is reported as a torn tail (recoverable by
+// truncation); damage anywhere else is ErrCorrupt. Scan never mutates
+// the directory — Open is the repairing entry point.
+func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) (ScanReport, error) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecord
+	}
+	var report ScanReport
+
+	names, err := listSegments(dir)
+	if err != nil {
+		return report, err
+	}
+	for i, seg := range names {
+		last := i == len(names)-1
+		if report.Records > 0 && seg.first != report.LastLSN+1 {
+			return report, fmt.Errorf("%w: segment %s starts at LSN %d, want %d",
+				ErrCorrupt, filepath.Base(seg.path), seg.first, report.LastLSN+1)
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return report, fmt.Errorf("wal: scan: %w", err)
+		}
+		info := SegmentInfo{Path: seg.path, FirstLSN: seg.first}
+		next := seg.first
+		off := 0
+		for off < len(data) {
+			lsn, payload, frameLen, perr := ParseFrame(data[off:], maxRecord)
+			if perr == nil && lsn != next {
+				perr = fmt.Errorf("%w: frame at offset %d has LSN %d, want %d",
+					ErrBadLSN, off, lsn, next)
+			}
+			if perr != nil {
+				if !last {
+					return report, fmt.Errorf("%w: %s at offset %d: %v",
+						ErrCorrupt, filepath.Base(seg.path), off, perr)
+				}
+				report.Torn = true
+				report.TornSegment = seg.path
+				report.TornOffset = int64(off)
+				report.TornBytes = int64(len(data) - off)
+				report.TornReason = perr.Error()
+				break
+			}
+			if fn != nil {
+				if ferr := fn(lsn, payload); ferr != nil {
+					return report, ferr
+				}
+			}
+			if report.Records == 0 {
+				report.FirstLSN = lsn
+			}
+			report.LastLSN = lsn
+			report.Records++
+			info.Records++
+			next++
+			off += frameLen
+		}
+		info.Bytes = int64(off)
+		if report.Torn {
+			info.Bytes = report.TornOffset
+		}
+		report.Segments = append(report.Segments, info)
+	}
+	return report, nil
+}
+
+// listSegments enumerates dir's segment files in LSN order. Non-WAL
+// files (snapshots, metadata) are ignored.
+func listSegments(dir string) ([]segmentMeta, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: scan: %w", err)
+	}
+	var segs []segmentMeta
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: unparseable segment name %q", ErrCorrupt, name)
+		}
+		segs = append(segs, segmentMeta{path: filepath.Join(dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
