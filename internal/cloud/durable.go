@@ -39,12 +39,22 @@ import (
 //
 // One deliberate exception keeps the durability tax off the liveness
 // path: a pure keep-alive heartbeat (unkeyed, no readings, no button,
-// not a registration) mutates only lastSeen, the online flip and the
-// status counters, so it is applied without a WAL record; if it drains
-// queued commands or user data — a durable mutation — a record is
-// appended after the fact so the drain survives a restart. Liveness
-// state lost this way is re-established by the next heartbeat, and the
-// skipped counters are durable as of the last checkpoint.
+// not a registration) mutates only lastSeen, the online flip, the
+// session owner and the status counters, so it is applied without a
+// WAL record. Its durable-relevant effect is remembered as a pending
+// per-device liveness note (coalesced, last-wins) and flushed as a
+// compact liveness record immediately before the next logged record
+// appends — so a logged operation whose outcome depends on liveness
+// state (a control's online check, the session-owner check of
+// dev-token designs) replays against exactly the state it observed
+// live. A heartbeat that drains queued commands or user data — a
+// durable mutation — is itself appended after the fact so the drain
+// survives a restart; if that append fails, the drained items are
+// requeued and the delivery fails, so nothing acknowledged is lost
+// either way. Pending liveness that never gets flushed (no dependent
+// logged operation before a crash) is re-established by the next
+// heartbeat, and the skipped status counters are durable only as of
+// the last checkpoint.
 //
 // Durable implements the same handler surface as Service (the
 // transport.Cloud contract) and is safe for concurrent use; logged
@@ -58,17 +68,45 @@ type Durable struct {
 	master [32]byte
 
 	mu       sync.Mutex
-	op       atomic.Pointer[durableOp]
 	recovery DurableRecovery
 	closed   bool
+
+	// pending maps device ID -> the unlogged liveness effect of its
+	// accepted bare heartbeats (guarded by mu). Entries coalesce
+	// last-wins: between flushes only bare heartbeats touch the entry,
+	// and each one overwrites lastSeen and the session owner wholesale,
+	// so replaying just the latest reproduces the net effect.
+	pending map[string]pendingLiveness
+
+	// opAt, when non-zero, pins the service clock to the executing
+	// operation's record time (UnixNano). It is a shared atomic, not a
+	// per-goroutine context: a concurrent pass-through read
+	// (Readings, ShadowState) that samples the clock during an
+	// in-flight operation observes the pinned time rather than wall
+	// time. That skew is bounded by the operation's duration, and the
+	// only clock-derived mutation on a read path — heartbeat expiry —
+	// is a pure function of (now, lastSeen), so live and recovered
+	// state still converge.
+	opAt atomic.Int64
+
+	// opG is the executing logged operation's entropy stream. Unlike
+	// the clock it is guarded by mu, never published to concurrent
+	// readers: every entropy consumer (token issue, session nonces)
+	// sits inside a logged handler, which holds mu — replay runs
+	// single-goroutine in OpenDurable — so no concurrent path can
+	// consume a logged operation's DRBG bytes and desynchronize
+	// replay. A future read path that drew entropy without mu would be
+	// a data race here, caught under -race, not a silent determinism
+	// break.
+	opG *drbg
 }
 
-// durableOp pins the clock (and, for logged operations, the entropy
-// stream) of the operation currently executing under d.mu. Read paths
-// outside the mutex observe a nil pointer and fall back to wall time.
-type durableOp struct {
-	at time.Time
-	g  *drbg
+// pendingLiveness is one device's unlogged liveness state: the time of
+// its last accepted bare heartbeat and the session owner that heartbeat
+// authenticated (empty for designs whose device auth carries no owner).
+type pendingLiveness struct {
+	at    time.Time
+	owner string
 }
 
 // DurableOptions configures OpenDurable.
@@ -121,7 +159,7 @@ func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts Du
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cloud: open durable: %w", err)
 	}
-	d := &Durable{dir: dir, wall: opts.Clock}
+	d := &Durable{dir: dir, wall: opts.Clock, pending: make(map[string]pendingLiveness)}
 	if d.wall == nil {
 		d.wall = time.Now
 	}
@@ -171,9 +209,9 @@ func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts Du
 		if err != nil {
 			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
 		}
-		d.op.Store(&durableOp{at: rec.at, g: newDRBG(&d.master, lsn)})
+		d.beginOp(rec.at, newDRBG(&d.master, lsn))
 		err = rec.apply(svc)
-		d.op.Store(nil)
+		d.endOp()
 		if err != nil {
 			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
 		}
@@ -261,21 +299,39 @@ func (g *drbg) read(p []byte) {
 	}
 }
 
+// beginOp pins the clock (and, for logged operations, the entropy
+// stream) of the operation about to execute. The caller holds d.mu;
+// the clock travels through an atomic only because pass-through reads
+// sample it without the mutex (see the opAt field comment).
+func (d *Durable) beginOp(at time.Time, g *drbg) {
+	d.opG = g
+	d.opAt.Store(at.UnixNano())
+}
+
+// endOp clears the operation context set by beginOp.
+func (d *Durable) endOp() {
+	d.opAt.Store(0)
+	d.opG = nil
+}
+
 // now is the service clock: inside an operation it is the record's
-// time, outside (read paths, snapshot timestamps) it is wall time.
+// time at the WAL's nanosecond precision — so a replayed operation
+// reads the identical clock — outside (read paths, snapshot
+// timestamps) it is wall time.
 func (d *Durable) now() time.Time {
-	if op := d.op.Load(); op != nil {
-		return op.at
+	if v := d.opAt.Load(); v != 0 {
+		return time.Unix(0, v).UTC()
 	}
 	return d.wall()
 }
 
-// readEntropy feeds the token issuer: logged operations draw from the
-// per-record DRBG, anything else (never on the logged path) falls back
-// to the system source.
+// readEntropy feeds the token issuer: operations with a pinned DRBG
+// draw from it, anything else (never on the logged path) falls back to
+// the system source. Every caller executes under d.mu or during
+// single-goroutine replay, so reading opG without the atomic is safe.
 func (d *Durable) readEntropy(p []byte) error {
-	if op := d.op.Load(); op != nil && op.g != nil {
-		op.g.read(p)
+	if g := d.opG; g != nil {
+		g.read(p)
 		return nil
 	}
 	_, err := rand.Read(p)
@@ -297,9 +353,13 @@ func (d *Durable) randomHex() (string, error) {
 // succeeded, executes apply under the record's clock and entropy. The
 // caller holds d.mu. A failed append (including a simulated crash)
 // leaves the service untouched: write-ahead means nothing unlogged is
-// ever applied.
+// ever applied. Pending liveness notes flush first, so the record
+// replays against the same liveness state the live execution observed.
 func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) error, apply func() (T, error)) (T, error) {
 	var zero T
+	if err := d.flushPendingLocked(); err != nil {
+		return zero, fmt.Errorf("cloud: durable log: %w", err)
+	}
 	at := d.wall().UTC()
 	buf := jsonpool.Get()
 	defer buf.Put()
@@ -310,10 +370,49 @@ func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) er
 	if err != nil {
 		return zero, fmt.Errorf("cloud: durable log: %w", err)
 	}
-	d.op.Store(&durableOp{at: at, g: newDRBG(&d.master, lsn)})
+	d.beginOp(at, newDRBG(&d.master, lsn))
 	resp, aerr := apply()
-	d.op.Store(nil)
+	d.endOp()
 	return resp, aerr
+}
+
+// notePending records that an accepted-but-unlogged heartbeat moved
+// the device's liveness state, overwriting any earlier note for the
+// device (last-wins). The caller holds d.mu and has pinned the service
+// clock to at, so at equals the lastSeen the heartbeat just stored.
+func (d *Durable) notePending(deviceID string, at time.Time) {
+	d.pending[deviceID] = pendingLiveness{at: at, owner: d.svc.sessionOwnerOf(deviceID)}
+}
+
+// flushPendingLocked appends one liveness record per device with an
+// unlogged heartbeat, in device order, clearing each note as it lands.
+// It runs before any logged record is appended: a logged operation's
+// outcome may depend on lastSeen (the control online check) or the
+// session owner (dev-token designs), so that state must be in the log
+// ahead of the operation for replay to reproduce the live outcome. On
+// append failure the unflushed notes are kept for the next attempt and
+// the caller's operation fails. The caller holds d.mu.
+func (d *Durable) flushPendingLocked() error {
+	if len(d.pending) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(d.pending))
+	for id := range d.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf := jsonpool.Get()
+	defer buf.Put()
+	for _, id := range ids {
+		p := d.pending[id]
+		buf.Writer().Reset()
+		encodeLivenessRecord(buf.Writer(), p.at, id, p.owner)
+		if _, err := d.log.Append(buf.Bytes()); err != nil {
+			return err
+		}
+		delete(d.pending, id)
+	}
+	return nil
 }
 
 // logJSON is logThenApply for the cold JSON-envelope operations.
@@ -419,33 +518,48 @@ func (d *Durable) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 		}, func() (protocol.StatusResponse, error) { return d.svc.HandleStatus(req) })
 	}
 
-	// Liveness fast path: apply first under the wall clock (no op
-	// context — a bare heartbeat draws no entropy, and the record time
-	// is only needed if it drained state, which is rare). A drain makes
-	// it durable after the fact. The mutex still covers the apply so a
-	// drain record's log position matches its apply order relative to
-	// logged operations — replay must not drain items queued after it.
+	// Liveness fast path: apply first, under a clock pinned to the time
+	// any after-the-fact record will carry, so the lastSeen the service
+	// stores and the time replay restores are the same instant. A drain
+	// makes the heartbeat durable after the fact; anything else leaves a
+	// pending liveness note for the next logged record to flush. The
+	// mutex still covers the apply so a record's log position matches
+	// its apply order relative to logged operations — replay must not
+	// drain items queued after it.
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
-		d.mu.Unlock()
 		return protocol.StatusResponse{}, ErrDurableClosed
 	}
+	at := d.wall().UTC()
+	d.beginOp(at, nil)
 	resp, err := d.svc.HandleStatus(req)
-	if err == nil && (len(resp.Commands) > 0 || len(resp.UserData) > 0) {
+	d.endOp()
+	if err != nil {
+		return resp, err
+	}
+	if len(resp.Commands) > 0 || len(resp.UserData) > 0 {
 		buf := jsonpool.Get()
-		encodeStatusRecord(buf.Writer(), d.wall().UTC(), &req)
+		encodeStatusRecord(buf.Writer(), at, &req)
 		_, lerr := d.log.Append(buf.Bytes())
 		buf.Put()
 		if lerr != nil {
-			// The WAL is dead and the drain never became durable; fail
-			// the delivery so the recovered cloud (which still holds
-			// the queued items) redelivers them.
-			d.mu.Unlock()
+			// The WAL refused the record, so the drain never became
+			// durable. Requeue the drained items — the live process must
+			// not lose deliveries the device never received just because
+			// the log is sick — note the liveness effect, and fail the
+			// delivery; a recovered cloud redelivers from the same inbox.
+			d.svc.requeueDeliveries(req.DeviceID, resp.Commands, resp.UserData)
+			d.notePending(req.DeviceID, at)
 			return protocol.StatusResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
 		}
+		// The record replays the full heartbeat, superseding any pending
+		// note for this device.
+		delete(d.pending, req.DeviceID)
+	} else {
+		d.notePending(req.DeviceID, at)
 	}
-	d.mu.Unlock()
-	return resp, err
+	return resp, nil
 }
 
 // HandleStatusBatch processes a status batch. A batch containing any
@@ -471,26 +585,55 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 		}, func() (protocol.StatusBatchResponse, error) { return d.svc.HandleStatusBatch(req) })
 	}
 
+	at := d.wall().UTC()
+	d.beginOp(at, nil)
 	resp, err := d.svc.HandleStatusBatch(req)
-	if err == nil {
-		drained := false
-		for i := range resp.Results {
-			r := &resp.Results[i]
-			if len(r.Response.Commands) > 0 || len(r.Response.UserData) > 0 {
-				drained = true
-				break
-			}
-		}
-		if drained {
-			buf := jsonpool.Get()
-			defer buf.Put()
-			encodeBatchRecord(buf.Writer(), d.wall().UTC(), &req)
-			if _, lerr := d.log.Append(buf.Bytes()); lerr != nil {
-				return protocol.StatusBatchResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
-			}
+	d.endOp()
+	if err != nil {
+		return resp, err
+	}
+	drained := false
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		if len(r.Response.Commands) > 0 || len(r.Response.UserData) > 0 {
+			drained = true
+			break
 		}
 	}
-	return resp, err
+	if !drained {
+		for i := range resp.Results {
+			if resp.Results[i].Code == "" {
+				d.notePending(req.Items[i].DeviceID, at)
+			}
+		}
+		return resp, nil
+	}
+	buf := jsonpool.Get()
+	defer buf.Put()
+	encodeBatchRecord(buf.Writer(), at, &req)
+	if _, lerr := d.log.Append(buf.Bytes()); lerr != nil {
+		// Same contract as the single-status path: the drains never
+		// became durable, so requeue every accepted item's deliveries,
+		// note the liveness effects, and fail the batch.
+		for i := range resp.Results {
+			r := &resp.Results[i]
+			if r.Code != "" {
+				continue
+			}
+			d.svc.requeueDeliveries(req.Items[i].DeviceID, r.Response.Commands, r.Response.UserData)
+			d.notePending(req.Items[i].DeviceID, at)
+		}
+		return protocol.StatusBatchResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
+	}
+	// The record replays every accepted item, superseding those
+	// devices' pending notes; a rejected item replays to the same
+	// rejection and re-establishes nothing, so its device's note stays.
+	for i := range resp.Results {
+		if resp.Results[i].Code == "" {
+			delete(d.pending, req.Items[i].DeviceID)
+		}
+	}
+	return resp, nil
 }
 
 // Readings passes through: a pure read.
@@ -546,6 +689,9 @@ func (d *Durable) Checkpoint() error {
 	if err := atomicWriteFile(snapshotPath(d.dir, lsn), buf.Bytes()); err != nil {
 		return fmt.Errorf("cloud: checkpoint: %w", err)
 	}
+	// The snapshot captured live lastSeen/sessionOwner, so recovery no
+	// longer needs the pending liveness notes behind it.
+	clear(d.pending)
 	if _, err := d.log.TruncateBefore(lsn + 1); err != nil {
 		return fmt.Errorf("cloud: checkpoint: %w", err)
 	}
@@ -585,8 +731,12 @@ func (d *Durable) WriteSnapshot(w interface{ Write([]byte) (int, error) }) error
 	return d.svc.WriteSnapshot(w)
 }
 
-// Close syncs and closes the WAL. The directory reopens with
-// OpenDurable; a clean close replays to the identical state.
+// Close flushes pending liveness notes, then syncs and closes the WAL.
+// The directory reopens with OpenDurable; a clean close replays to the
+// identical state. The flush is best-effort: unlogged liveness is
+// droppable by design, and a WAL that already failed (a simulated
+// crash, a dead disk) must not turn Close into an error — recovery
+// re-establishes liveness from the next heartbeats.
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -594,6 +744,7 @@ func (d *Durable) Close() error {
 		return nil
 	}
 	d.closed = true
+	_ = d.flushPendingLocked()
 	return d.log.Close()
 }
 

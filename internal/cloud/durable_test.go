@@ -9,13 +9,20 @@ import (
 	"testing"
 	"time"
 
+	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/wal"
 )
 
 // newDurable opens a durable cloud in dir with a fixed manual clock and
-// one registered device.
+// one registered device, under the baseline devID design.
 func newDurable(t *testing.T, dir string, opts DurableOptions) (*Durable, *testClock) {
+	t.Helper()
+	return newDurableDesign(t, dir, devIDDesign(), opts)
+}
+
+// newDurableDesign is newDurable under an explicit design spec.
+func newDurableDesign(t *testing.T, dir string, design core.DesignSpec, opts DurableOptions) (*Durable, *testClock) {
 	t.Helper()
 	clock := newTestClock()
 	if opts.Clock == nil {
@@ -25,7 +32,7 @@ func newDurable(t *testing.T, dir string, opts DurableOptions) (*Durable, *testC
 	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret, Model: "plug"}); err != nil {
 		t.Fatal(err)
 	}
-	d, err := OpenDurable(dir, devIDDesign(), reg, opts)
+	d, err := OpenDurable(dir, design, reg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +58,21 @@ func encodeState(t *testing.T, d *Durable) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := EncodeSnapshot(&buf, d.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeStateNoStats renders state with the activity counters zeroed:
+// counters moved by unlogged bare heartbeats are, by design, durable
+// only as of the last checkpoint, so workloads containing bare
+// heartbeats compare everything but Stats byte-for-byte.
+func encodeStateNoStats(t *testing.T, d *Durable) []byte {
+	t.Helper()
+	snap := d.Snapshot()
+	snap.Stats = Stats{}
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -300,8 +322,9 @@ func TestDurablePersistentIdempotencyAcrossRestart(t *testing.T) {
 }
 
 // TestDurableLivenessSkip pins the fast path: a bare heartbeat appends
-// no WAL record, but one that drains inbox state logs after the fact so
-// the drain survives a restart.
+// no WAL record of its own — its liveness effect rides as a pending
+// note flushed ahead of the next logged record — and one that drains
+// inbox state logs after the fact so the drain survives a restart.
 func TestDurableLivenessSkip(t *testing.T) {
 	dir := t.TempDir()
 	d, clock := newDurable(t, dir, DurableOptions{})
@@ -314,21 +337,31 @@ func TestDurableLivenessSkip(t *testing.T) {
 	}
 	base := d.AppliedOps()
 
-	// Bare heartbeat with nothing queued: pure liveness, no record.
-	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice}); err != nil {
-		t.Fatal(err)
+	// Bare heartbeats with nothing queued: pure liveness, no record yet,
+	// no matter how many arrive — the pending note coalesces.
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if got := d.AppliedOps(); got != base {
-		t.Errorf("bare heartbeat appended a WAL record (LSN %d -> %d)", base, got)
+		t.Errorf("bare heartbeats appended WAL records (LSN %d -> %d)", base, got)
 	}
 
-	// Queue a command, then drain it with another bare heartbeat: the
-	// drain must be logged.
+	// Queue a command: the control's outcome depends on the device being
+	// online, so the pending liveness note must flush ahead of it — two
+	// records, not one.
 	if _, err := d.HandleControl(protocol.ControlRequest{
 		DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "turn_on"},
 	}); err != nil {
 		t.Fatal(err)
 	}
+	if got := d.AppliedOps(); got != base+2 {
+		t.Errorf("AppliedOps = %d, want %d (flushed liveness + control)", got, base+2)
+	}
+
+	// Drain it with another bare heartbeat: the drain must be logged.
 	resp, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice})
 	if err != nil {
 		t.Fatal(err)
@@ -336,8 +369,8 @@ func TestDurableLivenessSkip(t *testing.T) {
 	if len(resp.Commands) != 1 {
 		t.Fatalf("draining heartbeat returned %d commands, want 1", len(resp.Commands))
 	}
-	if got := d.AppliedOps(); got != base+2 {
-		t.Errorf("AppliedOps = %d, want %d (control + logged drain)", got, base+2)
+	if got := d.AppliedOps(); got != base+3 {
+		t.Errorf("AppliedOps = %d, want %d (liveness + control + logged drain)", got, base+3)
 	}
 	d.Close()
 
@@ -346,6 +379,178 @@ func TestDurableLivenessSkip(t *testing.T) {
 	snap := d2.Snapshot()
 	if len(snap.Shadows) != 1 || len(snap.Shadows[0].CommandInbox) != 0 {
 		t.Errorf("recovered command inbox = %+v, want empty (drain was logged)", snap.Shadows)
+	}
+}
+
+// TestDurableUnloggedLivenessReplaysForControl pins the recovery bug
+// class the liveness notes exist for: a control acknowledged live only
+// because an *unlogged* bare heartbeat had put the device online must
+// replay to the same acknowledgement — not be rejected offline with its
+// error silently discarded, losing the fsynced command.
+func TestDurableUnloggedLivenessReplaysForControl(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurable(t, dir, DurableOptions{})
+	victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 45s after registering, a bare heartbeat refreshes liveness with no
+	// WAL record; 45s after that, the register alone would have expired
+	// (TTL 60s), so the control below is accepted *only because of the
+	// unlogged heartbeat*.
+	clock.Advance(45 * time.Second)
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(45 * time.Second)
+	resp, err := d.HandleControl(protocol.ControlRequest{
+		DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "turn_on"},
+	})
+	if err != nil || !resp.Queued {
+		t.Fatalf("control = %+v, %v; want Queued (device online via the bare heartbeat)", resp, err)
+	}
+	want := encodeStateNoStats(t, d)
+	d.Close()
+
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	snap := d2.Snapshot()
+	if len(snap.Shadows) != 1 || len(snap.Shadows[0].CommandInbox) != 1 {
+		t.Fatalf("recovered command inbox = %+v, want the acknowledged command", snap.Shadows)
+	}
+	if got := encodeStateNoStats(t, d2); !bytes.Equal(want, got) {
+		t.Errorf("recovered snapshot differs from live snapshot:\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestDurableUnloggedSessionOwnerReplays pins the dev-token variant of
+// the same bug: a bare heartbeat authenticated with another account's
+// device token flips the session owner without a WAL record, and a
+// control refused live because of it (Section V-E) must be refused on
+// replay too — not silently accepted into the recovered inbox.
+func TestDurableUnloggedSessionOwnerReplays(t *testing.T) {
+	dir := t.TempDir()
+	d, clock := newDurableDesign(t, dir, devTokenDesign(), DurableOptions{})
+	victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+	attacker := durableLogin(t, d, "attacker@example.com", "pw-attacker")
+
+	proof := protocol.PairingProof(testSecret, testDevice)
+	vicTok, err := d.RequestDeviceToken(protocol.DeviceTokenRequest{UserToken: victim, DeviceID: testDevice, PairingProof: proof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice, DevToken: vicTok.DevToken}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim, Sender: core.SenderApp}); err != nil {
+		t.Fatal(err)
+	}
+	atkTok, err := d.RequestDeviceToken(protocol.DeviceTokenRequest{UserToken: attacker, DeviceID: testDevice, PairingProof: proof})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker's bare heartbeat flips the session owner with no WAL
+	// record of its own.
+	clock.Advance(time.Second)
+	if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, DevToken: atkTok.DevToken}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control is refused live: the binding's owner no longer owns the
+	// device session. Write-ahead logs the attempt anyway; the flushed
+	// liveness record ahead of it carries the owner flip, so replay
+	// refuses it identically.
+	_, err = d.HandleControl(protocol.ControlRequest{DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "unlock"}})
+	if !errors.Is(err, protocol.ErrNotPermitted) {
+		t.Fatalf("control after owner flip = %v, want ErrNotPermitted", err)
+	}
+	want := encodeStateNoStats(t, d)
+	d.Close()
+
+	d2, _ := newDurableDesign(t, dir, devTokenDesign(), DurableOptions{Clock: clock.Now})
+	snap := d2.Snapshot()
+	if len(snap.Shadows) != 1 {
+		t.Fatalf("recovered %d shadows, want 1", len(snap.Shadows))
+	}
+	if got := snap.Shadows[0].SessionOwner; got != "attacker@example.com" {
+		t.Errorf("recovered session owner = %q, want the attacker's account", got)
+	}
+	if got := len(snap.Shadows[0].CommandInbox); got != 0 {
+		t.Errorf("recovered inbox holds %d commands, want 0 (the refused control must not replay as accepted)", got)
+	}
+	if got := encodeStateNoStats(t, d2); !bytes.Equal(want, got) {
+		t.Error("recovered snapshot differs from live snapshot")
+	}
+}
+
+// TestDurableDrainAppendFailureRequeues pins the fast-path failure
+// contract: when a bare heartbeat drains queued deliveries but the
+// after-the-fact WAL append fails, the delivery errors AND the drained
+// items go back into the inbox — the live process must not limp along
+// with deliveries the device never received already removed.
+func TestDurableDrainAppendFailureRequeues(t *testing.T) {
+	for _, mode := range []string{"single", "batch"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			appends := 0
+			fp := func(stage wal.Stage) wal.Crash {
+				if stage == wal.StageFramePayload {
+					appends++
+					// register_user, login, register, bind, control land;
+					// the drain's after-the-fact record tears.
+					if appends == 6 {
+						return wal.CrashKeep
+					}
+				}
+				return wal.CrashNone
+			}
+			d, clock := newDurable(t, dir, DurableOptions{
+				WAL: wal.Options{Policy: wal.SyncEveryRecord, Failpoint: fp},
+			})
+			victim := durableLogin(t, d, "victim@example.com", "pw-victim")
+			if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.HandleBind(protocol.BindRequest{DeviceID: testDevice, UserToken: victim}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.HandleControl(protocol.ControlRequest{
+				DeviceID: testDevice, UserToken: victim, Command: protocol.Command{ID: "c1", Name: "turn_on"},
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			clock.Advance(time.Second)
+			var err error
+			if mode == "single" {
+				_, err = d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: testDevice})
+			} else {
+				_, err = d.HandleStatusBatch(protocol.StatusBatchRequest{Items: []protocol.StatusRequest{
+					{Kind: protocol.StatusHeartbeat, DeviceID: testDevice},
+				}})
+			}
+			if !errors.Is(err, wal.ErrCrashed) {
+				t.Fatalf("draining heartbeat during crash = %v, want ErrCrashed", err)
+			}
+
+			// The drained command is back in the live inbox.
+			snap := d.Snapshot()
+			if len(snap.Shadows) != 1 || len(snap.Shadows[0].CommandInbox) != 1 || snap.Shadows[0].CommandInbox[0].ID != "c1" {
+				t.Fatalf("live inbox after failed drain append = %+v, want the requeued command", snap.Shadows)
+			}
+			d.Close()
+
+			// And in the recovered one: the drain never became durable.
+			d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+			snap = d2.Snapshot()
+			if len(snap.Shadows) != 1 || len(snap.Shadows[0].CommandInbox) != 1 {
+				t.Errorf("recovered inbox = %+v, want the undrained command", snap.Shadows)
+			}
+		})
 	}
 }
 

@@ -601,6 +601,57 @@ func (s *Service) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowS
 	return protocol.ShadowStateResponse{State: sh.state(), BoundUser: sh.boundUser}, nil
 }
 
+// requeueDeliveries returns drained-but-undelivered commands and user
+// data to the front of the device's inboxes, in their original order.
+// The durable layer calls it when the WAL refuses the record that would
+// have made a fast-path drain durable: the delivery fails back to the
+// device, so the items must stay queued — otherwise the live process
+// keeps running without them while a recovered one still has them.
+func (s *Service) requeueDeliveries(deviceID string, cmds []protocol.Command, data []protocol.UserData) {
+	if len(cmds) == 0 && len(data) == 0 {
+		return
+	}
+	sh := s.store.get(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(cmds) > 0 {
+		sh.commandInbox = append(cmds, sh.commandInbox...)
+	}
+	if len(data) > 0 {
+		sh.dataInbox = append(data, sh.dataInbox...)
+	}
+}
+
+// sessionOwnerOf reports the device's current session owner; the
+// durable layer records it in the pending liveness note an unlogged
+// heartbeat leaves behind.
+func (s *Service) sessionOwnerOf(deviceID string) string {
+	sh := s.store.get(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessionOwner
+}
+
+// applyLiveness re-establishes a device's liveness state from a WAL
+// liveness record: the coalesced effect of the bare heartbeats the
+// durable layer applied without individual records. It bypasses the
+// status handler deliberately — no credential re-evaluation (the live
+// heartbeats already passed), no inbox drain (they drained nothing, or
+// the drain got its own record), no counters (the skipped heartbeats'
+// counters are durable only as of the last checkpoint).
+func (s *Service) applyLiveness(deviceID string, at time.Time, owner string) {
+	if _, ok := s.registry.Lookup(deviceID); !ok {
+		return
+	}
+	sh := s.store.get(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.markOnline(at)
+	if owner != "" {
+		sh.sessionOwner = owner
+	}
+}
+
 // ShadowTrace returns the state-machine trace of a device shadow, for
 // experiment reporting.
 func (s *Service) ShadowTrace(deviceID string) []core.Transition {

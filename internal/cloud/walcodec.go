@@ -19,6 +19,11 @@ import (
 //     must stay within the durability budget, so its record encoder is
 //     a flat length-prefixed field walk into a pooled buffer — no
 //     reflection, no intermediate allocations.
+//   - 0x03: a liveness record — the coalesced effect of a device's
+//     unlogged bare heartbeats (lastSeen, session owner), flushed by
+//     cloud.Durable ahead of any logged record whose outcome could
+//     depend on that state. Replay applies it directly to the shadow:
+//     no credential re-evaluation, no drain, no counters.
 //   - '{' (0x7b): a JSON envelope for everything cold (accounts,
 //     logins, token issues, bind/unbind/control/push/share). These
 //     happen at human rates; clarity beats compactness.
@@ -28,9 +33,23 @@ import (
 // entropy from the record's LSN (see drbg), which is what makes a
 // replayed operation byte-identical to its live execution.
 const (
-	walTagStatus = 0x01
-	walTagBatch  = 0x02
-	walTagJSON   = '{'
+	walTagStatus   = 0x01
+	walTagBatch    = 0x02
+	walTagLiveness = 0x03
+	walTagJSON     = '{'
+)
+
+// Minimum encoded item sizes: decoders bound count-prefixed
+// allocations by remaining-bytes / minimum-size, so a corrupt or
+// crafted count cannot force an allocation orders of magnitude larger
+// than the record that carries it.
+const (
+	// walMinReadingSize is an empty-name reading: name uvarint(1) +
+	// value f64(8) + time i64(8).
+	walMinReadingSize = 17
+	// walMinStatusSize is an all-empty status body: kind u8(1) + nine
+	// empty strings (1 each) + button u8(1) + readings count uvarint(1).
+	walMinStatusSize = 12
 )
 
 // walTimeZero encodes time.Time{} — UnixNano is undefined for the zero
@@ -162,6 +181,21 @@ func (c *walCursor) str() string {
 	return s
 }
 
+// count reads an item count and rejects any that could not fit in the
+// remaining bytes at min encoded bytes per item, before the caller
+// sizes an allocation by it.
+func (c *walCursor) count(min int) uint64 {
+	n := c.uvarint()
+	if c.err != nil {
+		return 0
+	}
+	if n > uint64(len(c.data)-c.off)/uint64(min) {
+		c.fail()
+		return 0
+	}
+	return n
+}
+
 // ---- status record ---------------------------------------------------------
 
 // walPutStatusBody serializes one StatusRequest (including its source
@@ -203,11 +237,8 @@ func walReadStatusBody(c *walCursor) protocol.StatusRequest {
 	req.Model = c.str()
 	req.SourceIP = c.str()
 	req.ButtonPressed = c.u8() != 0
-	n := c.uvarint()
-	if c.err != nil || n > uint64(len(c.data)) {
-		if c.err == nil {
-			c.fail()
-		}
+	n := c.count(walMinReadingSize)
+	if c.err != nil {
 		return req
 	}
 	if n > 0 {
@@ -226,6 +257,17 @@ func encodeStatusRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusReque
 	walPutU8(b, walTagStatus)
 	walPutI64(b, walEncodeTime(at))
 	walPutStatusBody(b, req)
+}
+
+// encodeLivenessRecord writes a liveness WAL record into b: the device
+// whose unlogged bare heartbeats are being made durable, the time of
+// the last one, and the session owner it authenticated (empty when the
+// design's device auth carries no owner).
+func encodeLivenessRecord(b *bytes.Buffer, at time.Time, deviceID, owner string) {
+	walPutU8(b, walTagLiveness)
+	walPutI64(b, walEncodeTime(at))
+	walPutStr(b, deviceID)
+	walPutStr(b, owner)
 }
 
 // encodeBatchRecord writes a complete status-batch WAL record into b.
@@ -249,9 +291,16 @@ type walRecord struct {
 	op string
 	at time.Time
 
-	status *protocol.StatusRequest
-	batch  *protocol.StatusBatchRequest
-	env    *walEnvelope
+	status   *protocol.StatusRequest
+	batch    *protocol.StatusBatchRequest
+	liveness *walLiveness
+	env      *walEnvelope
+}
+
+// walLiveness is a decoded liveness record body.
+type walLiveness struct {
+	deviceID string
+	owner    string
 }
 
 // decodeWALRecord parses any record payload.
@@ -271,15 +320,23 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 			return walRecord{}, c.err
 		}
 		return walRecord{op: "status", at: at, status: &req}, nil
+	case walTagLiveness:
+		c := &walCursor{data: payload, off: 1}
+		at := walDecodeTime(c.i64())
+		lv := walLiveness{deviceID: c.str(), owner: c.str()}
+		if c.err == nil && c.off != len(c.data) {
+			c.fail()
+		}
+		if c.err != nil {
+			return walRecord{}, c.err
+		}
+		return walRecord{op: "liveness", at: at, liveness: &lv}, nil
 	case walTagBatch:
 		c := &walCursor{data: payload, off: 1}
 		at := walDecodeTime(c.i64())
 		var req protocol.StatusBatchRequest
 		req.SourceIP = c.str()
-		n := c.uvarint()
-		if c.err == nil && n > uint64(len(payload)) {
-			c.fail()
-		}
+		n := c.count(walMinStatusSize)
 		if c.err != nil {
 			return walRecord{}, c.err
 		}
@@ -320,6 +377,8 @@ func (r walRecord) apply(s *Service) error {
 		req := *r.batch
 		req.Items = append([]protocol.StatusRequest(nil), r.batch.Items...)
 		_, _ = s.HandleStatusBatch(req)
+	case r.liveness != nil:
+		s.applyLiveness(r.liveness.deviceID, r.at, r.liveness.owner)
 	case r.env != nil:
 		env := r.env
 		switch {
@@ -374,6 +433,8 @@ func DescribeWALRecord(payload []byte) (string, error) {
 			rec.status.IdempotencyKey != "", len(rec.status.Readings)), nil
 	case rec.batch != nil:
 		return fmt.Sprintf("%s status_batch items=%d", ts, len(rec.batch.Items)), nil
+	case rec.liveness != nil:
+		return fmt.Sprintf("%s liveness device=%s owner=%q", ts, rec.liveness.deviceID, rec.liveness.owner), nil
 	default:
 		env := rec.env
 		switch {

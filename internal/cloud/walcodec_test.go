@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
 	"testing"
@@ -88,6 +89,60 @@ func TestWALCodecTruncationIsError(t *testing.T) {
 	}
 	if _, err := decodeWALRecord(append(append([]byte(nil), full...), 0xFF)); err == nil {
 		t.Error("trailing garbage decoded without error")
+	}
+}
+
+// TestWALCodecLivenessRoundTrip covers the liveness record: the
+// coalesced bare-heartbeat effect flushed ahead of logged records.
+func TestWALCodecLivenessRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 4, 250, time.UTC)
+	var buf bytes.Buffer
+	encodeLivenessRecord(&buf, at, testDevice, "victim@example.com")
+	rec, err := decodeWALRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.liveness == nil {
+		t.Fatal("decoded record has no liveness body")
+	}
+	if !rec.at.Equal(at) || rec.liveness.deviceID != testDevice || rec.liveness.owner != "victim@example.com" {
+		t.Errorf("round trip = %v %+v, want %v device=%s owner=victim@example.com", rec.at, rec.liveness, at, testDevice)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := decodeWALRecord(full[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+// TestWALCodecHugeCountsRejected pins the decoder's allocation bound: a
+// crafted record claiming more items than its remaining bytes could
+// possibly hold must be rejected before the count sizes an allocation —
+// recovery and walinspect read arbitrary files.
+func TestWALCodecHugeCountsRejected(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 5, 0, time.UTC)
+
+	var status bytes.Buffer
+	walPutU8(&status, walTagStatus)
+	walPutI64(&status, at.UnixNano())
+	walPutU8(&status, uint8(protocol.StatusHeartbeat))
+	for i := 0; i < 9; i++ { // device ID through source IP, all empty
+		walPutStr(&status, "")
+	}
+	walPutU8(&status, 0)                  // button
+	walPutUvarint(&status, uint64(1)<<40) // readings "count" with no bytes behind it
+	if _, err := decodeWALRecord(status.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("huge readings count decoded to %v, want ErrBadRequest", err)
+	}
+
+	var batch bytes.Buffer
+	walPutU8(&batch, walTagBatch)
+	walPutI64(&batch, at.UnixNano())
+	walPutStr(&batch, "") // envelope source IP
+	walPutUvarint(&batch, uint64(1)<<40)
+	if _, err := decodeWALRecord(batch.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("huge batch item count decoded to %v, want ErrBadRequest", err)
 	}
 }
 
