@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json bench-json-smoke fuzz-smoke wal-verify ci
+.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify ci
 
 all: ci
 
@@ -24,6 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-stress hammers the WAL group-commit queue and the sharded durable
+# hot path under the race detector, repeated so the leader/follower
+# handoff, the background flusher and the truncate-vs-append windows get
+# re-dealt across runs.
+race-stress:
+	$(GO) test -race -count=3 -run='TestGroupCommit|TestTruncateBeforeRacesReplayAppend' ./internal/wal/
+	$(GO) test -race -count=3 -run='TestDurableConcurrentStatusRecovery' ./internal/cloud/
+
 # bench compiles and smoke-runs every benchmark (100 iterations, no unit
 # tests) so perf regressions in the hot path are caught by CI, not just
 # by hand-run comparisons.
@@ -42,9 +50,12 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchtime=1000x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o BENCH_4.json
 	{ $(GO) test -bench='^(BenchmarkWALAppend|BenchmarkRecovery)$$' -benchtime=2000x -benchmem -run='^$$' . ; \
-	  $(GO) test -bench='^BenchmarkDurableStatus/bare' -benchtime=1000000x -benchmem -run='^$$' . ; \
-	  $(GO) test -bench='^BenchmarkDurableStatus/keyed' -benchtime=100000x -benchmem -run='^$$' . ; } \
+	  $(GO) test -bench='^BenchmarkDurableStatus$$/bare' -benchtime=1000000x -benchmem -run='^$$' . ; \
+	  $(GO) test -bench='^BenchmarkDurableStatus$$/keyed' -benchtime=100000x -benchmem -run='^$$' . ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_5.json
+	{ $(GO) test -bench='^BenchmarkDurableStatusParallel' -benchtime=100000x -benchmem -run='^$$' . ; \
+	  $(GO) test -bench='^BenchmarkGroupCommit$$' -benchtime=5000x -benchmem -run='^$$' ./internal/wal/ ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_6.json
 
 # bench-json-smoke proves the bench->JSON pipeline still parses (one
 # iteration per benchmark, output discarded) without the full sweep's
@@ -52,14 +63,18 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o /dev/null
 
-# fuzz-smoke runs the WAL frame-decode fuzzer briefly: long enough to
-# shake out parser crashes on arbitrary bytes, short enough for CI.
+# fuzz-smoke runs the WAL frame-decode and shard-merge fuzzers briefly:
+# long enough to shake out parser and merge crashes on arbitrary bytes,
+# short enough for CI.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=5s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzMergeShards -fuzztime=5s ./internal/wal/
 
-# wal-verify regenerates the crash-test corpus (clean, torn-tail and
-# corrupt logs) and runs walinspect verify against it, proving the
-# offline integrity scanner classifies each correctly.
+# wal-verify regenerates the crash-test corpus — clean, torn-tail and
+# corrupt single-directory logs plus sharded layouts (clean merge, torn
+# shard tail among healthy siblings, duplicate cross-shard LSN) — and
+# runs walinspect verify against it, proving the offline integrity
+# scanner classifies each correctly.
 wal-verify:
 	$(GO) run ./cmd/walinspect selfcheck
 
@@ -68,4 +83,4 @@ wal-verify:
 # binding-under-loss and crash-recovery tests), a benchmark smoke run,
 # the bench JSON pipeline smoke, the WAL fuzz smoke and the offline WAL
 # integrity check.
-ci: fmt vet build race bench bench-json-smoke fuzz-smoke wal-verify
+ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify

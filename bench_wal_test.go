@@ -14,6 +14,8 @@ package iotbind_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	iotbind "github.com/iotbind/iotbind"
@@ -213,4 +215,105 @@ func BenchmarkDurableStatus(b *testing.B) {
 		register(b, h)
 		loop(b, h, true)
 	})
+}
+
+// BenchmarkDurableStatusParallel is the concurrency half of the
+// durable-status story (EXPERIMENTS.md §BENCH_6): keyed — that is,
+// logged — status messages from 8 and 16 concurrent clients across 32
+// devices, comparing the in-memory service against a durable cloud
+// funnelled through a single WAL shard and one with per-shard WALs.
+// Per-shard is the acceptance bar: within 2× of in-memory at 16
+// clients. The single-shard variant measures what the shard fan-out
+// buys — every client serializes on one shard mutex and one log.
+func BenchmarkDurableStatusParallel(b *testing.B) {
+	design := benchDesign(iotbind.AuthDevID, iotbind.BindACLApp)
+	const devs = 32
+	ids := make([]string, devs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("AA:BB:CC:00:98:%02X", i)
+	}
+	type handler interface {
+		HandleStatus(iotbind.StatusRequest) (iotbind.StatusResponse, error)
+	}
+	newRegistry := func(b *testing.B) *iotbind.Registry {
+		b.Helper()
+		reg := iotbind.NewRegistry()
+		for _, id := range ids {
+			if err := reg.Add(iotbind.DeviceRecord{ID: id, FactorySecret: benchSecret, Model: "plug"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return reg
+	}
+	registerAll := func(b *testing.B, h handler) {
+		b.Helper()
+		for _, id := range ids {
+			if _, err := h.HandleStatus(iotbind.StatusRequest{Kind: iotbind.StatusRegister, DeviceID: id}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	run := func(b *testing.B, h handler, clients int) {
+		b.Helper()
+		par := clients / runtime.GOMAXPROCS(0)
+		if par < 1 {
+			par = 1
+		}
+		b.SetParallelism(par)
+		var seq atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := seq.Add(1)
+			id := ids[int(client)%devs]
+			k := 0
+			for pb.Next() {
+				k++
+				if _, err := h.HandleStatus(iotbind.StatusRequest{
+					Kind: iotbind.StatusHeartbeat, DeviceID: id,
+					IdempotencyKey: fmt.Sprintf("c%d-%d", client, k),
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	inMemory := func(b *testing.B) handler {
+		b.Helper()
+		svc, err := iotbind.NewCloud(design, newRegistry(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
+	durable := func(b *testing.B, shards int) handler {
+		b.Helper()
+		d, err := iotbind.OpenDurableCloud(b.TempDir(), design, newRegistry(b), iotbind.DurableCloudOptions{
+			WALShards: shards,
+			WAL:       iotbind.WALOptions{Policy: iotbind.WALSyncGrouped},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = d.Close() })
+		return d
+	}
+	for _, clients := range []int{8, 16} {
+		b.Run(fmt.Sprintf("keyed/inmemory/clients=%d", clients), func(b *testing.B) {
+			h := inMemory(b)
+			registerAll(b, h)
+			run(b, h, clients)
+		})
+		b.Run(fmt.Sprintf("keyed/wal-1shard/clients=%d", clients), func(b *testing.B) {
+			h := durable(b, 1)
+			registerAll(b, h)
+			run(b, h, clients)
+		})
+		b.Run(fmt.Sprintf("keyed/wal-sharded/clients=%d", clients), func(b *testing.B) {
+			h := durable(b, 16)
+			registerAll(b, h)
+			run(b, h, clients)
+		})
+	}
 }

@@ -10,9 +10,13 @@
 //	                           and verify the scanner classifies them
 //
 // <dir> is a WAL directory, or a cloud.Durable state directory (its
-// wal/ subdirectory is used). verify exits 0 on a clean log and on a
-// torn tail — the expected shape after a crash, truncated on the next
-// open — and 1 on corruption anywhere before the tail.
+// wal/ subdirectory is used). Both layouts are understood: a legacy
+// single-directory dense log, and the sharded layout (shard-NNN
+// subdirectories of sparse per-shard logs merged by global LSN, with
+// per-shard watermarks reported and duplicate LSNs across shards
+// rejected). verify exits 0 on a clean log and on a torn tail — the
+// expected shape after a crash, truncated on the next open — and 1 on
+// corruption anywhere before a tail, including cross-shard duplicates.
 package main
 
 import (
@@ -67,6 +71,9 @@ func inspect(cmd, dir string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "walinspect: %v\n", err)
 		return 1
 	}
+	if wal.IsShardedDir(dir) {
+		return inspectSharded(cmd, dir, stdout, stderr)
+	}
 	report, err := wal.Scan(dir, 0, func(lsn uint64, payload []byte) error {
 		if cmd != "dump" {
 			return nil
@@ -87,6 +94,52 @@ func inspect(cmd, dir string, stdout, stderr io.Writer) int {
 	if report.Torn {
 		fmt.Fprintf(stdout, "torn tail in %s at offset %d (%d byte(s), %v) — truncated on next open\n",
 			filepath.Base(report.TornSegment), report.TornOffset, report.TornBytes, report.TornReason)
+	}
+	return 0
+}
+
+// inspectSharded handles the per-shard layout: each shard log scans
+// under sparse LSN rules, the records stream out merged in global LSN
+// order, and the summary reports every shard's durability watermark. A
+// duplicate LSN across shards — two logs claiming the same slot of the
+// global stream — is corruption and exits 1.
+func inspectSharded(cmd, dir string, stdout, stderr io.Writer) int {
+	records := 0
+	var first, last uint64
+	reports, err := wal.MergeShards(dir, 0, 0, func(shard int, lsn uint64, payload []byte) error {
+		if records == 0 {
+			first = lsn
+		}
+		records++
+		last = lsn
+		if cmd != "dump" {
+			return nil
+		}
+		desc, derr := cloud.DescribeWALRecord(payload)
+		if derr != nil {
+			desc = fmt.Sprintf("undecodable payload: %v", derr)
+		}
+		fmt.Fprintf(stdout, "%8d  %s  %6dB  %s\n", lsn, wal.ShardDirName(shard), len(payload), desc)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "walinspect: %v\n", err)
+		return 1
+	}
+	segs := 0
+	for _, r := range reports {
+		segs += len(r.Report.Segments)
+	}
+	fmt.Fprintf(stdout, "%s: %d shard(s), %d segment(s), %d record(s), LSN %d..%d\n",
+		dir, len(reports), segs, records, first, last)
+	for _, r := range reports {
+		fmt.Fprintf(stdout, "  %s: %d record(s), watermark %d\n",
+			wal.ShardDirName(r.Shard), r.Report.Records, r.Watermark())
+		if r.Report.Torn {
+			fmt.Fprintf(stdout, "  %s: torn tail in %s at offset %d (%d byte(s), %v) — truncated on next open\n",
+				wal.ShardDirName(r.Shard), filepath.Base(r.Report.TornSegment),
+				r.Report.TornOffset, r.Report.TornBytes, r.Report.TornReason)
+		}
 	}
 	return 0
 }
@@ -174,9 +227,68 @@ func selfcheck(stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("mid-log corruption scanned as %v, want ErrCorrupt", err))
 	}
 
+	// Case 4: a clean sharded layout — interleaved per-shard slices of
+	// one global stream — merges whole, in order.
+	buildShard := func(parent string, idx int, lsns ...uint64) error {
+		log, err := wal.Open(filepath.Join(parent, wal.ShardDirName(idx)),
+			wal.Options{SparseLSN: true, SegmentSize: 256})
+		if err != nil {
+			return err
+		}
+		for _, lsn := range lsns {
+			if err := log.AppendLSN(lsn, []byte(fmt.Sprintf("{\"op\":\"selfcheck\",\"lsn\":%d}", lsn))); err != nil {
+				log.Close()
+				return err
+			}
+		}
+		return log.Close()
+	}
+	sharded := filepath.Join(root, "sharded")
+	if err := buildShard(sharded, 0, 1, 3, 5, 8); err != nil {
+		return fail(err)
+	}
+	if err := buildShard(sharded, 1, 2, 4, 7); err != nil {
+		return fail(err)
+	}
+	var prev uint64
+	merged := 0
+	if _, err := wal.MergeShards(sharded, 0, 0, func(shard int, lsn uint64, payload []byte) error {
+		if lsn <= prev {
+			return fmt.Errorf("merged stream out of order: %d after %d", lsn, prev)
+		}
+		prev = lsn
+		merged++
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+	if merged != 7 {
+		return fail(fmt.Errorf("sharded merge yielded %d records, want 7", merged))
+	}
+
+	// Case 5: two shards claiming the same LSN is corruption — the
+	// global allocator hands each number to exactly one shard.
+	dup := filepath.Join(root, "dup")
+	if err := buildShard(dup, 0, 1, 3); err != nil {
+		return fail(err)
+	}
+	if err := buildShard(dup, 1, 2, 3); err != nil {
+		return fail(err)
+	}
+	if _, err := wal.MergeShards(dup, 0, 0, nil); !errors.Is(err, wal.ErrCorrupt) {
+		return fail(fmt.Errorf("duplicate cross-shard LSN merged as %v, want ErrCorrupt", err))
+	}
+
+	// Case 6: a torn tail in one shard is isolated — the sibling's
+	// records still merge and verify still passes.
+	if err := appendGarbage(filepath.Join(sharded, wal.ShardDirName(1)), []byte{0x55, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		return fail(err)
+	}
+
 	// The verify command itself must classify the corpus the same way:
-	// exit 0 on the clean log and the torn tail, 1 on corruption. The
-	// reopen above truncated the torn tail, so tear it again first.
+	// exit 0 on the clean log and torn tails (single-dir or one shard of
+	// many), 1 on corruption. The reopen above truncated the dense torn
+	// tail, so tear it again first.
 	if err := appendGarbage(torn, []byte{0x55, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
 		return fail(err)
 	}
@@ -188,13 +300,15 @@ func selfcheck(stdout, stderr io.Writer) int {
 		{"clean", clean, 0},
 		{"torn", torn, 0},
 		{"corrupt", corrupt, 1},
+		{"sharded-torn", sharded, 0},
+		{"sharded-dup", dup, 1},
 	} {
 		if code := inspect("verify", tc.dir, io.Discard, io.Discard); code != tc.want {
 			return fail(fmt.Errorf("verify of %s log exited %d, want %d", tc.name, code, tc.want))
 		}
 	}
 
-	fmt.Fprintln(stdout, "selfcheck ok: clean, torn-tail and corrupt logs all classified correctly")
+	fmt.Fprintln(stdout, "selfcheck ok: clean, torn-tail, corrupt and sharded logs all classified correctly")
 	return 0
 }
 

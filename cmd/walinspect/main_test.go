@@ -55,7 +55,7 @@ func TestDumpAndVerifyDurableDir(t *testing.T) {
 		t.Fatalf("dump exited %d: %s", code, errOut.Bytes())
 	}
 	text := out.String()
-	for _, want := range []string{"register_user", "login user=u@x", "status register", "bind", "4 record(s)"} {
+	for _, want := range []string{"register_user", "login user=u@x", "status register", "bind", "4 record(s)", "shard(s)", "watermark"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("dump output missing %q:\n%s", want, text)
 		}

@@ -250,6 +250,10 @@ type DurableCloudOptions = cloud.DurableOptions
 // DurableRecovery reports what recovery did when a durable cloud opened.
 type DurableRecovery = cloud.DurableRecovery
 
+// DurableShardRecovery is one WAL shard's slice of a durable recovery
+// (shard -1 is a migrated legacy single-directory log).
+type DurableShardRecovery = cloud.DurableShardRecovery
+
 // OpenDurableCloud opens (or creates) a durable cloud rooted at dir.
 func OpenDurableCloud(dir string, design DesignSpec, registry *Registry, opts DurableCloudOptions) (*DurableCloud, error) {
 	return cloud.OpenDurable(dir, design, registry, opts)
@@ -287,6 +291,23 @@ type WALScanReport = wal.ScanReport
 // when non-nil, per record.
 func ScanWAL(dir string, fn func(lsn uint64, payload []byte) error) (WALScanReport, error) {
 	return wal.Scan(dir, 0, fn)
+}
+
+// WALShardReport pairs one shard of a sharded WAL with its scan result.
+type WALShardReport = wal.ShardReport
+
+// ScanWALSparse is ScanWAL under sparse-LSN rules: records must be
+// strictly increasing but gaps are legal — the shape of one shard's
+// slice of a globally ordered stream.
+func ScanWALSparse(dir string, fn func(lsn uint64, payload []byte) error) (WALScanReport, error) {
+	return wal.ScanSparse(dir, 0, fn)
+}
+
+// MergeWALShards scans every shard-NNN subdirectory of root and streams
+// the union of their records in global LSN order through fn, rejecting
+// duplicate LSNs across shards and isolating torn tails per shard.
+func MergeWALShards(root string, fn func(shard int, lsn uint64, payload []byte) error) ([]WALShardReport, error) {
+	return wal.MergeShards(root, 0, 0, fn)
 }
 
 // ErrWALCorrupt reports corruption before the tail of a log — data that

@@ -78,7 +78,7 @@ func (s *Service) handleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 			sh := shadows[j]
 			sh.mu.Lock()
 			for _, i := range g.items {
-				r, err := s.statusLocked(sh, g.rec, items[i])
+				r, err := s.statusLocked(sh, g.rec, items[i], nil)
 				resp.Results[i] = protocol.MakeBatchResult(r, err)
 			}
 			sh.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,91 +31,130 @@ import (
 // covers, and OpenDurable rebuilds the service by restoring the latest
 // valid snapshot and replaying the WAL tail.
 //
+// The WAL is sharded. The root wal/ directory holds one sparse-LSN
+// log per WAL shard (wal/shard-NNN/), devices route to shards by the
+// same FNV-1a hash the shadow store uses, and every record carries an
+// LSN drawn from one global atomic allocator — so each shard log is a
+// strictly increasing subsequence of a single global stream and
+// recovery deterministically merges the shard tails back into that
+// stream by LSN. Two lanes share the structure:
+//
+//   - The hot lane (HandleStatus) takes a read lock plus its target
+//     shard's mutex: status operations for devices on different WAL
+//     shards append and apply fully in parallel. The operations
+//     commute — they touch disjoint shadows and only commutative
+//     shared state (atomic counters, per-subject token entries) — so
+//     replaying in LSN order converges on the live state even when
+//     live wall-clock apply order across shards differed.
+//   - The cold lane (accounts, tokens, bind/unbind, control, push,
+//     share, batches, checkpoint) takes the write lock: it is totally
+//     ordered against every hot operation, so its LSN sits exactly
+//     where its effects sit.
+//
+// Same-shard operations serialize on the shard mutex and allocate LSNs
+// inside it, so per-device order always equals LSN order. Lock order:
+// durable RWMutex -> WAL-shard mutex -> shadow-shard/shadow locks ->
+// issuer (the documented store ordering nests inside the WAL layer).
+//
 // Replay is deterministic by construction. Each record carries the wall
 // time its operation executed at, and operation entropy (token values,
 // session nonces) is drawn from a DRBG seeded by the directory's master
 // seed and the record's LSN — so a replayed operation issues the exact
 // credentials the live execution issued, and the recovered Snapshot is
-// byte-identical to a snapshot of the logged prefix.
+// byte-identical to a snapshot of the logged prefix. Hot-lane
+// operations pin their clock and nonce source through an explicit
+// per-operation environment (opEnv) rather than the process-wide
+// pinned clock, because several of them are in flight at once.
 //
 // One deliberate exception keeps the durability tax off the liveness
 // path: a pure keep-alive heartbeat (unkeyed, no readings, no button,
 // not a registration) mutates only lastSeen, the online flip, the
 // session owner and the status counters, so it is applied without a
 // WAL record. Its durable-relevant effect is remembered as a pending
-// per-device liveness note (coalesced, last-wins) and flushed as a
-// compact liveness record immediately before the next logged record
-// appends — so a logged operation whose outcome depends on liveness
-// state (a control's online check, the session-owner check of
-// dev-token designs) replays against exactly the state it observed
-// live. A heartbeat that drains queued commands or user data — a
-// durable mutation — is itself appended after the fact so the drain
-// survives a restart; if that append fails, the drained items are
-// requeued and the delivery fails, so nothing acknowledged is lost
-// either way. Pending liveness that never gets flushed (no dependent
-// logged operation before a crash) is re-established by the next
-// heartbeat, and the skipped status counters are durable only as of
-// the last checkpoint.
+// per-device liveness note on the device's WAL shard (coalesced,
+// last-wins) and flushed as a compact liveness record immediately
+// before the next logged record appends to that shard — cold-lane
+// operations flush every shard first, since a control's online check
+// may depend on any device's liveness. A heartbeat that drains queued
+// commands or user data — a durable mutation — is itself appended
+// after the fact so the drain survives a restart; if that append
+// fails, the drained items are requeued and the delivery fails, so
+// nothing acknowledged is lost either way. Pending liveness that never
+// gets flushed (no dependent logged operation before a crash) is
+// re-established by the next heartbeat, and the skipped status
+// counters are durable only as of the last checkpoint.
 //
 // Durable implements the same handler surface as Service (the
-// transport.Cloud contract) and is safe for concurrent use; logged
-// operations serialize on the WAL mutex, which also fixes the replay
-// order.
+// transport.Cloud contract) and is safe for concurrent use.
 type Durable struct {
-	dir    string
-	svc    *Service
-	log    *wal.Log
-	wall   func() time.Time
-	master [32]byte
+	dir     string
+	walRoot string
+	svc     *Service
+	wall    func() time.Time
+	master  [32]byte
+	walOpts wal.Options // per-shard template: sparse, no LSN floor
 
-	mu       sync.Mutex
+	// mu is the two-lane lock: RLock for sharded hot-path status
+	// operations, Lock for cold operations, checkpoints and close.
+	mu       sync.RWMutex
+	shards   []*durableShard
+	walMask  uint32
 	recovery DurableRecovery
 	closed   bool
 
-	// pending maps device ID -> the unlogged liveness effect of its
-	// accepted bare heartbeats (guarded by mu). Entries coalesce
-	// last-wins: between flushes only bare heartbeats touch the entry,
-	// and each one overwrites lastSeen and the session owner wholesale,
-	// so replaying just the latest reproduces the net effect.
-	pending map[string]pendingLiveness
+	// nextLSN is the global LSN allocator (last allocated); lastAcked
+	// is the highest LSN whose append succeeded — the durable
+	// watermark an allocation gap never advances.
+	nextLSN   atomic.Uint64
+	lastAcked atomic.Uint64
 
 	// opAt, when non-zero, pins the service clock to the executing
-	// operation's record time (UnixNano). It is a shared atomic, not a
-	// per-goroutine context: a concurrent pass-through read
-	// (Readings, ShadowState) that samples the clock during an
-	// in-flight operation observes the pinned time rather than wall
-	// time. That skew is bounded by the operation's duration, and the
-	// only clock-derived mutation on a read path — heartbeat expiry —
-	// is a pure function of (now, lastSeen), so live and recovered
-	// state still converge.
+	// cold-lane or replayed operation's record time (UnixNano). Hot-lane
+	// operations do not use it — they carry their clock in an opEnv —
+	// but the issuer clock and pass-through reads (Readings,
+	// ShadowState) still sample it, so a read overlapping a cold
+	// operation observes the pinned time rather than wall time. That
+	// skew is bounded by the operation's duration, and the only
+	// clock-derived mutation on a read path — heartbeat expiry — is a
+	// pure function of (now, lastSeen), so live and recovered state
+	// still converge. No credential verified on the hot path carries an
+	// expiry (device and session tokens are issued with TTL 0), so the
+	// issuer reading wall time there cannot diverge from replay.
 	opAt atomic.Int64
 
-	// opG is the executing logged operation's entropy stream. Unlike
-	// the clock it is guarded by mu, never published to concurrent
-	// readers: every entropy consumer (token issue, session nonces)
-	// sits inside a logged handler, which holds mu — replay runs
-	// single-goroutine in OpenDurable — so no concurrent path can
-	// consume a logged operation's DRBG bytes and desynchronize
-	// replay. A future read path that drew entropy without mu would be
-	// a data race here, caught under -race, not a silent determinism
-	// break.
+	// opG is the executing cold-lane or replayed operation's entropy
+	// stream, guarded by mu (write lock) exactly as before the WAL was
+	// sharded: every entropy consumer outside the hot path sits inside
+	// a cold handler or single-goroutine replay. The hot path's only
+	// entropy draw — the register session nonce — comes through its
+	// opEnv instead and never touches this field.
 	opG *drbg
 }
 
-// pendingLiveness is one device's unlogged liveness state: the time of
-// its last accepted bare heartbeat and the session owner that heartbeat
-// authenticated (empty for designs whose device auth carries no owner).
-type pendingLiveness struct {
-	at    time.Time
-	owner string
+// durableShard is one WAL shard: a lazily opened sparse log plus the
+// pending liveness notes of the devices that route to it, both guarded
+// by the shard mutex.
+type durableShard struct {
+	index int
+
+	mu      sync.Mutex
+	log     *wal.Log // nil until the shard's first append
+	pending map[string]struct{}
 }
 
 // DurableOptions configures OpenDurable.
 type DurableOptions struct {
-	// WAL configures the log (fsync policy, segment size, failpoint).
-	// InitialLSN is overwritten: it is anchored to the recovered
-	// snapshot.
+	// WAL configures each shard log (fsync policy, segment size,
+	// failpoint — a failpoint is shared by every shard, so a kill
+	// schedule can crash individual shard logs independently).
+	// InitialLSN and SparseLSN are overwritten by the sharded layout.
 	WAL wal.Options
+	// WALShards is the number of WAL shards for a fresh directory
+	// (rounded up to a power of two; 0 selects a GOMAXPROCS-scaled
+	// default). An existing directory keeps the count pinned in its
+	// meta.json — routing must stay stable across restarts for
+	// watermark-based resume oracles.
+	WALShards int
 	// Clock overrides the wall clock (tests, testbeds).
 	Clock func() time.Time
 	// ServiceOptions are forwarded to the underlying Service —
@@ -122,6 +162,15 @@ type DurableOptions struct {
 	// nonce-source and token-issuer options are installed by Durable
 	// itself and must not be passed here.
 	ServiceOptions []Option
+}
+
+// DurableShardRecovery is one WAL shard's recovery report.
+type DurableShardRecovery struct {
+	// Shard is the WAL shard index (-1 for a legacy single-directory
+	// log migrated into the sharded layout).
+	Shard int
+	// Info is that log's scan/truncation report.
+	Info wal.RecoveryInfo
 }
 
 // DurableRecovery describes what OpenDurable rebuilt.
@@ -134,38 +183,98 @@ type DurableRecovery struct {
 	// favour of an older valid one.
 	SnapshotsSkipped int
 	// Replayed is how many WAL records were re-executed on top of the
-	// snapshot.
+	// snapshot (merged across shards, migration included).
 	Replayed int
-	// WAL is the log's own scan/truncation report.
-	WAL wal.RecoveryInfo
+	// WALShards are the per-shard scan/truncation reports, in shard
+	// order (a migrated legacy log, if any, first as shard -1).
+	WALShards []DurableShardRecovery
+}
+
+// TornTails counts shard logs that ended in a torn tail Open truncated.
+func (r DurableRecovery) TornTails() int {
+	n := 0
+	for _, s := range r.WALShards {
+		if s.Info.Report.Torn {
+			n++
+		}
+	}
+	return n
+}
+
+// TruncatedBytes sums the torn bytes cut across all shard logs.
+func (r DurableRecovery) TruncatedBytes() int64 {
+	var n int64
+	for _, s := range r.WALShards {
+		n += s.Info.TruncatedBytes
+	}
+	return n
 }
 
 // durableMeta is the dir/meta.json sidecar: the design the directory
-// belongs to and the master entropy seed replay determinism hangs off.
+// belongs to, the master entropy seed replay determinism hangs off,
+// and the WAL shard count routing stability hangs off.
 type durableMeta struct {
 	Version    int    `json:"version"`
 	Design     string `json:"design"`
 	MasterSeed string `json:"master_seed"`
+	WALShards  int    `json:"wal_shards,omitempty"`
 }
 
 const durableMetaVersion = 1
+
+// defaultWALShards scales the shard count with available parallelism:
+// the smallest power of two covering GOMAXPROCS, clamped to [8, 64] —
+// beyond the disk's useful fsync concurrency more logs only cost
+// directory entries.
+func defaultWALShards() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to a power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
 
 // ErrDurableClosed is returned by operations on a closed Durable.
 var ErrDurableClosed = errors.New("cloud: durable cloud closed")
 
 // OpenDurable opens (creating if necessary) a durable cloud rooted at
-// dir: meta.json, snap-*.json checkpoints, and a wal/ subdirectory.
+// dir: meta.json, snap-*.json checkpoints, and a wal/ directory of
+// per-shard logs. A directory holding a legacy single-directory WAL is
+// migrated on open: its records replay, a checkpoint anchors them, and
+// the old segments are removed.
 func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts DurableOptions) (*Durable, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cloud: open durable: %w", err)
 	}
-	d := &Durable{dir: dir, wall: opts.Clock, pending: make(map[string]pendingLiveness)}
+	d := &Durable{dir: dir, walRoot: filepath.Join(dir, "wal"), wall: opts.Clock}
 	if d.wall == nil {
 		d.wall = time.Now
 	}
-	if err := d.loadOrCreateMeta(design.Name); err != nil {
+	shardCount := opts.WALShards
+	if shardCount <= 0 {
+		shardCount = defaultWALShards()
+	}
+	shardCount = ceilPow2(shardCount)
+	if err := d.loadOrCreateMeta(design.Name, &shardCount); err != nil {
 		return nil, err
 	}
+	d.walMask = uint32(shardCount - 1)
+	d.shards = make([]*durableShard, shardCount)
+	for i := range d.shards {
+		d.shards[i] = &durableShard{index: i, pending: make(map[string]struct{})}
+	}
+	d.walOpts = opts.WAL
+	d.walOpts.SparseLSN = true
+	d.walOpts.InitialLSN = 0 // shard logs carry no dense floor; the global allocator does
 
 	// Latest valid snapshot first: a checkpoint torn by a crash is
 	// skipped in favour of its predecessor (the WAL behind it was only
@@ -178,56 +287,146 @@ func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts Du
 	d.recovery.SnapshotLSN = snapLSN
 	d.recovery.SnapshotsSkipped = skipped
 
-	walOpts := opts.WAL
-	walOpts.InitialLSN = snapLSN + 1
-	log, err := wal.Open(filepath.Join(dir, "wal"), walOpts)
-	if err != nil {
-		return nil, err
-	}
-	d.log = log
-	d.recovery.WAL = log.Recovery()
-
 	issuer := token.NewIssuer(token.WithClock(d.now), token.WithRandom(d.readEntropy))
 	svcOpts := append(append([]Option(nil), opts.ServiceOptions...),
 		WithClock(d.now), WithRandomHex(d.randomHex), WithTokenIssuer(issuer))
 	svc, err := NewService(design, registry, svcOpts...)
 	if err != nil {
-		log.Close()
 		return nil, err
 	}
 	d.svc = svc
 
 	if snapLSN > 0 {
 		if err := svc.Restore(snap); err != nil {
-			log.Close()
 			return nil, fmt.Errorf("cloud: restore checkpoint at LSN %d: %w", snapLSN, err)
 		}
 	}
 
-	replayErr := log.Replay(snapLSN+1, func(lsn uint64, payload []byte) error {
-		rec, err := decodeWALRecord(payload)
-		if err != nil {
-			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
-		}
-		d.beginOp(rec.at, newDRBG(&d.master, lsn))
-		err = rec.apply(svc)
-		d.endOp()
-		if err != nil {
-			return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
-		}
-		d.recovery.Replayed++
-		return nil
-	})
-	if replayErr != nil {
-		log.Close()
-		return nil, replayErr
+	floor, err := d.migrateLegacyWAL(snapLSN)
+	if err != nil {
+		return nil, err
 	}
+
+	// Open every existing shard log (repairing torn tails), then merge
+	// their tails into the global stream by LSN and replay.
+	dirs, err := wal.ListShardDirs(d.walRoot)
+	if err != nil {
+		return nil, err
+	}
+	for _, sd := range dirs {
+		if sd.Index >= shardCount {
+			return nil, fmt.Errorf("cloud: %w: WAL shard %d outside the directory's %d-shard layout",
+				wal.ErrCorrupt, sd.Index, shardCount)
+		}
+		log, err := wal.Open(sd.Path, d.walOpts)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: WAL shard %d: %w", sd.Index, err)
+		}
+		ws := d.shards[sd.Index]
+		ws.log = log
+		d.recovery.WALShards = append(d.recovery.WALShards,
+			DurableShardRecovery{Shard: sd.Index, Info: log.Recovery()})
+		if mark := log.LastLSN(); mark > floor {
+			floor = mark
+		}
+	}
+	if _, err := wal.MergeShards(d.walRoot, d.walOpts.MaxRecord, snapLSN+1, func(shard int, lsn uint64, payload []byte) error {
+		return d.applyRecord(lsn, payload)
+	}); err != nil {
+		d.closeShardLogs()
+		return nil, err
+	}
+	d.nextLSN.Store(floor)
+	d.lastAcked.Store(floor)
 	return d, nil
 }
 
+// migrateLegacyWAL absorbs a pre-sharding single-directory log sitting
+// directly in wal/: replay its dense tail, anchor it with a checkpoint,
+// and remove the old segments. Crash-safe at every step — the segments
+// are deleted only after the checkpoint landed, and a re-run skips
+// records the checkpoint already covers. Returns the LSN floor the
+// global allocator must start above.
+func (d *Durable) migrateLegacyWAL(snapLSN uint64) (uint64, error) {
+	entries, err := os.ReadDir(d.walRoot)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snapLSN, nil
+		}
+		return 0, fmt.Errorf("cloud: open durable: %w", err)
+	}
+	legacy := false
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			legacy = true
+			break
+		}
+	}
+	if !legacy {
+		return snapLSN, nil
+	}
+
+	opts := wal.Options{MaxRecord: d.walOpts.MaxRecord, Policy: wal.SyncOff, InitialLSN: snapLSN + 1}
+	log, err := wal.Open(d.walRoot, opts)
+	if err != nil {
+		return 0, fmt.Errorf("cloud: legacy WAL: %w", err)
+	}
+	d.recovery.WALShards = append(d.recovery.WALShards,
+		DurableShardRecovery{Shard: -1, Info: log.Recovery()})
+	if err := log.Replay(snapLSN+1, d.applyRecord); err != nil {
+		log.Close()
+		return 0, err
+	}
+	last := log.LastLSN()
+	if err := log.Close(); err != nil {
+		return 0, fmt.Errorf("cloud: legacy WAL: %w", err)
+	}
+	if last > snapLSN {
+		if err := d.checkpointAt(last); err != nil {
+			return 0, fmt.Errorf("cloud: migrate legacy WAL: %w", err)
+		}
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			if err := os.Remove(filepath.Join(d.walRoot, e.Name())); err != nil {
+				return 0, fmt.Errorf("cloud: migrate legacy WAL: %w", err)
+			}
+		}
+	}
+	return last, nil
+}
+
+// applyRecord replays one WAL record during recovery (single-goroutine).
+func (d *Durable) applyRecord(lsn uint64, payload []byte) error {
+	rec, err := decodeWALRecord(payload)
+	if err != nil {
+		return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
+	}
+	d.beginOp(rec.at, newDRBG(&d.master, lsn))
+	err = rec.apply(d.svc)
+	d.endOp()
+	if err != nil {
+		return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
+	}
+	d.recovery.Replayed++
+	return nil
+}
+
+// closeShardLogs closes whatever shard logs are open (open-failure path).
+func (d *Durable) closeShardLogs() {
+	for _, ws := range d.shards {
+		if ws.log != nil {
+			ws.log.Close()
+		}
+	}
+}
+
 // loadOrCreateMeta reads dir/meta.json or writes a fresh one with a
-// random master seed, and pins the directory to the design.
-func (d *Durable) loadOrCreateMeta(designName string) error {
+// random master seed, pinning the directory to the design and the WAL
+// shard count. A legacy meta without a shard count adopts *shardCount
+// and is rewritten; otherwise *shardCount is overwritten by the pinned
+// value.
+func (d *Durable) loadOrCreateMeta(designName string, shardCount *int) error {
 	path := filepath.Join(d.dir, "meta.json")
 	data, err := os.ReadFile(path)
 	switch {
@@ -247,20 +446,34 @@ func (d *Durable) loadOrCreateMeta(designName string) error {
 			return fmt.Errorf("cloud: %w: meta.json master seed malformed", protocol.ErrBadRequest)
 		}
 		copy(d.master[:], seed)
-		return nil
+		if meta.WALShards > 0 {
+			*shardCount = ceilPow2(meta.WALShards)
+			return nil
+		}
+		meta.WALShards = *shardCount
+		return d.writeMeta(path, meta)
 	case os.IsNotExist(err):
 		if _, err := rand.Read(d.master[:]); err != nil {
 			return fmt.Errorf("cloud: master seed: %w", err)
 		}
-		meta := durableMeta{Version: durableMetaVersion, Design: designName, MasterSeed: hex.EncodeToString(d.master[:])}
-		data, err := json.MarshalIndent(meta, "", "  ")
-		if err != nil {
-			return fmt.Errorf("cloud: meta.json: %w", err)
+		meta := durableMeta{
+			Version:    durableMetaVersion,
+			Design:     designName,
+			MasterSeed: hex.EncodeToString(d.master[:]),
+			WALShards:  *shardCount,
 		}
-		return atomicWriteFile(path, append(data, '\n'))
+		return d.writeMeta(path, meta)
 	default:
 		return fmt.Errorf("cloud: meta.json: %w", err)
 	}
+}
+
+func (d *Durable) writeMeta(path string, meta durableMeta) error {
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cloud: meta.json: %w", err)
+	}
+	return atomicWriteFile(path, append(data, '\n'))
 }
 
 // ---- deterministic replay plumbing -----------------------------------------
@@ -299,10 +512,21 @@ func (g *drbg) read(p []byte) {
 	}
 }
 
+// hexNonce draws the 16-byte session nonce a register status mints,
+// encoded exactly as Service.randomHex encodes it — live hot-lane
+// execution (through an opEnv) and replay (through d.randomHex) must
+// produce the same string from the same stream.
+func (g *drbg) hexNonce() (string, error) {
+	var b [16]byte
+	g.read(b[:])
+	return hex.EncodeToString(b[:]), nil
+}
+
 // beginOp pins the clock (and, for logged operations, the entropy
-// stream) of the operation about to execute. The caller holds d.mu;
-// the clock travels through an atomic only because pass-through reads
-// sample it without the mutex (see the opAt field comment).
+// stream) of the cold-lane or replayed operation about to execute. The
+// caller holds d.mu exclusively; the clock travels through an atomic
+// only because pass-through reads sample it without the mutex (see the
+// opAt field comment).
 func (d *Durable) beginOp(at time.Time, g *drbg) {
 	d.opG = g
 	d.opAt.Store(at.UnixNano())
@@ -314,10 +538,10 @@ func (d *Durable) endOp() {
 	d.opG = nil
 }
 
-// now is the service clock: inside an operation it is the record's
-// time at the WAL's nanosecond precision — so a replayed operation
-// reads the identical clock — outside (read paths, snapshot
-// timestamps) it is wall time.
+// now is the service clock: inside a cold-lane or replayed operation it
+// is the record's time at the WAL's nanosecond precision — so a
+// replayed operation reads the identical clock — outside (read paths,
+// snapshot timestamps, hot-lane issuer samples) it is wall time.
 func (d *Durable) now() time.Time {
 	if v := d.opAt.Load(); v != 0 {
 		return time.Unix(0, v).UTC()
@@ -327,8 +551,9 @@ func (d *Durable) now() time.Time {
 
 // readEntropy feeds the token issuer: operations with a pinned DRBG
 // draw from it, anything else (never on the logged path) falls back to
-// the system source. Every caller executes under d.mu or during
-// single-goroutine replay, so reading opG without the atomic is safe.
+// the system source. Every caller executes under d.mu's write lock or
+// during single-goroutine replay, so reading opG without the atomic is
+// safe.
 func (d *Durable) readEntropy(p []byte) error {
 	if g := d.opG; g != nil {
 		g.read(p)
@@ -340,24 +565,128 @@ func (d *Durable) readEntropy(p []byte) error {
 
 // randomHex feeds the service's nonce source from the same stream.
 func (d *Durable) randomHex() (string, error) {
+	if g := d.opG; g != nil {
+		return g.hexNonce()
+	}
 	var b [16]byte
-	if err := d.readEntropy(b[:]); err != nil {
+	if _, err := rand.Read(b[:]); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(b[:]), nil
 }
 
+// ---- sharded append plumbing -----------------------------------------------
+
+// walShardOf routes a key (device ID for device-addressed operations,
+// user ID for account operations) to its WAL shard.
+func (d *Durable) walShardOf(key string) *durableShard {
+	return d.shards[fnv1a(key)&d.walMask]
+}
+
+// appendLocked allocates the next global LSN and appends the record to
+// the shard. The caller holds ws.mu, which makes allocation and append
+// atomic per shard: shard logs always receive their slice of the
+// global stream in increasing order. lastAcked advances only on a
+// successful append — an allocation whose append failed is a permanent
+// gap in the stream, which recovery tolerates because the operation
+// was never acknowledged or applied.
+func (d *Durable) appendLocked(ws *durableShard, payload []byte) (uint64, error) {
+	if ws.log == nil {
+		log, err := wal.Open(filepath.Join(d.walRoot, wal.ShardDirName(ws.index)), d.walOpts)
+		if err != nil {
+			return 0, err
+		}
+		ws.log = log
+	}
+	lsn := d.nextLSN.Add(1)
+	if err := ws.log.AppendLSN(lsn, payload); err != nil {
+		return 0, err
+	}
+	for {
+		cur := d.lastAcked.Load()
+		if lsn <= cur || d.lastAcked.CompareAndSwap(cur, lsn) {
+			return lsn, nil
+		}
+	}
+}
+
+// notePendingLocked records that an accepted-but-unlogged heartbeat
+// moved the device's liveness state. The note is pure membership: the
+// lastSeen and session owner it stands for are read back from the
+// service when the note is flushed, which is legal because everything
+// that could move them in between — another status on this device, a
+// cold-lane operation — flushes this shard's notes first (or, for the
+// drain path, supersedes the note with a full record). Keeping the
+// note value-free keeps the bare-heartbeat hot path to one map probe
+// instead of a second shadow lookup per heartbeat.
+func (d *Durable) notePendingLocked(ws *durableShard, deviceID string) {
+	if _, ok := ws.pending[deviceID]; !ok {
+		ws.pending[deviceID] = struct{}{}
+	}
+}
+
+// flushShardLocked appends one liveness record per device with an
+// unlogged heartbeat on this shard, in device order, clearing each
+// note as it lands. It runs before any logged record appends to the
+// shard: a logged operation's outcome may depend on lastSeen (the
+// control online check) or the session owner (dev-token designs), so
+// that state must precede the operation in LSN order for replay to
+// reproduce the live outcome. The record's lastSeen and owner are read
+// from the service here — flush time — which by the notePendingLocked
+// invariant is exactly the state the last unlogged heartbeat left. On
+// append failure the unflushed notes are kept for the next attempt and
+// the caller's operation fails. The caller holds ws.mu.
+func (d *Durable) flushShardLocked(ws *durableShard) error {
+	if len(ws.pending) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(ws.pending))
+	for id := range ws.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf := jsonpool.Get()
+	defer buf.Put()
+	for _, id := range ids {
+		at, owner := d.svc.livenessOf(id)
+		buf.Writer().Reset()
+		encodeLivenessRecord(buf.Writer(), at, id, owner)
+		if _, err := d.appendLocked(ws, buf.Bytes()); err != nil {
+			return err
+		}
+		delete(ws.pending, id)
+	}
+	return nil
+}
+
+// flushAllLocked flushes every shard's pending liveness notes. The
+// caller holds d.mu exclusively, so no hot-lane operation can slip a
+// new note in between shards.
+func (d *Durable) flushAllLocked() error {
+	for _, ws := range d.shards {
+		ws.mu.Lock()
+		err := d.flushShardLocked(ws)
+		ws.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---- logged execution ------------------------------------------------------
 
-// logThenApply appends the encoded record and, only if the append
-// succeeded, executes apply under the record's clock and entropy. The
-// caller holds d.mu. A failed append (including a simulated crash)
-// leaves the service untouched: write-ahead means nothing unlogged is
-// ever applied. Pending liveness notes flush first, so the record
-// replays against the same liveness state the live execution observed.
-func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) error, apply func() (T, error)) (T, error) {
+// logThenApply appends the encoded record to routeKey's shard and, only
+// if the append succeeded, executes apply under the record's clock and
+// entropy. The caller holds d.mu exclusively (the cold lane). A failed
+// append (including a simulated crash) leaves the service untouched:
+// write-ahead means nothing unlogged is ever applied. Every shard's
+// pending liveness notes flush first, so the record replays against
+// the same liveness state the live execution observed — a cold
+// operation may depend on any device's liveness.
+func logThenApply[T any](d *Durable, routeKey string, encode func(*jsonpool.Buffer, time.Time) error, apply func() (T, error)) (T, error) {
 	var zero T
-	if err := d.flushPendingLocked(); err != nil {
+	if err := d.flushAllLocked(); err != nil {
 		return zero, fmt.Errorf("cloud: durable log: %w", err)
 	}
 	at := d.wall().UTC()
@@ -366,7 +695,10 @@ func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) er
 	if err := encode(buf, at); err != nil {
 		return zero, fmt.Errorf("cloud: encode WAL record: %w", err)
 	}
-	lsn, err := d.log.Append(buf.Bytes())
+	ws := d.walShardOf(routeKey)
+	ws.mu.Lock()
+	lsn, err := d.appendLocked(ws, buf.Bytes())
+	ws.mu.Unlock()
 	if err != nil {
 		return zero, fmt.Errorf("cloud: durable log: %w", err)
 	}
@@ -376,54 +708,15 @@ func logThenApply[T any](d *Durable, encode func(*jsonpool.Buffer, time.Time) er
 	return resp, aerr
 }
 
-// notePending records that an accepted-but-unlogged heartbeat moved
-// the device's liveness state, overwriting any earlier note for the
-// device (last-wins). The caller holds d.mu and has pinned the service
-// clock to at, so at equals the lastSeen the heartbeat just stored.
-func (d *Durable) notePending(deviceID string, at time.Time) {
-	d.pending[deviceID] = pendingLiveness{at: at, owner: d.svc.sessionOwnerOf(deviceID)}
-}
-
-// flushPendingLocked appends one liveness record per device with an
-// unlogged heartbeat, in device order, clearing each note as it lands.
-// It runs before any logged record is appended: a logged operation's
-// outcome may depend on lastSeen (the control online check) or the
-// session owner (dev-token designs), so that state must be in the log
-// ahead of the operation for replay to reproduce the live outcome. On
-// append failure the unflushed notes are kept for the next attempt and
-// the caller's operation fails. The caller holds d.mu.
-func (d *Durable) flushPendingLocked() error {
-	if len(d.pending) == 0 {
-		return nil
-	}
-	ids := make([]string, 0, len(d.pending))
-	for id := range d.pending {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	buf := jsonpool.Get()
-	defer buf.Put()
-	for _, id := range ids {
-		p := d.pending[id]
-		buf.Writer().Reset()
-		encodeLivenessRecord(buf.Writer(), p.at, id, p.owner)
-		if _, err := d.log.Append(buf.Bytes()); err != nil {
-			return err
-		}
-		delete(d.pending, id)
-	}
-	return nil
-}
-
 // logJSON is logThenApply for the cold JSON-envelope operations.
-func logJSON[T any](d *Durable, op, src string, fill func(*walEnvelope), apply func() (T, error)) (T, error) {
+func logJSON[T any](d *Durable, op, src, routeKey string, fill func(*walEnvelope), apply func() (T, error)) (T, error) {
 	var zero T
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return zero, ErrDurableClosed
 	}
-	return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
+	return logThenApply(d, routeKey, func(buf *jsonpool.Buffer, at time.Time) error {
 		env := walEnvelope{Op: op, At: walEncodeTime(at), Src: src}
 		fill(&env)
 		return buf.Encode(env)
@@ -445,38 +738,38 @@ func statusNeedsWAL(req *protocol.StatusRequest) bool {
 
 // RegisterUser creates a user account, durably.
 func (d *Durable) RegisterUser(req protocol.RegisterUserRequest) error {
-	_, err := logJSON(d, "register_user", "", func(env *walEnvelope) { env.RegisterUser = &req },
+	_, err := logJSON(d, "register_user", "", req.UserID, func(env *walEnvelope) { env.RegisterUser = &req },
 		func() (struct{}, error) { return struct{}{}, d.svc.RegisterUser(req) })
 	return err
 }
 
 // Login authenticates a user and durably issues a UserToken.
 func (d *Durable) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
-	return logJSON(d, "login", "", func(env *walEnvelope) { env.Login = &req },
+	return logJSON(d, "login", "", req.UserID, func(env *walEnvelope) { env.Login = &req },
 		func() (protocol.LoginResponse, error) { return d.svc.Login(req) })
 }
 
 // RequestDeviceToken durably issues a dynamic device token.
 func (d *Durable) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
-	return logJSON(d, "device_token", "", func(env *walEnvelope) { env.DeviceToken = &req },
+	return logJSON(d, "device_token", "", req.DeviceID, func(env *walEnvelope) { env.DeviceToken = &req },
 		func() (protocol.DeviceTokenResponse, error) { return d.svc.RequestDeviceToken(req) })
 }
 
 // RequestBindToken durably issues a capability binding token.
 func (d *Durable) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
-	return logJSON(d, "bind_token", "", func(env *walEnvelope) { env.BindToken = &req },
+	return logJSON(d, "bind_token", "", req.DeviceID, func(env *walEnvelope) { env.BindToken = &req },
 		func() (protocol.BindTokenResponse, error) { return d.svc.RequestBindToken(req) })
 }
 
 // HandleBind processes a binding-creation message, durably.
 func (d *Durable) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
-	return logJSON(d, "bind", req.SourceIP, func(env *walEnvelope) { env.Bind = &req },
+	return logJSON(d, "bind", req.SourceIP, req.DeviceID, func(env *walEnvelope) { env.Bind = &req },
 		func() (protocol.BindResponse, error) { return d.svc.HandleBind(req) })
 }
 
 // HandleUnbind processes a binding-revocation message, durably.
 func (d *Durable) HandleUnbind(req protocol.UnbindRequest) error {
-	_, err := logJSON(d, "unbind", req.SourceIP, func(env *walEnvelope) { env.Unbind = &req },
+	_, err := logJSON(d, "unbind", req.SourceIP, req.DeviceID, func(env *walEnvelope) { env.Unbind = &req },
 		func() (struct{}, error) { return struct{}{}, d.svc.HandleUnbind(req) })
 	return err
 }
@@ -484,64 +777,76 @@ func (d *Durable) HandleUnbind(req protocol.UnbindRequest) error {
 // HandleControl relays a command, durably (the queued command is inbox
 // state a crash must not lose).
 func (d *Durable) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
-	return logJSON(d, "control", req.SourceIP, func(env *walEnvelope) { env.Control = &req },
+	return logJSON(d, "control", req.SourceIP, req.DeviceID, func(env *walEnvelope) { env.Control = &req },
 		func() (protocol.ControlResponse, error) { return d.svc.HandleControl(req) })
 }
 
 // PushUserData stores user state for the device, durably.
 func (d *Durable) PushUserData(req protocol.PushUserDataRequest) error {
-	_, err := logJSON(d, "push", "", func(env *walEnvelope) { env.Push = &req },
+	_, err := logJSON(d, "push", "", req.DeviceID, func(env *walEnvelope) { env.Push = &req },
 		func() (struct{}, error) { return struct{}{}, d.svc.PushUserData(req) })
 	return err
 }
 
 // HandleShare grants or revokes guest access, durably.
 func (d *Durable) HandleShare(req protocol.ShareRequest) error {
-	_, err := logJSON(d, "share", "", func(env *walEnvelope) { env.Share = &req },
+	_, err := logJSON(d, "share", "", req.DeviceID, func(env *walEnvelope) { env.Share = &req },
 		func() (struct{}, error) { return struct{}{}, d.svc.HandleShare(req) })
 	return err
 }
 
-// HandleStatus processes a device status message. Durable mutations
+// HandleStatus processes a device status message on the hot lane: a
+// read lock plus the device's WAL-shard mutex, so statuses for devices
+// on different shards append and apply in parallel. Durable mutations
 // (registers, keyed or data-bearing heartbeats) are logged before they
 // apply; pure keep-alives take the liveness path documented on Durable.
 func (d *Durable) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return protocol.StatusResponse{}, ErrDurableClosed
+	}
+	ws := d.walShardOf(req.DeviceID)
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+
 	if statusNeedsWAL(&req) {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if d.closed {
-			return protocol.StatusResponse{}, ErrDurableClosed
+		if err := d.flushShardLocked(ws); err != nil {
+			return protocol.StatusResponse{}, fmt.Errorf("cloud: durable log: %w", err)
 		}
-		return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
-			encodeStatusRecord(buf.Writer(), at, &req)
-			return nil
-		}, func() (protocol.StatusResponse, error) { return d.svc.HandleStatus(req) })
+		at := d.wall().UTC()
+		buf := jsonpool.Get()
+		defer buf.Put()
+		encodeStatusRecord(buf.Writer(), at, &req)
+		lsn, err := d.appendLocked(ws, buf.Bytes())
+		if err != nil {
+			return protocol.StatusResponse{}, fmt.Errorf("cloud: durable log: %w", err)
+		}
+		// The operation environment pins the record's clock and the
+		// LSN-seeded nonce stream without touching the process-wide
+		// pinned clock — other shards are mid-operation on their own
+		// environments. Replay reproduces both through beginOp.
+		env := &opEnv{now: at, nonce: newDRBG(&d.master, lsn).hexNonce}
+		return d.svc.handleStatusCounted(req, env)
 	}
 
 	// Liveness fast path: apply first, under a clock pinned to the time
 	// any after-the-fact record will carry, so the lastSeen the service
 	// stores and the time replay restores are the same instant. A drain
 	// makes the heartbeat durable after the fact; anything else leaves a
-	// pending liveness note for the next logged record to flush. The
-	// mutex still covers the apply so a record's log position matches
-	// its apply order relative to logged operations — replay must not
-	// drain items queued after it.
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return protocol.StatusResponse{}, ErrDurableClosed
-	}
+	// pending liveness note for the next logged record on this shard to
+	// flush. The shard mutex covers the apply so a record's log position
+	// matches its apply order relative to logged operations on the same
+	// shard — replay must not drain items queued after it.
 	at := d.wall().UTC()
-	d.beginOp(at, nil)
-	resp, err := d.svc.HandleStatus(req)
-	d.endOp()
+	resp, err := d.svc.handleStatusCounted(req, &opEnv{now: at})
 	if err != nil {
 		return resp, err
 	}
 	if len(resp.Commands) > 0 || len(resp.UserData) > 0 {
 		buf := jsonpool.Get()
 		encodeStatusRecord(buf.Writer(), at, &req)
-		_, lerr := d.log.Append(buf.Bytes())
+		_, lerr := d.appendLocked(ws, buf.Bytes())
 		buf.Put()
 		if lerr != nil {
 			// The WAL refused the record, so the drain never became
@@ -550,26 +855,33 @@ func (d *Durable) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 			// the log is sick — note the liveness effect, and fail the
 			// delivery; a recovered cloud redelivers from the same inbox.
 			d.svc.requeueDeliveries(req.DeviceID, resp.Commands, resp.UserData)
-			d.notePending(req.DeviceID, at)
+			d.notePendingLocked(ws, req.DeviceID)
 			return protocol.StatusResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
 		}
 		// The record replays the full heartbeat, superseding any pending
 		// note for this device.
-		delete(d.pending, req.DeviceID)
+		delete(ws.pending, req.DeviceID)
 	} else {
-		d.notePending(req.DeviceID, at)
+		d.notePendingLocked(ws, req.DeviceID)
 	}
 	return resp, nil
 }
 
-// HandleStatusBatch processes a status batch. A batch containing any
-// durable item is logged whole before applying; an all-liveness batch
-// applies first and is logged only if some item drained inbox state.
+// HandleStatusBatch processes a status batch on the cold lane: a batch
+// is one WAL record with one LSN, but its items may span many store
+// shards, so it serializes against the hot lane rather than racing it.
+// A batch containing any durable item is logged whole before applying;
+// an all-liveness batch applies first and is logged only if some item
+// drained inbox state.
 func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return protocol.StatusBatchResponse{}, ErrDurableClosed
+	}
+	routeKey := "batch"
+	if len(req.Items) > 0 {
+		routeKey = req.Items[0].DeviceID
 	}
 	needsWAL := false
 	for i := range req.Items {
@@ -579,7 +891,7 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 		}
 	}
 	if needsWAL {
-		return logThenApply(d, func(buf *jsonpool.Buffer, at time.Time) error {
+		return logThenApply(d, routeKey, func(buf *jsonpool.Buffer, at time.Time) error {
 			encodeBatchRecord(buf.Writer(), at, &req)
 			return nil
 		}, func() (protocol.StatusBatchResponse, error) { return d.svc.HandleStatusBatch(req) })
@@ -603,7 +915,11 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 	if !drained {
 		for i := range resp.Results {
 			if resp.Results[i].Code == "" {
-				d.notePending(req.Items[i].DeviceID, at)
+				id := req.Items[i].DeviceID
+				ws := d.walShardOf(id)
+				ws.mu.Lock()
+				d.notePendingLocked(ws, id)
+				ws.mu.Unlock()
 			}
 		}
 		return resp, nil
@@ -611,7 +927,11 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 	buf := jsonpool.Get()
 	defer buf.Put()
 	encodeBatchRecord(buf.Writer(), at, &req)
-	if _, lerr := d.log.Append(buf.Bytes()); lerr != nil {
+	ws := d.walShardOf(routeKey)
+	ws.mu.Lock()
+	_, lerr := d.appendLocked(ws, buf.Bytes())
+	ws.mu.Unlock()
+	if lerr != nil {
 		// Same contract as the single-status path: the drains never
 		// became durable, so requeue every accepted item's deliveries,
 		// note the liveness effects, and fail the batch.
@@ -620,8 +940,12 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 			if r.Code != "" {
 				continue
 			}
-			d.svc.requeueDeliveries(req.Items[i].DeviceID, r.Response.Commands, r.Response.UserData)
-			d.notePending(req.Items[i].DeviceID, at)
+			id := req.Items[i].DeviceID
+			d.svc.requeueDeliveries(id, r.Response.Commands, r.Response.UserData)
+			iws := d.walShardOf(id)
+			iws.mu.Lock()
+			d.notePendingLocked(iws, id)
+			iws.mu.Unlock()
 		}
 		return protocol.StatusBatchResponse{}, fmt.Errorf("cloud: durable log: %w", lerr)
 	}
@@ -630,7 +954,11 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 	// rejection and re-establishes nothing, so its device's note stays.
 	for i := range resp.Results {
 		if resp.Results[i].Code == "" {
-			delete(d.pending, req.Items[i].DeviceID)
+			id := req.Items[i].DeviceID
+			iws := d.walShardOf(id)
+			iws.mu.Lock()
+			delete(iws.pending, id)
+			iws.mu.Unlock()
 		}
 	}
 	return resp, nil
@@ -665,35 +993,45 @@ func snapshotPath(dir string, lsn uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%020d%s", snapPrefix, lsn, snapSuffix))
 }
 
-// Checkpoint syncs the WAL, writes a snapshot anchored at the current
-// LSN, then deletes WAL segments and older snapshots wholly covered by
-// it. Crash-safe in every window: the snapshot lands atomically
-// (tmp+rename, both fsynced) before any truncation, so recovery always
-// finds either the new checkpoint or the old one with its full WAL
-// tail.
+// Checkpoint syncs every shard log, writes a snapshot anchored at the
+// durable watermark, then deletes WAL segments and older snapshots
+// wholly covered by it. Crash-safe in every window: the snapshot lands
+// atomically (tmp+rename, both fsynced) before any truncation, so
+// recovery always finds either the new checkpoint or the old one with
+// its full WAL tail.
 func (d *Durable) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrDurableClosed
 	}
-	if err := d.log.Sync(); err != nil {
-		return fmt.Errorf("cloud: checkpoint: %w", err)
+	for _, ws := range d.shards {
+		ws.mu.Lock()
+		log := ws.log
+		ws.mu.Unlock()
+		if log == nil {
+			continue
+		}
+		if err := log.Sync(); err != nil {
+			return fmt.Errorf("cloud: checkpoint: %w", err)
+		}
 	}
-	lsn := d.log.LastLSN()
-	buf := jsonpool.Get()
-	defer buf.Put()
-	if err := buf.EncodeIndent(d.svc.Snapshot(), "", "  "); err != nil {
-		return fmt.Errorf("cloud: checkpoint: %w", err)
-	}
-	if err := atomicWriteFile(snapshotPath(d.dir, lsn), buf.Bytes()); err != nil {
-		return fmt.Errorf("cloud: checkpoint: %w", err)
+	lsn := d.lastAcked.Load()
+	if err := d.checkpointAt(lsn); err != nil {
+		return err
 	}
 	// The snapshot captured live lastSeen/sessionOwner, so recovery no
 	// longer needs the pending liveness notes behind it.
-	clear(d.pending)
-	if _, err := d.log.TruncateBefore(lsn + 1); err != nil {
-		return fmt.Errorf("cloud: checkpoint: %w", err)
+	for _, ws := range d.shards {
+		ws.mu.Lock()
+		clear(ws.pending)
+		if ws.log != nil {
+			if _, err := ws.log.TruncateBefore(lsn + 1); err != nil {
+				ws.mu.Unlock()
+				return fmt.Errorf("cloud: checkpoint: %w", err)
+			}
+		}
+		ws.mu.Unlock()
 	}
 	// Older checkpoints are now redundant; losing this cleanup to a
 	// crash costs disk, not correctness.
@@ -707,11 +1045,54 @@ func (d *Durable) Checkpoint() error {
 	return nil
 }
 
-// AppliedOps returns how many logged operations the durable cloud has
-// applied over its lifetime (equivalently: the last LSN). Restart
-// harnesses use it as the resume oracle — for an all-logged workload it
-// is exactly the count of workload operations whose effects survived.
-func (d *Durable) AppliedOps() uint64 { return d.log.LastLSN() }
+// checkpointAt writes the current service state as the snapshot
+// anchored at lsn.
+func (d *Durable) checkpointAt(lsn uint64) error {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.EncodeIndent(d.svc.Snapshot(), "", "  "); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	if err := atomicWriteFile(snapshotPath(d.dir, lsn), buf.Bytes()); err != nil {
+		return fmt.Errorf("cloud: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// AppliedOps returns the durable watermark: the highest LSN whose
+// record reached its shard log (equivalently, how many logged
+// operations the cloud has applied over its lifetime, counting any
+// allocation gaps left by failed appends — those operations were never
+// acknowledged). Restart harnesses use it as the resume oracle.
+func (d *Durable) AppliedOps() uint64 { return d.lastAcked.Load() }
+
+// WALShards returns the WAL shard count pinned in the directory.
+func (d *Durable) WALShards() int { return len(d.shards) }
+
+// WALShardOf returns the WAL shard index a device's records route to —
+// harnesses predicting per-shard watermarks use the same mapping the
+// append path uses.
+func (d *Durable) WALShardOf(deviceID string) int {
+	return int(fnv1a(deviceID) & d.walMask)
+}
+
+// ShardWatermarks reports each WAL shard's durability watermark: the
+// highest LSN in its log (0 for shards with no records). After a crash
+// that killed individual shard logs, the vector tells a resume oracle
+// exactly which operations survived where.
+func (d *Durable) ShardWatermarks() []uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	marks := make([]uint64, len(d.shards))
+	for i, ws := range d.shards {
+		ws.mu.Lock()
+		if ws.log != nil {
+			marks[i] = ws.log.LastLSN()
+		}
+		ws.mu.Unlock()
+	}
+	return marks
+}
 
 // Recovery reports what OpenDurable rebuilt.
 func (d *Durable) Recovery() DurableRecovery { return d.recovery }
@@ -731,12 +1112,12 @@ func (d *Durable) WriteSnapshot(w interface{ Write([]byte) (int, error) }) error
 	return d.svc.WriteSnapshot(w)
 }
 
-// Close flushes pending liveness notes, then syncs and closes the WAL.
-// The directory reopens with OpenDurable; a clean close replays to the
-// identical state. The flush is best-effort: unlogged liveness is
-// droppable by design, and a WAL that already failed (a simulated
-// crash, a dead disk) must not turn Close into an error — recovery
-// re-establishes liveness from the next heartbeats.
+// Close flushes pending liveness notes, then syncs and closes every
+// shard log. The directory reopens with OpenDurable; a clean close
+// replays to the identical state. The flush is best-effort: unlogged
+// liveness is droppable by design, and a WAL that already failed (a
+// simulated crash, a dead disk) must not turn Close into an error —
+// recovery re-establishes liveness from the next heartbeats.
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -744,8 +1125,17 @@ func (d *Durable) Close() error {
 		return nil
 	}
 	d.closed = true
-	_ = d.flushPendingLocked()
-	return d.log.Close()
+	_ = d.flushAllLocked()
+	var first error
+	for _, ws := range d.shards {
+		if ws.log == nil {
+			continue
+		}
+		if err := ws.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ---- snapshot discovery ----------------------------------------------------

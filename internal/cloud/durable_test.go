@@ -2,10 +2,14 @@ package cloud
 
 import (
 	"bytes"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,14 +201,23 @@ func TestDurableCheckpointAnchorsRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The tiny segment size forced rotations; after the checkpoint only
-	// segments at or after the anchor may remain.
-	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	// The tiny segment size forced rotations; after the checkpoint each
+	// shard keeps at most its active segment plus one started since.
+	shardDirs, err := filepath.Glob(filepath.Join(dir, "wal", "shard-*"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(segs) > 2 {
-		t.Errorf("%d WAL segments survive the checkpoint, want <= 2", len(segs))
+	if len(shardDirs) == 0 {
+		t.Fatal("no WAL shard directories exist")
+	}
+	for _, sd := range shardDirs {
+		segs, err := filepath.Glob(filepath.Join(sd, "*.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) > 2 {
+			t.Errorf("%s: %d WAL segments survive the checkpoint, want <= 2", filepath.Base(sd), len(segs))
+		}
 	}
 
 	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now, WAL: wal.Options{SegmentSize: 256}})
@@ -272,8 +285,8 @@ func TestDurableCrashLosesNothingApplied(t *testing.T) {
 
 	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
 	rec := d2.Recovery()
-	if !rec.WAL.Report.Torn {
-		t.Error("recovery did not report the torn tail")
+	if rec.TornTails() != 1 {
+		t.Errorf("recovery reported %d torn shard tails, want 1", rec.TornTails())
 	}
 	if rec.Replayed != 4 {
 		t.Errorf("replayed %d records, want 4", rec.Replayed)
@@ -617,6 +630,168 @@ func TestDurableClosedRefusesOperations(t *testing.T) {
 	}
 }
 
+// TestDurableConcurrentStatusRecovery hammers the sharded hot lane from
+// 16 goroutines — keyed heartbeats across 24 devices spread over 8 WAL
+// shards — then proves the concurrently-built state replays
+// byte-identically from the merged per-shard logs. This is the
+// correctness half of the per-shard WAL design: live apply order across
+// shards differs from LSN order, and recovery must converge anyway.
+func TestDurableConcurrentStatusRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clock := newTestClock()
+	reg := NewRegistry()
+	const devs = 24
+	ids := make([]string, devs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("AA:BB:CC:0D:00:%02X", i)
+		if err := reg.Add(DeviceRecord{ID: ids[i], FactorySecret: testSecret, Model: "plug"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open := func() *Durable {
+		d, err := OpenDurable(dir, devIDDesign(), reg, DurableOptions{
+			Clock: clock.Now, WALShards: 8,
+			WAL: wal.Options{Policy: wal.SyncGrouped, GroupEvery: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d := open()
+	for _, id := range ids {
+		if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, perWorker = 16, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				id := ids[(w*31+k)%devs]
+				if _, err := d.HandleStatus(protocol.StatusRequest{
+					Kind: protocol.StatusHeartbeat, DeviceID: id,
+					IdempotencyKey: fmt.Sprintf("w%d-k%d", w, k),
+					Readings:       []protocol.Reading{{Name: "power_w", Value: float64(w*perWorker + k), At: clock.Now()}},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got, want := d.AppliedOps(), uint64(devs+workers*perWorker); got != want {
+		t.Errorf("AppliedOps = %d, want %d (every status logged exactly once)", got, want)
+	}
+	want := encodeState(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := open()
+	defer d2.Close()
+	if got := encodeState(t, d2); !bytes.Equal(want, got) {
+		t.Error("state recovered from merged shard logs differs from the concurrently-built live state")
+	}
+	marks := d2.ShardWatermarks()
+	used := 0
+	for _, m := range marks {
+		if m > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("records landed on %d WAL shards, want the load spread across several: %v", used, marks)
+	}
+}
+
+// TestDurableMigratesLegacyWAL proves a pre-sharding directory — a
+// dense log sitting directly in wal/ and a meta.json without a shard
+// count — opens cleanly: the legacy records replay, a migration
+// checkpoint anchors them, the old segments are removed, and new
+// records flow into per-shard logs.
+func TestDurableMigratesLegacyWAL(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	var master [32]byte
+	master[0] = 7
+	meta := fmt.Sprintf("{\n  \"version\": 1,\n  \"design\": \"devid-acl\",\n  \"master_seed\": %q\n}\n", hex.EncodeToString(master[:]))
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := wal.Open(walDir, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	regReq := protocol.RegisterUserRequest{UserID: "legacy@example.com", Password: "pw"}
+	payload, err := json.Marshal(walEnvelope{Op: "register_user", At: walEncodeTime(at), RegisterUser: &regReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	encodeStatusRecord(&sb, at, &protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: testDevice})
+	if _, err := legacy.Append(sb.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, clock := newDurable(t, dir, DurableOptions{})
+	rec := d.Recovery()
+	migrated := false
+	for _, s := range rec.WALShards {
+		if s.Shard == -1 {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Error("recovery reports no legacy (-1) shard entry")
+	}
+	if rec.Replayed != 2 {
+		t.Errorf("replayed %d legacy records, want 2", rec.Replayed)
+	}
+	if got := d.AppliedOps(); got != 2 {
+		t.Errorf("AppliedOps after migration = %d, want 2", got)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(walDir, "*.wal")); len(segs) != 0 {
+		t.Errorf("legacy segments survive migration: %v", segs)
+	}
+
+	// The migrated state is live: the legacy user logs in, the legacy
+	// device heartbeats, and both new records land in shard logs.
+	if _, err := d.Login(protocol.LoginRequest{UserID: "legacy@example.com", Password: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleStatus(protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "post-migrate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if shards, _ := filepath.Glob(filepath.Join(walDir, "shard-*")); len(shards) == 0 {
+		t.Error("no shard directories exist after post-migration appends")
+	}
+	want := encodeState(t, d)
+	d.Close()
+
+	d2, _ := newDurable(t, dir, DurableOptions{Clock: clock.Now})
+	if got := encodeState(t, d2); !bytes.Equal(want, got) {
+		t.Error("post-migration recovery diverged from live state")
+	}
+}
+
 // TestDescribeWALRecords sanity-checks the walinspect rendering over a
 // real log: every record describes without error and carries its op.
 func TestDescribeWALRecords(t *testing.T) {
@@ -626,7 +801,7 @@ func TestDescribeWALRecords(t *testing.T) {
 	d.Close()
 
 	var lines []string
-	_, err := wal.Scan(filepath.Join(dir, "wal"), 0, func(lsn uint64, payload []byte) error {
+	_, err := wal.MergeShards(filepath.Join(dir, "wal"), 0, 0, func(shard int, lsn uint64, payload []byte) error {
 		line, err := DescribeWALRecord(payload)
 		if err != nil {
 			t.Fatalf("record %d: %v", lsn, err)
@@ -636,6 +811,9 @@ func TestDescribeWALRecords(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("sharded WAL merge yielded no records")
 	}
 	joined := strings.Join(lines, "\n")
 	for _, op := range []string{"register_user", "login", "bind", "control", "push", "share", "status", "batch"} {

@@ -51,7 +51,15 @@ func (s *Service) RequestBindToken(req protocol.BindTokenRequest) (protocol.Bind
 // design's mode), online marking, reading ingestion, and delivery of
 // pending commands and user data.
 func (s *Service) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
-	resp, err := s.handleStatus(req)
+	return s.handleStatusCounted(req, nil)
+}
+
+// handleStatusCounted is HandleStatus with an explicit operation
+// environment: the durable layer's sharded hot path pins the clock and
+// nonce source per operation instead of through the process-wide
+// injected sources.
+func (s *Service) handleStatusCounted(req protocol.StatusRequest, env *opEnv) (protocol.StatusResponse, error) {
+	resp, err := s.handleStatus(req, env)
 	s.countOutcome(err, &s.stats.statusAccepted, &s.stats.statusRejected)
 	return resp, err
 }

@@ -214,10 +214,39 @@ func (s *Service) requestBindToken(req protocol.BindTokenRequest) (protocol.Bind
 	return protocol.BindTokenResponse{BindToken: bindTok.Value}, nil
 }
 
+// opEnv pins one in-flight operation's observable environment — the
+// clock sample and the session-nonce source. The service's injected
+// s.now/s.randomHex are process-wide; a durable cloud running logged
+// status operations concurrently on different WAL shards cannot pin
+// them per operation through those globals, so it threads the pinned
+// values here instead. A nil env means "use the service's own
+// sources" — the path every non-durable caller takes.
+type opEnv struct {
+	now   time.Time
+	nonce func() (string, error)
+}
+
+// envNow resolves the operation clock: the pinned sample when an env
+// is present, the service clock otherwise.
+func (s *Service) envNow(env *opEnv) time.Time {
+	if env != nil {
+		return env.now
+	}
+	return s.now()
+}
+
+// envNonce resolves the session-nonce source the same way.
+func (s *Service) envNonce(env *opEnv) (string, error) {
+	if env != nil && env.nonce != nil {
+		return env.nonce()
+	}
+	return s.randomHex()
+}
+
 // HandleStatus processes a device status message: authentication (per the
 // design's mode), online marking, reading ingestion, and delivery of
 // pending commands and user data.
-func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+func (s *Service) handleStatus(req protocol.StatusRequest, env *opEnv) (protocol.StatusResponse, error) {
 	if req.Kind != protocol.StatusRegister && req.Kind != protocol.StatusHeartbeat {
 		return protocol.StatusResponse{}, fmt.Errorf("cloud: status kind: %w", protocol.ErrBadRequest)
 	}
@@ -229,14 +258,14 @@ func (s *Service) handleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	sh := s.store.get(req.DeviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.statusLocked(sh, rec, req)
+	return s.statusLocked(sh, rec, req, env)
 }
 
 // statusLocked is the status-handling core, shared by the single-message
 // and batch paths. The caller holds sh's lock and has already validated
 // the status kind and resolved the registry record.
-func (s *Service) statusLocked(sh *shadow, rec DeviceRecord, req protocol.StatusRequest) (protocol.StatusResponse, error) {
-	now := s.now()
+func (s *Service) statusLocked(sh *shadow, rec DeviceRecord, req protocol.StatusRequest, env *opEnv) (protocol.StatusResponse, error) {
+	now := s.envNow(env)
 	sh.refresh(now, s.heartbeatTTL)
 
 	// A redelivered keyed status replays its recorded response — commands
@@ -304,7 +333,7 @@ func (s *Service) statusLocked(sh *shadow, rec DeviceRecord, req protocol.Status
 	if req.Kind == protocol.StatusRegister {
 		sh.deviceIP = req.SourceIP
 		if s.design.DataRequiresSession {
-			nonce, err := s.randomHex()
+			nonce, err := s.envNonce(env)
 			if err != nil {
 				return protocol.StatusResponse{}, fmt.Errorf("cloud: session nonce: %w", err)
 			}
@@ -622,14 +651,16 @@ func (s *Service) requeueDeliveries(deviceID string, cmds []protocol.Command, da
 	}
 }
 
-// sessionOwnerOf reports the device's current session owner; the
-// durable layer records it in the pending liveness note an unlogged
-// heartbeat leaves behind.
-func (s *Service) sessionOwnerOf(deviceID string) string {
+// livenessOf reports the device's current liveness state — its
+// lastSeen time and session owner. The durable layer reads it when
+// flushing a pending liveness note: by the note invariant, nothing has
+// moved either field since the last unlogged heartbeat, so this is
+// exactly the state that heartbeat stored.
+func (s *Service) livenessOf(deviceID string) (time.Time, string) {
 	sh := s.store.get(deviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.sessionOwner
+	return sh.lastSeen, sh.sessionOwner
 }
 
 // applyLiveness re-establishes a device's liveness state from a WAL

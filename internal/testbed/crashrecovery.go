@@ -26,8 +26,18 @@ type CrashRecoveryConfig struct {
 	Design core.DesignSpec
 	// Ops is the workload length after setup (default 60). Every
 	// operation is a logged mutation, so operation index maps 1:1 onto
-	// WAL LSNs and the log length is the resume oracle.
+	// WAL LSNs and the per-shard watermark vector is the resume oracle.
 	Ops int
+	// Devices spreads the workload across N devices (default 1). With
+	// more than one device the records land on multiple WAL shards and
+	// the shared kill schedule crashes whichever shard log hits its
+	// countdown — individual shard logs die independently while their
+	// siblings stay healthy. Multi-device runs require
+	// Policy == wal.SyncEveryRecord: the resume oracle needs the
+	// durable records to be a prefix of the executed workload, and only
+	// per-record fsync guarantees that when one shard's tail can be
+	// lost independently of the others.
+	Devices int
 	// KillPoints is how many seeded crashes to inject (default 20).
 	KillPoints int
 	// Seed drives the kill schedule: the gap to the next crash, the
@@ -58,8 +68,8 @@ type CrashRecoveryResult struct {
 	Ops int
 	// Crashes is how many kill-points actually fired.
 	Crashes int
-	// TornTails counts recoveries that found (and truncated) a torn
-	// frame at the tail of the log.
+	// TornTails counts shard logs recovered with a torn (truncated)
+	// frame at their tail, summed across all recoveries.
 	TornTails int
 	// DroppedTails counts recoveries whose durable log was shorter than
 	// the acknowledged prefix — unsynced records lost by a drop-style
@@ -75,10 +85,15 @@ type CrashRecoveryResult struct {
 	Replayed int
 	// StagesHit counts crashes per WAL stage.
 	StagesHit map[wal.Stage]int
+	// ShardsUsed is how many distinct WAL shards the workload devices
+	// routed to — the blast surface the kill schedule sampled from.
+	ShardsUsed int
 }
 
 // killer is the seeded failpoint: armed with a countdown, it crashes
-// the WAL at the n-th staged event after arming.
+// the WAL at the n-th staged event after arming. All shard logs share
+// it, so the crash lands on whichever shard's log is active when the
+// countdown expires — siblings keep their healthy tails.
 type killer struct {
 	mu        sync.Mutex
 	armed     bool
@@ -121,11 +136,12 @@ type crashOp func(c transport.Cloud) error
 
 // crashWorkload builds the operation list: a rotation of control,
 // data-push, share and keyed draining heartbeats, every one of them a
-// logged mutation.
-func crashWorkload(ops int, deviceID, userToken string, now func() time.Time) []crashOp {
+// logged mutation, round-robined across the devices.
+func crashWorkload(ops int, devices []string, userToken string, now func() time.Time) []crashOp {
 	list := make([]crashOp, ops)
 	for i := range list {
 		i := i
+		deviceID := devices[i%len(devices)]
 		switch i % 5 {
 		case 0:
 			list[i] = func(c transport.Cloud) error {
@@ -163,10 +179,10 @@ func crashWorkload(ops int, deviceID, userToken string, now func() time.Time) []
 	return list
 }
 
-// crashSetup runs the uncounted prelude — accounts, login, device
-// registration, bind — and returns the victim user's token. Five WAL
-// records, matching crashSetupRecords.
-func crashSetup(c transport.Cloud, deviceID string) (string, error) {
+// crashSetup runs the uncounted prelude — accounts, login, then a
+// registration and bind per device — and returns the victim user's
+// token. 3 + 2×len(devices) WAL records, matching crashSetupRecords.
+func crashSetup(c transport.Cloud, devices []string) (string, error) {
 	if err := c.RegisterUser(protocol.RegisterUserRequest{UserID: "victim@crash.example", Password: "pw"}); err != nil {
 		return "", err
 	}
@@ -177,34 +193,47 @@ func crashSetup(c transport.Cloud, deviceID string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, err := c.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: deviceID}); err != nil {
-		return "", err
-	}
-	if _, err := c.HandleBind(protocol.BindRequest{
-		DeviceID: deviceID, UserToken: login.UserToken, IdempotencyKey: "setup-bind",
-	}); err != nil {
-		return "", err
+	for i, deviceID := range devices {
+		if _, err := c.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: deviceID}); err != nil {
+			return "", err
+		}
+		if _, err := c.HandleBind(protocol.BindRequest{
+			DeviceID: deviceID, UserToken: login.UserToken, IdempotencyKey: fmt.Sprintf("setup-bind-%d", i),
+		}); err != nil {
+			return "", err
+		}
 	}
 	return login.UserToken, nil
 }
 
-const crashSetupRecords = 5
+func crashSetupRecords(devices int) int { return 3 + 2*devices }
 
 // RunCrashRecovery drives the configured workload against a durable
 // cloud under seeded kill-points, restarting after every crash, and
 // proves the final recovered state is byte-identical to a never-crashed
 // reference executing the same workload with the same entropy.
 //
-// The resume oracle is the WAL itself: every workload operation appends
-// exactly one record, so after a restart the recovered log length says
-// which operations are durable (never re-executed — that would
-// double-apply) and which were lost with the torn or dropped tail
-// (re-executed, drawing the same per-LSN entropy the lost execution
-// drew). Agents keep a single transport.Switchable across restarts, the
-// way a reconnecting client keeps its retry wrapper.
+// The resume oracle is the WAL shard watermark vector. The workload is
+// sequential and every operation appends exactly one record, so
+// operation i's record always carries LSN setup+i+1 — re-executions
+// included, because a lost allocation never survives a restart — and
+// lands on the shard its device routes to. After a restart, operation i
+// is durable iff that LSN is at or below its shard's recovered
+// watermark (or the restored snapshot's anchor). The harness resumes at
+// the first non-durable operation: everything durable replayed (never
+// re-executed — that would double-apply), everything lost with a torn
+// or dropped shard tail re-executes, drawing the same per-LSN entropy
+// the lost execution drew. The harness additionally asserts the durable
+// set is a prefix of the executed workload — the invariant per-record
+// fsync must uphold even when individual shard logs crash
+// independently. Agents keep a single transport.Switchable across
+// restarts, the way a reconnecting client keeps its retry wrapper.
 func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	if cfg.Ops <= 0 {
 		cfg.Ops = 60
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
 	}
 	if cfg.KillPoints <= 0 {
 		cfg.KillPoints = 20
@@ -219,6 +248,9 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	fail := func(err error) (CrashRecoveryResult, error) {
 		return res, fmt.Errorf("testbed: crash recovery: %w", err)
 	}
+	if cfg.Devices > 1 && cfg.Policy != wal.SyncEveryRecord {
+		return fail(fmt.Errorf("multi-device runs require wal.SyncEveryRecord: grouped fsync can lose one shard's acknowledged tail independently, leaving a durable set that is not a workload prefix"))
+	}
 
 	root, err := os.MkdirTemp("", "crashrec-*")
 	if err != nil {
@@ -226,10 +258,13 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	}
 	defer os.RemoveAll(root)
 
-	const deviceID = "AA:BB:CC:0F:00:01"
+	devices := make([]string, cfg.Devices)
 	registry := cloud.NewRegistry()
-	if err := registry.Add(cloud.DeviceRecord{ID: deviceID, FactorySecret: "factory-secret-crash", Model: cfg.Design.Name}); err != nil {
-		return fail(err)
+	for i := range devices {
+		devices[i] = fmt.Sprintf("AA:BB:CC:0F:01:%02X", i)
+		if err := registry.Add(cloud.DeviceRecord{ID: devices[i], FactorySecret: "factory-secret-crash", Model: cfg.Design.Name}); err != nil {
+			return fail(err)
+		}
 	}
 	frozen := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
 	clock := func() time.Time { return frozen }
@@ -258,6 +293,17 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	}
 	defer func() { victim.Close() }()
 
+	// Each operation's WAL shard is pinned by the device routing and the
+	// meta-persisted shard count, so the oracle computes it once.
+	setupRecs := crashSetupRecords(cfg.Devices)
+	opShard := make([]int, cfg.Ops)
+	shardSet := make(map[int]bool)
+	for i := range opShard {
+		opShard[i] = victim.WALShardOf(devices[i%len(devices)])
+		shardSet[opShard[i]] = true
+	}
+	res.ShardsUsed = len(shardSet)
+
 	refDir := filepath.Join(root, "ref")
 	if err := os.MkdirAll(refDir, 0o755); err != nil {
 		return fail(err)
@@ -280,24 +326,24 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	defer ref.Close()
 
 	// Reference run: the whole workload, no faults.
-	refToken, err := crashSetup(ref, deviceID)
+	refToken, err := crashSetup(ref, devices)
 	if err != nil {
 		return fail(err)
 	}
-	for _, op := range crashWorkload(cfg.Ops, deviceID, refToken, clock) {
+	for _, op := range crashWorkload(cfg.Ops, devices, refToken, clock) {
 		_ = op(ref) // app-level rejections are part of the workload
 	}
 
 	// Victim setup runs before the kill schedule arms.
 	sw := transport.NewSwitchable(victim)
-	token, err := crashSetup(sw, deviceID)
+	token, err := crashSetup(sw, devices)
 	if err != nil {
 		return fail(err)
 	}
 	if token != refToken {
 		return fail(fmt.Errorf("replay determinism broken: victim token %q, reference token %q", token, refToken))
 	}
-	workload := crashWorkload(cfg.Ops, deviceID, token, clock)
+	workload := crashWorkload(cfg.Ops, devices, token, clock)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	armNext := func() {
@@ -322,9 +368,7 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 		sw.Swap(victim)
 		rec := victim.Recovery()
 		res.Replayed += rec.Replayed
-		if rec.WAL.Report.Torn {
-			res.TornTails++
-		}
+		res.TornTails += rec.TornTails()
 		res.StagesHit[kill.lastStage]++
 		if res.Crashes < cfg.KillPoints {
 			armNext()
@@ -334,7 +378,38 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 		return nil
 	}
 
-	lastAcked := victim.AppliedOps()
+	// resumePoint inspects the recovered watermark vector and returns
+	// the first workload index to (re-)execute, given that operations
+	// 0..executed-1 were acknowledged before the crash. The crashed
+	// operation itself (index `executed`, never acknowledged) may still
+	// be durable — a keep-style crash after the frame reached the file —
+	// in which case it too is skipped: its record already replayed.
+	resumePoint := func(executed int) (int, error) {
+		marks := victim.ShardWatermarks()
+		floor := victim.Recovery().SnapshotLSN
+		durable := func(j int) bool {
+			lsn := uint64(setupRecs + j + 1)
+			return lsn <= floor || lsn <= marks[opShard[j]]
+		}
+		resume := 0
+		for resume <= executed && resume < cfg.Ops && durable(resume) {
+			resume++
+		}
+		for j := resume + 1; j <= executed && j < cfg.Ops; j++ {
+			if durable(j) {
+				return 0, fmt.Errorf("durable records are not a workload prefix: op %d survived on shard %d but op %d was lost from shard %d",
+					j, opShard[j], resume, opShard[resume])
+			}
+		}
+		if resume < executed {
+			res.DroppedTails++
+			if lost := uint64(executed - resume); lost > res.MaxLostAcked {
+				res.MaxLostAcked = lost
+			}
+		}
+		return resume, nil
+	}
+
 	i := 0
 	for i < cfg.Ops {
 		err := workload[i](sw)
@@ -342,20 +417,13 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 			if err := restart(); err != nil {
 				return fail(err)
 			}
-			applied := victim.AppliedOps()
-			if applied < lastAcked {
-				res.DroppedTails++
-				if lost := lastAcked - applied; lost > res.MaxLostAcked {
-					res.MaxLostAcked = lost
-				}
+			resume, err := resumePoint(i)
+			if err != nil {
+				return fail(err)
 			}
-			// Resume where the durable log ends: records at or below
-			// `applied` replayed, everything after is re-executed.
-			i = int(applied) - crashSetupRecords
-			lastAcked = applied
+			i = resume
 			continue
 		}
-		lastAcked = victim.AppliedOps()
 		i++
 		if cfg.CheckpointEvery > 0 && i%cfg.CheckpointEvery == 0 {
 			switch err := victim.Checkpoint(); {
@@ -365,15 +433,11 @@ func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 				if err := restart(); err != nil {
 					return fail(err)
 				}
-				applied := victim.AppliedOps()
-				if applied < lastAcked {
-					res.DroppedTails++
-					if lost := lastAcked - applied; lost > res.MaxLostAcked {
-						res.MaxLostAcked = lost
-					}
+				resume, err := resumePoint(i)
+				if err != nil {
+					return fail(err)
 				}
-				i = int(applied) - crashSetupRecords
-				lastAcked = applied
+				i = resume
 			default:
 				return fail(err)
 			}

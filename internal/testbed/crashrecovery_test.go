@@ -67,6 +67,72 @@ func TestCrashRecoveryPerRecordFsync(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryShardedPerRecord spreads the workload across eight
+// devices so records land on multiple WAL shards, and the shared kill
+// schedule crashes individual shard logs independently — one shard's
+// tail tears while its siblings stay healthy. Per-record fsync must
+// still lose zero acknowledged operations, and the recovered state must
+// stay byte-identical to the never-crashed reference, with the
+// per-shard watermark vector as the resume oracle.
+func TestCrashRecoveryShardedPerRecord(t *testing.T) {
+	res, err := RunCrashRecovery(CrashRecoveryConfig{
+		Design: crashDesign(), Ops: 80, Devices: 8, KillPoints: 24, Seed: 4,
+		Policy: wal.SyncEveryRecord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 24 {
+		t.Errorf("crashes = %d, want 24", res.Crashes)
+	}
+	if res.ShardsUsed < 2 {
+		t.Fatalf("workload routed to %d WAL shards; the sharded schedule needs at least 2", res.ShardsUsed)
+	}
+	if res.MaxLostAcked != 0 {
+		t.Errorf("per-record fsync lost %d acknowledged ops across independently crashed shards", res.MaxLostAcked)
+	}
+	if res.TornTails == 0 {
+		t.Error("no shard recovered a torn tail; kill schedule too tame")
+	}
+	if res.Replayed == 0 {
+		t.Error("no records were ever replayed")
+	}
+}
+
+// TestCrashRecoveryShardedWithCheckpoints adds checkpoints to the
+// multi-shard schedule: snapshots anchor all shards at once while
+// individual shard logs keep crashing independently.
+func TestCrashRecoveryShardedWithCheckpoints(t *testing.T) {
+	res, err := RunCrashRecovery(CrashRecoveryConfig{
+		Design: crashDesign(), Ops: 80, Devices: 6, KillPoints: 18, Seed: 5,
+		Policy: wal.SyncEveryRecord, CheckpointEvery: 12, PersistIdempotency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsUsed < 2 {
+		t.Fatalf("workload routed to %d WAL shards, want >= 2", res.ShardsUsed)
+	}
+	if res.MaxLostAcked != 0 {
+		t.Errorf("per-record fsync lost %d acknowledged ops", res.MaxLostAcked)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoint completed")
+	}
+}
+
+// TestCrashRecoveryRejectsShardedGrouped pins the config guard: a
+// multi-device run under grouped fsync has no valid prefix oracle and
+// must be refused up front rather than diverging mid-run.
+func TestCrashRecoveryRejectsShardedGrouped(t *testing.T) {
+	_, err := RunCrashRecovery(CrashRecoveryConfig{
+		Design: crashDesign(), Devices: 4, Policy: wal.SyncGrouped,
+	})
+	if err == nil {
+		t.Fatal("multi-device grouped-fsync run was not rejected")
+	}
+}
+
 // TestCrashRecoveryWithCheckpoints interleaves checkpoints with the
 // kill schedule: snapshots anchor recovery mid-run, crashes mid-
 // checkpoint fall back to the previous anchor, and the persisted

@@ -32,10 +32,18 @@ type SyncPolicy int
 // The fsync policies.
 const (
 	// SyncGrouped fsyncs once every GroupEvery appends (group commit):
-	// a crash loses at most the last unsynced group.
+	// a crash loses at most the last unsynced group. Without a
+	// failpoint the fsync runs on a background flusher, so the append
+	// path never blocks on the disk; the loss window is bounded by the
+	// records appended while one flush is in flight (< 2×GroupEvery in
+	// practice).
 	SyncGrouped SyncPolicy = iota
 	// SyncEveryRecord fsyncs after every append: nothing acknowledged
-	// is ever lost.
+	// is ever lost. Concurrent appenders share fsyncs through a commit
+	// queue — one leader flushes and syncs the coalesced batch while
+	// the followers wait for its notification — so the per-append cost
+	// under load approaches SyncGrouped while keeping the per-record
+	// durability contract.
 	SyncEveryRecord
 	// SyncOff never fsyncs on the append path; the OS writes back at
 	// its leisure. Close and explicit Sync still flush.
@@ -72,9 +80,24 @@ type Options struct {
 	// the scan instead. cloud.Durable passes snapshotLSN+1 here so LSNs
 	// stay dense across compactions that empty the directory.
 	InitialLSN uint64
+	// SparseLSN admits gaps in the LSN sequence: records must carry
+	// strictly increasing LSNs but need not be dense. Per-shard logs
+	// use this — each shard holds a subsequence of a globally allocated
+	// LSN stream, so any single log sees gaps where other shards own
+	// the missing numbers. Sparse logs are usually driven via AppendLSN
+	// and are scanned with ScanSparse.
+	SparseLSN bool
 	// Failpoint, when non-nil, is consulted at each write-path stage
-	// and may inject a simulated crash (crash-fault testing).
+	// and may inject a simulated crash (crash-fault testing). Arming a
+	// failpoint also forces every fsync inline under the log lock (no
+	// commit queue, no background flusher) so seeded kill schedules
+	// stay deterministic.
 	Failpoint Failpoint
+
+	// syncHook, when non-nil, intercepts the result of every group
+	// fsync (test-only: error injection for leader/follower
+	// propagation tests).
+	syncHook func(err error) error
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +125,12 @@ type segmentMeta struct {
 	first uint64 // LSN of the segment's first record
 }
 
+// commitWaiter is one queued appender awaiting a group fsync.
+type commitWaiter struct {
+	done chan struct{}
+	err  error
+}
+
 // Log is a segmented append-only write-ahead log. All methods are safe
 // for concurrent use; appends are serialized internally.
 type Log struct {
@@ -109,7 +138,7 @@ type Log struct {
 	opts Options
 
 	mu         sync.Mutex
-	f          *os.File
+	f          *os.File // nil in a sparse log before its first append
 	w          *bufio.Writer
 	segments   []segmentMeta // sorted; last is the active segment
 	segSize    int64         // bytes written to the active segment (incl. buffered)
@@ -121,6 +150,17 @@ type Log struct {
 	crashed    bool
 	closed     bool
 	err        error // sticky I/O error
+
+	// Group-commit state (only active when no failpoint is armed).
+	syncing  bool       // a leader fsync is in flight with mu released
+	syncCond *sync.Cond // broadcast when syncing clears
+	leading  bool       // a commit-queue leader is draining waiters
+	waiters  []*commitWaiter
+
+	// Background flusher (SyncGrouped without a failpoint).
+	flushC      chan struct{}
+	flusherStop chan struct{}
+	flusherWG   sync.WaitGroup
 }
 
 // RecoveryInfo describes what Open found and repaired.
@@ -140,32 +180,66 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	report, err := Scan(dir, opts.MaxRecord, nil)
+	report, err := scanDir(dir, opts.MaxRecord, !opts.SparseLSN, nil)
 	if err != nil {
 		return nil, err
 	}
 
 	l := &Log{dir: dir, opts: opts, recovery: RecoveryInfo{Report: report}}
+	l.syncCond = sync.NewCond(&l.mu)
 
 	for _, seg := range report.Segments {
 		l.segments = append(l.segments, segmentMeta{path: seg.Path, first: seg.FirstLSN})
 	}
-	l.nextLSN = report.LastLSN + 1
-	if n := len(report.Segments); n == 0 {
-		l.nextLSN = opts.InitialLSN
-	} else {
-		// A segment torn down to zero valid records still names the LSN
-		// its next append must carry.
-		if last := report.Segments[n-1]; last.Records == 0 {
-			l.nextLSN = last.FirstLSN
+
+	truncateTorn := report.Torn
+	if opts.SparseLSN {
+		// A sparse segment torn down to zero records is deleted rather
+		// than reused: its name pins a first LSN that a globally
+		// allocated sequence may never produce again after the crash
+		// (the record that named it was lost before any shard acked
+		// it), so keeping the file would break the name==first-frame
+		// invariant on a later, smaller LSN.
+		if n := len(l.segments); n > 0 {
+			if last := report.Segments[n-1]; last.Records == 0 {
+				if err := os.Remove(last.Path); err != nil {
+					return nil, fmt.Errorf("wal: remove dead segment: %w", err)
+				}
+				if err := syncDir(dir); err != nil {
+					return nil, err
+				}
+				l.segments = l.segments[:n-1]
+				if report.Torn && report.TornSegment == last.Path {
+					truncateTorn = false
+					l.recovery.TruncatedBytes = report.TornBytes
+				}
+			}
 		}
-		if l.nextLSN < opts.InitialLSN {
+		l.nextLSN = report.LastLSN + 1
+		if report.Records == 0 {
+			l.nextLSN = opts.InitialLSN
+		} else if l.nextLSN < opts.InitialLSN {
 			return nil, fmt.Errorf("%w: directory ends at LSN %d, caller expects at least %d",
 				ErrCorrupt, l.nextLSN-1, opts.InitialLSN)
 		}
+	} else {
+		l.nextLSN = report.LastLSN + 1
+		if n := len(report.Segments); n == 0 {
+			l.nextLSN = opts.InitialLSN
+		} else {
+			// A segment torn down to zero valid records still names the LSN
+			// its next append must carry.
+			if last := report.Segments[n-1]; last.Records == 0 {
+				l.nextLSN = last.FirstLSN
+			}
+			if l.nextLSN < opts.InitialLSN {
+				return nil, fmt.Errorf("%w: directory ends at LSN %d, caller expects at least %d",
+					ErrCorrupt, l.nextLSN-1, opts.InitialLSN)
+			}
+		}
 	}
 
-	if report.Torn {
+	if truncateTorn {
 		if err := os.Truncate(report.TornSegment, report.TornOffset); err != nil {
 			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
@@ -183,7 +257,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			f.Close()
 			return nil, fmt.Errorf("wal: seek segment: %w", err)
 		}
-		if report.Torn {
+		if truncateTorn {
 			if err := f.Sync(); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("wal: sync truncated segment: %w", err)
@@ -193,8 +267,19 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.segSize = size
 		l.syncedSize = size
 		l.w = bufio.NewWriterSize(f, writerBufSize)
-	} else if err := l.openSegmentLocked(l.nextLSN); err != nil {
-		return nil, err
+	} else if !opts.SparseLSN {
+		if err := l.openSegmentLocked(l.nextLSN); err != nil {
+			return nil, err
+		}
+	}
+	// A sparse log with no surviving segments defers segment creation
+	// until the first append names the file (l.f stays nil).
+
+	if opts.Policy == SyncGrouped && opts.Failpoint == nil {
+		l.flushC = make(chan struct{}, 1)
+		l.flusherStop = make(chan struct{})
+		l.flusherWG.Add(1)
+		go l.flusher()
 	}
 	return l, nil
 }
@@ -207,7 +292,8 @@ func (l *Log) Recovery() RecoveryInfo {
 }
 
 // LastLSN returns the sequence number of the last appended record, or
-// InitialLSN-1 when the log is empty.
+// InitialLSN-1 when the log is empty. For a sparse per-shard log this
+// is the shard's durability watermark.
 func (l *Log) LastLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -260,49 +346,175 @@ func (l *Log) openSegmentLocked(first uint64) error {
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.usableLocked(); err != nil {
+	lsn := l.nextLSN
+	if err := l.appendLocked(lsn, payload); err != nil {
 		return 0, err
 	}
+	return lsn, nil
+}
+
+// AppendLSN writes one record under a caller-allocated LSN. The LSN
+// must exceed every previously appended one. Dense logs additionally
+// require exactly the next LSN in sequence; sparse logs accept any
+// strictly larger value (the gap belongs to sibling shards).
+func (l *Log) AppendLSN(lsn uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn < l.nextLSN {
+		return fmt.Errorf("%w: append LSN %d not past %d", ErrBadLSN, lsn, l.nextLSN-1)
+	}
+	if !l.opts.SparseLSN && lsn != l.nextLSN {
+		return fmt.Errorf("%w: dense log expects LSN %d, got %d", ErrBadLSN, l.nextLSN, lsn)
+	}
+	return l.appendLocked(lsn, payload)
+}
+
+func (l *Log) appendLocked(lsn uint64, payload []byte) error {
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
 	if len(payload) == 0 {
-		return 0, fmt.Errorf("wal: append: %w: empty record", ErrBadFrame)
+		return fmt.Errorf("wal: append: %w: empty record", ErrBadFrame)
 	}
 	if len(payload) > l.opts.MaxRecord {
-		return 0, fmt.Errorf("wal: append: %w: %d bytes", ErrFrameTooLarge, len(payload))
+		return fmt.Errorf("wal: append: %w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
 
-	l.scratch = appendFrame(l.scratch[:0], l.nextLSN, payload)
+	l.scratch = appendFrame(l.scratch[:0], lsn, payload)
 	frame := l.scratch
 
-	// Rotate before the record that would overflow the segment, so a
-	// frame never spans files. Rotation syncs the outgoing segment:
-	// unsynced bytes never straddle a segment boundary.
-	if l.segSize > 0 && l.segSize+int64(len(frame)) > int64(l.opts.SegmentSize) {
-		if err := l.rotateLocked(); err != nil {
-			return 0, err
+	if l.f == nil {
+		// Deferred first segment of a sparse log: named by the record
+		// that creates it.
+		if err := l.openSegmentLocked(lsn); err != nil {
+			return err
+		}
+	} else if l.segSize > 0 && l.segSize+int64(len(frame)) > int64(l.opts.SegmentSize) {
+		// Rotate before the record that would overflow the segment, so a
+		// frame never spans files. Rotation syncs the outgoing segment:
+		// unsynced bytes never straddle a segment boundary.
+		if err := l.rotateLocked(lsn); err != nil {
+			return err
 		}
 	}
 
-	lsn := l.nextLSN
 	if err := l.writeFrameLocked(frame); err != nil {
-		return 0, err
+		return err
 	}
 	l.segSize += int64(len(frame))
-	l.nextLSN++
+	l.nextLSN = lsn + 1
 	l.sinceSync++
 
 	switch l.opts.Policy {
 	case SyncEveryRecord:
-		if err := l.syncLocked(); err != nil {
-			return 0, err
+		if l.opts.Failpoint != nil {
+			return l.syncLocked()
 		}
+		return l.commitLocked()
 	case SyncGrouped:
 		if l.sinceSync >= l.opts.GroupEvery {
-			if err := l.syncLocked(); err != nil {
-				return 0, err
+			if l.opts.Failpoint != nil {
+				return l.syncLocked()
+			}
+			select {
+			case l.flushC <- struct{}{}:
+			default:
 			}
 		}
 	}
-	return lsn, nil
+	return nil
+}
+
+// commitLocked implements cross-request group commit for
+// SyncEveryRecord. The caller has buffered its frame under mu. The
+// first arrival becomes the leader: it flushes and fsyncs the
+// coalesced batch (fsync outside the lock) and notifies every waiter
+// with the shared result; later arrivals enqueue and block on that
+// notification, so N concurrent appends cost one fsync. A failed group
+// fsync fails every waiter in the batch with the same error and leaves
+// the log sticky-failed — no record is silently acked past a failed
+// sync.
+func (l *Log) commitLocked() error {
+	w := &commitWaiter{done: make(chan struct{})}
+	l.waiters = append(l.waiters, w)
+	if l.leading {
+		l.mu.Unlock()
+		<-w.done
+		l.mu.Lock()
+		return w.err
+	}
+	l.leading = true
+	for len(l.waiters) > 0 {
+		batch := l.waiters
+		l.waiters = nil
+		err := l.groupSyncLocked()
+		for _, bw := range batch {
+			bw.err = err
+			close(bw.done)
+		}
+	}
+	l.leading = false
+	return w.err
+}
+
+// groupSyncLocked flushes the write buffer under mu, then releases mu
+// for the fsync itself so concurrent appenders can keep buffering
+// frames behind it. Rotation, Close and inline syncs wait on syncCond
+// until the in-flight fsync completes, so the file handle can never be
+// closed underneath it.
+func (l *Log) groupSyncLocked() error {
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	f, size, records := l.f, l.segSize, l.sinceSync
+	l.syncing = true
+	l.mu.Unlock()
+	serr := f.Sync()
+	if l.opts.syncHook != nil {
+		serr = l.opts.syncHook(serr)
+	}
+	l.mu.Lock()
+	l.syncing = false
+	l.syncCond.Broadcast()
+	if serr != nil {
+		return l.fail(serr)
+	}
+	if size > l.syncedSize {
+		l.syncedSize = size
+	}
+	l.sinceSync -= records
+	if l.sinceSync < 0 {
+		l.sinceSync = 0
+	}
+	return nil
+}
+
+// flusher is the SyncGrouped background fsync goroutine: the append
+// path signals it when a group's worth of records has accumulated and
+// never blocks on the disk itself.
+func (l *Log) flusher() {
+	defer l.flusherWG.Done()
+	for {
+		select {
+		case <-l.flusherStop:
+			return
+		case <-l.flushC:
+		}
+		l.mu.Lock()
+		if !l.closed && !l.crashed && l.err == nil && l.sinceSync > 0 {
+			_ = l.groupSyncLocked() // errors are sticky; appenders see them
+		}
+		l.mu.Unlock()
+	}
 }
 
 // writeFrameLocked pushes one encoded frame into the buffered writer,
@@ -342,10 +554,19 @@ func (l *Log) Sync() error {
 	if err := l.usableLocked(); err != nil {
 		return err
 	}
-	return l.syncLocked()
+	if l.opts.Failpoint != nil {
+		return l.syncLocked()
+	}
+	return l.groupSyncLocked()
 }
 
 func (l *Log) syncLocked() error {
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+	if l.f == nil {
+		return nil
+	}
 	if fp := l.opts.Failpoint; fp != nil {
 		if c := fp(StageBeforeSync); c != CrashNone {
 			return l.crashLocked(c)
@@ -368,15 +589,15 @@ func (l *Log) syncLocked() error {
 }
 
 // rotateLocked seals the active segment (flush + fsync) and opens the
-// next one.
-func (l *Log) rotateLocked() error {
+// next one, whose first record will carry first.
+func (l *Log) rotateLocked(first uint64) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
 		return l.fail(err)
 	}
-	return l.openSegmentLocked(l.nextLSN)
+	return l.openSegmentLocked(first)
 }
 
 // crashLocked applies a simulated crash. CrashKeep flushes the write
@@ -429,10 +650,12 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) err
 	if err := l.usableLocked(); err != nil {
 		return err
 	}
-	if err := l.w.Flush(); err != nil {
-		return l.fail(err)
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return l.fail(err)
+		}
 	}
-	_, err := Scan(l.dir, l.opts.MaxRecord, func(lsn uint64, payload []byte) error {
+	_, err := scanDir(l.dir, l.opts.MaxRecord, !l.opts.SparseLSN, func(lsn uint64, payload []byte) error {
 		if lsn < from {
 			return nil
 		}
@@ -471,23 +694,36 @@ func (l *Log) TruncateBefore(keep uint64) (int, error) {
 // without touching the file again.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
+	}
+	for l.syncing {
+		l.syncCond.Wait()
 	}
 	l.closed = true
-	if l.crashed {
-		return nil
+	stop := l.flusherStop
+	var err error
+	switch {
+	case l.crashed, l.f == nil:
+		// nothing to flush
+	default:
+		if ferr := l.w.Flush(); ferr != nil {
+			l.f.Close()
+			err = l.fail(ferr)
+		} else if serr := l.f.Sync(); serr != nil {
+			l.f.Close()
+			err = l.fail(serr)
+		} else {
+			err = l.f.Close()
+		}
 	}
-	if err := l.w.Flush(); err != nil {
-		l.f.Close()
-		return l.fail(err)
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		l.flusherWG.Wait()
 	}
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return l.fail(err)
-	}
-	return l.f.Close()
+	return err
 }
 
 // SegmentInfo describes one scanned segment.
@@ -525,11 +761,23 @@ type ScanReport struct {
 }
 
 // Scan reads every segment in dir in order, verifying frame checksums
-// and LSN continuity, optionally streaming payloads through fn. Damage
-// in the last segment is reported as a torn tail (recoverable by
-// truncation); damage anywhere else is ErrCorrupt. Scan never mutates
-// the directory — Open is the repairing entry point.
+// and dense LSN continuity, optionally streaming payloads through fn.
+// Damage in the last segment is reported as a torn tail (recoverable
+// by truncation); damage anywhere else is ErrCorrupt. Scan never
+// mutates the directory — Open is the repairing entry point.
 func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) (ScanReport, error) {
+	return scanDir(dir, maxRecord, true, fn)
+}
+
+// ScanSparse is Scan for sparse-LSN (per-shard) logs: LSNs must be
+// strictly increasing and each segment's first record must match the
+// segment name, but gaps between consecutive records are legal — the
+// missing numbers belong to sibling shards.
+func ScanSparse(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) (ScanReport, error) {
+	return scanDir(dir, maxRecord, false, fn)
+}
+
+func scanDir(dir string, maxRecord int, dense bool, fn func(lsn uint64, payload []byte) error) (ScanReport, error) {
 	if maxRecord <= 0 {
 		maxRecord = DefaultMaxRecord
 	}
@@ -541,9 +789,15 @@ func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) 
 	}
 	for i, seg := range names {
 		last := i == len(names)-1
-		if report.Records > 0 && seg.first != report.LastLSN+1 {
-			return report, fmt.Errorf("%w: segment %s starts at LSN %d, want %d",
-				ErrCorrupt, filepath.Base(seg.path), seg.first, report.LastLSN+1)
+		if report.Records > 0 {
+			if dense && seg.first != report.LastLSN+1 {
+				return report, fmt.Errorf("%w: segment %s starts at LSN %d, want %d",
+					ErrCorrupt, filepath.Base(seg.path), seg.first, report.LastLSN+1)
+			}
+			if !dense && seg.first <= report.LastLSN {
+				return report, fmt.Errorf("%w: segment %s starts at LSN %d, not past %d",
+					ErrCorrupt, filepath.Base(seg.path), seg.first, report.LastLSN)
+			}
 		}
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
@@ -551,12 +805,23 @@ func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) 
 		}
 		info := SegmentInfo{Path: seg.path, FirstLSN: seg.first}
 		next := seg.first
+		prev := uint64(0)
+		started := false
 		off := 0
 		for off < len(data) {
 			lsn, payload, frameLen, perr := ParseFrame(data[off:], maxRecord)
-			if perr == nil && lsn != next {
-				perr = fmt.Errorf("%w: frame at offset %d has LSN %d, want %d",
-					ErrBadLSN, off, lsn, next)
+			if perr == nil {
+				switch {
+				case dense && lsn != next:
+					perr = fmt.Errorf("%w: frame at offset %d has LSN %d, want %d",
+						ErrBadLSN, off, lsn, next)
+				case !dense && !started && lsn != seg.first:
+					perr = fmt.Errorf("%w: frame at offset %d has LSN %d, segment named %d",
+						ErrBadLSN, off, lsn, seg.first)
+				case !dense && started && lsn <= prev:
+					perr = fmt.Errorf("%w: frame at offset %d has LSN %d, not past %d",
+						ErrBadLSN, off, lsn, prev)
+				}
 			}
 			if perr != nil {
 				if !last {
@@ -582,6 +847,8 @@ func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) 
 			report.Records++
 			info.Records++
 			next++
+			prev = lsn
+			started = true
 			off += frameLen
 		}
 		info.Bytes = int64(off)
@@ -594,7 +861,8 @@ func Scan(dir string, maxRecord int, fn func(lsn uint64, payload []byte) error) 
 }
 
 // listSegments enumerates dir's segment files in LSN order. Non-WAL
-// files (snapshots, metadata) are ignored.
+// files (snapshots, metadata) and subdirectories (per-shard logs) are
+// ignored.
 func listSegments(dir string) ([]segmentMeta, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
