@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify ci
+.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke ci
 
 all: ci
 
@@ -56,6 +56,8 @@ bench-json:
 	{ $(GO) test -bench='^BenchmarkDurableStatusParallel' -benchtime=100000x -benchmem -run='^$$' . ; \
 	  $(GO) test -bench='^BenchmarkGroupCommit$$' -benchtime=5000x -benchmem -run='^$$' ./internal/wal/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_6.json
+	{ $(GO) test -bench='^BenchmarkClusterStatus$$' -benchtime=20000x -benchmem -run='^$$' ./internal/cluster/ ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # bench-json-smoke proves the bench->JSON pipeline still parses (one
 # iteration per benchmark, output discarded) without the full sweep's
@@ -78,9 +80,17 @@ fuzz-smoke:
 wal-verify:
 	$(GO) run ./cmd/walinspect selfcheck
 
+# cluster-smoke runs the multi-node failover gate under the race
+# detector: three nodes behind the consistent-hash router, one primary
+# killed mid-run, its replica promoted and swapped in, and the merged
+# final state checked byte-for-byte against a single-node reference
+# with zero acknowledged operations lost.
+cluster-smoke:
+	$(GO) test -race -run='^TestClusterSmoke$$' -v ./internal/cluster/
+
 # ci is the tier-1+ verification gate: formatting, vet, build, the full
 # suite under the race detector (including the fault-injection, retry,
 # binding-under-loss and crash-recovery tests), a benchmark smoke run,
-# the bench JSON pipeline smoke, the WAL fuzz smoke and the offline WAL
-# integrity check.
-ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify
+# the bench JSON pipeline smoke, the WAL fuzz smoke, the offline WAL
+# integrity check and the multi-node failover smoke.
+ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke

@@ -6,6 +6,9 @@
 //
 //	walinspect dump <dir>      print every record (LSN, size, decoded op)
 //	walinspect verify <dir>    scan read-only and report integrity
+//	walinspect replica <replica-dir> <primary-dir>
+//	                           verify the replica's log is a byte-identical
+//	                           prefix of the primary's and report lag
 //	walinspect selfcheck       generate torn/corrupt logs in a temp dir
 //	                           and verify the scanner classifies them
 //
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -36,7 +40,7 @@ func main() {
 
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "usage: walinspect dump|verify <dir> | walinspect selfcheck")
+		fmt.Fprintln(stderr, "usage: walinspect dump|verify <dir> | walinspect replica <replica-dir> <primary-dir> | walinspect selfcheck")
 		return 2
 	}
 	switch args[0] {
@@ -46,6 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return inspect(args[0], walDir(args[1]), stdout, stderr)
+	case "replica":
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "usage: walinspect replica <replica-dir> <primary-dir>")
+			return 2
+		}
+		return inspectReplica(walDir(args[1]), walDir(args[2]), stdout, stderr)
 	case "selfcheck":
 		return selfcheck(stdout, stderr)
 	default:
@@ -141,6 +151,95 @@ func inspectSharded(cmd, dir string, stdout, stderr io.Writer) int {
 				r.Report.TornOffset, r.Report.TornBytes, r.Report.TornReason)
 		}
 	}
+	return 0
+}
+
+// walRecord is one collected log record for replica comparison.
+type walRecord struct {
+	shard   int
+	payload []byte
+}
+
+// collectRecords reads a WAL directory (sharded or legacy) into an
+// LSN-keyed map plus the highest LSN seen.
+func collectRecords(dir string) (map[uint64]walRecord, uint64, error) {
+	recs := make(map[uint64]walRecord)
+	var last uint64
+	note := func(shard int, lsn uint64, payload []byte) {
+		recs[lsn] = walRecord{shard: shard, payload: append([]byte(nil), payload...)}
+		if lsn > last {
+			last = lsn
+		}
+	}
+	if wal.IsShardedDir(dir) {
+		_, err := wal.MergeShards(dir, 0, 0, func(shard int, lsn uint64, payload []byte) error {
+			note(shard, lsn, payload)
+			return nil
+		})
+		return recs, last, err
+	}
+	_, err := wal.Scan(dir, 0, func(lsn uint64, payload []byte) error {
+		note(0, lsn, payload)
+		return nil
+	})
+	return recs, last, err
+}
+
+// inspectReplica verifies the replication invariant offline: the
+// replica's log must be a byte-identical prefix of the primary's —
+// same records on the same shards up to the replica's watermark,
+// nothing beyond it. Exits 0 with the lag report when the invariant
+// holds, 1 on any divergence (including a replica ahead of its
+// primary, which means the primary lost acked records).
+func inspectReplica(replicaDir, primaryDir string, stdout, stderr io.Writer) int {
+	for _, dir := range []string{replicaDir, primaryDir} {
+		if _, err := os.Stat(dir); err != nil {
+			fmt.Fprintf(stderr, "walinspect: %v\n", err)
+			return 1
+		}
+	}
+	rep, repLast, err := collectRecords(replicaDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "walinspect: replica: %v\n", err)
+		return 1
+	}
+	pri, priLast, err := collectRecords(primaryDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "walinspect: primary: %v\n", err)
+		return 1
+	}
+	if repLast > priLast {
+		fmt.Fprintf(stderr, "walinspect: replica watermark %d ahead of primary %d — the primary lost acked records, or this replica was promoted and kept serving\n", repLast, priLast)
+		return 1
+	}
+	for lsn, r := range rep {
+		p, ok := pri[lsn]
+		if !ok {
+			fmt.Fprintf(stderr, "walinspect: replica holds LSN %d the primary never logged\n", lsn)
+			return 1
+		}
+		if p.shard != r.shard {
+			fmt.Fprintf(stderr, "walinspect: LSN %d on shard %d of the replica but shard %d of the primary\n", lsn, r.shard, p.shard)
+			return 1
+		}
+		if !bytes.Equal(p.payload, r.payload) {
+			fmt.Fprintf(stderr, "walinspect: LSN %d differs between replica and primary — replay would diverge\n", lsn)
+			return 1
+		}
+	}
+	// Prefix completeness: everything the primary logged at or below the
+	// replica's watermark must have arrived (shipping is in LSN order,
+	// so a hole below the watermark means records were dropped).
+	for lsn := range pri {
+		if lsn <= repLast {
+			if _, ok := rep[lsn]; !ok {
+				fmt.Fprintf(stderr, "walinspect: primary LSN %d missing from replica below its watermark %d\n", lsn, repLast)
+				return 1
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "replica ok: %d/%d record(s), watermark %d/%d, lag %d record(s)\n",
+		len(rep), len(pri), repLast, priLast, len(pri)-len(rep))
 	return 0
 }
 
@@ -285,6 +384,48 @@ func selfcheck(stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
+	// Case 7: the replica checker. A replica holding a byte-identical
+	// prefix passes; a diverged payload, and a replica ahead of its
+	// primary, both fail.
+	pri := filepath.Join(root, "pri")
+	if err := buildShard(pri, 0, 1, 3, 5); err != nil {
+		return fail(err)
+	}
+	if err := buildShard(pri, 1, 2, 4); err != nil {
+		return fail(err)
+	}
+	goodRep := filepath.Join(root, "rep-good")
+	if err := buildShard(goodRep, 0, 1, 3); err != nil {
+		return fail(err)
+	}
+	if err := buildShard(goodRep, 1, 2); err != nil {
+		return fail(err)
+	}
+	if code := inspectReplica(goodRep, pri, io.Discard, io.Discard); code != 0 {
+		return fail(fmt.Errorf("prefix replica verified as %d, want 0", code))
+	}
+	divergedRep := filepath.Join(root, "rep-diverged")
+	dlog, err := wal.Open(filepath.Join(divergedRep, wal.ShardDirName(0)),
+		wal.Options{SparseLSN: true, SegmentSize: 256})
+	if err != nil {
+		return fail(err)
+	}
+	// Valid frame, same LSN as the primary's first record, different
+	// bytes: a replica that would replay a different history.
+	if err := dlog.AppendLSN(1, []byte(`{"op":"selfcheck","lsn":1,"diverged":true}`)); err != nil {
+		dlog.Close()
+		return fail(err)
+	}
+	if err := dlog.Close(); err != nil {
+		return fail(err)
+	}
+	if code := inspectReplica(divergedRep, pri, io.Discard, io.Discard); code != 1 {
+		return fail(fmt.Errorf("diverged replica verified as %d, want 1", code))
+	}
+	if code := inspectReplica(pri, goodRep, io.Discard, io.Discard); code != 1 {
+		return fail(fmt.Errorf("replica ahead of primary verified as %d, want 1", code))
+	}
+
 	// The verify command itself must classify the corpus the same way:
 	// exit 0 on the clean log and torn tails (single-dir or one shard of
 	// many), 1 on corruption. The reopen above truncated the dense torn
@@ -308,7 +449,7 @@ func selfcheck(stdout, stderr io.Writer) int {
 		}
 	}
 
-	fmt.Fprintln(stdout, "selfcheck ok: clean, torn-tail, corrupt and sharded logs all classified correctly")
+	fmt.Fprintln(stdout, "selfcheck ok: clean, torn-tail, corrupt, sharded and primary/replica logs all classified correctly")
 	return 0
 }
 

@@ -101,6 +101,7 @@ type Durable struct {
 	walMask  uint32
 	recovery DurableRecovery
 	closed   bool
+	follower bool // replica mode: mutations rejected, records arrive via ShipRecord
 
 	// nextLSN is the global LSN allocator (last allocated); lastAcked
 	// is the highest LSN whose append succeeded — the durable
@@ -157,6 +158,12 @@ type DurableOptions struct {
 	WALShards int
 	// Clock overrides the wall clock (tests, testbeds).
 	Clock func() time.Time
+	// Follower opens the directory as a replica: every mutating handler
+	// returns ErrNotPrimary and state arrives solely through ShipRecord
+	// until Promote. The directory must carry the primary's meta.json
+	// (same master seed, design and shard count) for shipped records to
+	// replay byte-identically.
+	Follower bool
 	// ServiceOptions are forwarded to the underlying Service —
 	// WithPersistentIdempotency, TTL overrides, and the like. Clock,
 	// nonce-source and token-issuer options are installed by Durable
@@ -255,7 +262,7 @@ func OpenDurable(dir string, design core.DesignSpec, registry *Registry, opts Du
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cloud: open durable: %w", err)
 	}
-	d := &Durable{dir: dir, walRoot: filepath.Join(dir, "wal"), wall: opts.Clock}
+	d := &Durable{dir: dir, walRoot: filepath.Join(dir, "wal"), wall: opts.Clock, follower: opts.Follower}
 	if d.wall == nil {
 		d.wall = time.Now
 	}
@@ -716,6 +723,9 @@ func logJSON[T any](d *Durable, op, src, routeKey string, fill func(*walEnvelope
 	if d.closed {
 		return zero, ErrDurableClosed
 	}
+	if d.follower {
+		return zero, ErrNotPrimary
+	}
 	return logThenApply(d, routeKey, func(buf *jsonpool.Buffer, at time.Time) error {
 		env := walEnvelope{Op: op, At: walEncodeTime(at), Src: src}
 		fill(&env)
@@ -806,6 +816,9 @@ func (d *Durable) HandleStatus(req protocol.StatusRequest) (protocol.StatusRespo
 	if d.closed {
 		return protocol.StatusResponse{}, ErrDurableClosed
 	}
+	if d.follower {
+		return protocol.StatusResponse{}, ErrNotPrimary
+	}
 	ws := d.walShardOf(req.DeviceID)
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -878,6 +891,9 @@ func (d *Durable) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.S
 	defer d.mu.Unlock()
 	if d.closed {
 		return protocol.StatusBatchResponse{}, ErrDurableClosed
+	}
+	if d.follower {
+		return protocol.StatusBatchResponse{}, ErrNotPrimary
 	}
 	routeKey := "batch"
 	if len(req.Items) > 0 {

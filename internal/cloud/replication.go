@@ -1,0 +1,112 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// ErrNotPrimary is returned by mutating handlers on a follower Durable.
+// It deliberately carries no protocol wire code: the retry layer treats
+// it as transient, which is exactly right during a failover window —
+// the request succeeds once the router swaps in the promoted replica.
+var ErrNotPrimary = errors.New("cloud: node is a replica (not primary)")
+
+// ShipRecord applies one WAL record shipped from the primary: append it
+// to the follower's own shard log at the original LSN (so the replica's
+// per-shard logs are byte prefixes of the primary's and survive a
+// restart of their own), then replay it through the same persisted
+// clock/DRBG envelope recovery uses — the replica's state is the
+// primary's state because both are pure functions of the record stream.
+// Records must arrive in global LSN order, shard-tagged exactly as the
+// primary wrote them; a record at or below the replication watermark is
+// a redelivery and is skipped. Only legal on a follower.
+func (d *Durable) ShipRecord(shard int, lsn uint64, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	if !d.follower {
+		return fmt.Errorf("cloud: ShipRecord on a primary")
+	}
+	if shard < 0 || shard >= len(d.shards) {
+		return fmt.Errorf("cloud: ShipRecord: shard %d outside the %d-shard layout", shard, len(d.shards))
+	}
+	if lsn <= d.lastAcked.Load() {
+		return nil
+	}
+	ws := d.shards[shard]
+	ws.mu.Lock()
+	if ws.log == nil {
+		log, err := wal.Open(filepath.Join(d.walRoot, wal.ShardDirName(ws.index)), d.walOpts)
+		if err != nil {
+			ws.mu.Unlock()
+			return fmt.Errorf("cloud: ship record %d: %w", lsn, err)
+		}
+		ws.log = log
+	}
+	err := ws.log.AppendLSN(lsn, payload)
+	ws.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("cloud: ship record %d: %w", lsn, err)
+	}
+	// Log-before-apply, exactly like the primary: the watermark counts
+	// records the replica holds durably, whether or not the apply below
+	// reports a decode fault (a fault there is terminal for shipping
+	// anyway — the streams have diverged).
+	if cur := d.nextLSN.Load(); lsn > cur {
+		d.nextLSN.Store(lsn)
+	}
+	d.lastAcked.Store(lsn)
+	return d.applyRecord(lsn, payload)
+}
+
+// Promote turns a follower into a primary: mutating handlers start
+// accepting traffic, allocating LSNs above everything shipped so far.
+// The caller must have detached the old primary's shipper first —
+// records shipped after promotion are rejected like any other
+// ShipRecord on a primary.
+func (d *Durable) Promote() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	d.follower = false
+	return nil
+}
+
+// IsFollower reports whether the node is still in replica mode.
+func (d *Durable) IsFollower() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.follower
+}
+
+// FlushWAL pushes every shard log's buffered frames into the segment
+// files so a Tailer (the shipping reader) sees all acked records. Under
+// SyncEveryRecord this is a no-op — commit already flushed — but the
+// buffered policies may hold acked frames in memory indefinitely on a
+// quiet shard. Durability is not forced; this is visibility, not fsync.
+func (d *Durable) FlushWAL() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrDurableClosed
+	}
+	for _, ws := range d.shards {
+		ws.mu.Lock()
+		log := ws.log
+		ws.mu.Unlock()
+		if log == nil {
+			continue
+		}
+		if err := log.Flush(); err != nil {
+			return fmt.Errorf("cloud: flush WAL: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// TestLastAckedCatchesNextLSNAtQuiesce is the regression test for the
+// lastAcked watermark advance in appendLocked: it must be a CAS retry
+// loop, not a single lost-able attempt. Replication shipping and
+// promotion accounting both read lastAcked, so a watermark stuck behind
+// the highest acked LSN silently under-reports what a replica must have
+// before MaxLostAcked can be called zero. Hammer the hot lane from many
+// goroutines (keyed statuses across devices spread over all WAL shards,
+// so appends on different shard mutexes race the shared watermark), then
+// assert the watermark caught up to the allocator exactly. Run under
+// -race; a lost-CAS regression also shows up here as a plain count
+// mismatch across repeats.
+func TestLastAckedCatchesNextLSNAtQuiesce(t *testing.T) {
+	clock := newTestClock()
+	reg := NewRegistry()
+	const devs = 32
+	ids := make([]string, devs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("AA:BB:CC:0E:00:%02X", i)
+		if err := reg.Add(DeviceRecord{ID: ids[i], FactorySecret: testSecret, Model: "plug"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := OpenDurable(t.TempDir(), devIDDesign(), reg, DurableOptions{
+		Clock: clock.Now, WALShards: 8,
+		WAL: wal.Options{Policy: wal.SyncOff},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, id := range ids {
+		if _, err := d.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				if _, err := d.HandleStatus(protocol.StatusRequest{
+					Kind: protocol.StatusHeartbeat, DeviceID: ids[(w*17+k)%devs],
+					IdempotencyKey: fmt.Sprintf("wm-w%d-k%d", w, k),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	next, acked := d.nextLSN.Load(), d.lastAcked.Load()
+	if next != uint64(devs+workers*perWorker) {
+		t.Errorf("nextLSN = %d, want %d (one allocation per successful status)", next, devs+workers*perWorker)
+	}
+	if acked != next {
+		t.Errorf("lastAcked = %d but nextLSN = %d: watermark lost a CAS and stayed behind acked appends", acked, next)
+	}
+}

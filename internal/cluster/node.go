@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// ErrNodeDown is returned by a killed node. Like cloud.ErrNotPrimary it
+// carries no protocol wire code, so the retry layer keeps the request
+// alive until the router swaps the promoted replica in.
+var ErrNodeDown = errors.New("cluster: node is down")
+
+// NodeConfig configures one cluster node (primary + warm replica).
+type NodeConfig struct {
+	// Name is the node's ring identity.
+	Name string
+	// Dir is the node's root; the primary lives in Dir/primary and the
+	// replica in Dir/replica.
+	Dir string
+	// Design and Registry are shared across the fleet — every node
+	// enforces the same binding design over the same device population,
+	// each serving its ring slice.
+	Design   core.DesignSpec
+	Registry *cloud.Registry
+	// Clock overrides the wall clock (testbeds).
+	Clock func() time.Time
+	// WALShards and WAL configure both stores' logs identically.
+	WALShards int
+	WAL       wal.Options
+	// AckAfterReplicate ships synchronously: a mutation is acknowledged
+	// only once its record is applied on the replica, so a kill loses no
+	// acked operation (MaxLostAcked == 0). Off, shipping happens only
+	// when something calls CatchUp — acked-but-unshipped records die
+	// with the primary's disk.
+	AckAfterReplicate bool
+}
+
+// Node is one cluster member: a primary Durable serving traffic, a
+// follower Durable absorbing its WAL, and the Shipper between them.
+// Node itself implements transport.Cloud so the router can treat it as
+// a backend; after Kill every call returns ErrNodeDown until the
+// harness promotes the replica and swaps it in.
+type Node struct {
+	name    string
+	primary *cloud.Durable
+	replica *cloud.Durable
+	ship    *Shipper
+	ackRep  bool
+
+	// opMu is a genuine reader-writer drain: requests hold the read
+	// side for their full duration, Kill takes the write side, so a
+	// kill observes a quiesced primary and the lost-operation count is
+	// exact rather than racing in-flight appends.
+	opMu   sync.RWMutex
+	killed bool
+}
+
+var _ transport.Cloud = (*Node)(nil)
+
+// NewNode opens the node's primary and replica stores. The replica
+// inherits the primary's meta.json — same master seed, design and WAL
+// shard layout — which is what makes shipped records replay
+// byte-identically.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	primaryDir := filepath.Join(cfg.Dir, "primary")
+	replicaDir := filepath.Join(cfg.Dir, "replica")
+	primary, err := cloud.OpenDurable(primaryDir, cfg.Design, cfg.Registry, cloud.DurableOptions{
+		WAL: cfg.WAL, WALShards: cfg.WALShards, Clock: cfg.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s primary: %w", cfg.Name, err)
+	}
+	if err := os.MkdirAll(replicaDir, 0o755); err != nil {
+		primary.Close()
+		return nil, fmt.Errorf("cluster: node %s: %w", cfg.Name, err)
+	}
+	meta, err := os.ReadFile(filepath.Join(primaryDir, "meta.json"))
+	if err == nil {
+		err = os.WriteFile(filepath.Join(replicaDir, "meta.json"), meta, 0o644)
+	}
+	if err != nil {
+		primary.Close()
+		return nil, fmt.Errorf("cluster: node %s replica meta: %w", cfg.Name, err)
+	}
+	replica, err := cloud.OpenDurable(replicaDir, cfg.Design, cfg.Registry, cloud.DurableOptions{
+		WAL: cfg.WAL, WALShards: cfg.WALShards, Clock: cfg.Clock, Follower: true,
+	})
+	if err != nil {
+		primary.Close()
+		return nil, fmt.Errorf("cluster: node %s replica: %w", cfg.Name, err)
+	}
+	flush := primary.FlushWAL
+	if cfg.WAL.Policy == wal.SyncEveryRecord {
+		flush = nil // commit already flushed every acked frame
+	}
+	return &Node{
+		name:    cfg.Name,
+		primary: primary,
+		replica: replica,
+		ship:    NewShipper(primaryDir, primary.WALShards(), cfg.WAL.MaxRecord, replica, flush),
+		ackRep:  cfg.AckAfterReplicate,
+	}, nil
+}
+
+// Name returns the node's ring identity.
+func (n *Node) Name() string { return n.name }
+
+// Primary exposes the serving store (diagnostics, snapshots).
+func (n *Node) Primary() *cloud.Durable { return n.primary }
+
+// Replica exposes the follower store.
+func (n *Node) Replica() *cloud.Durable { return n.replica }
+
+// ReplicationLag reports how many acked operations the replica is
+// missing.
+func (n *Node) ReplicationLag() uint64 {
+	n.opMu.RLock()
+	defer n.opMu.RUnlock()
+	if n.killed {
+		return 0
+	}
+	return n.primary.AppliedOps() - n.ship.Watermark()
+}
+
+// CatchUp ships the replica up to the primary's current watermark —
+// the async-mode hook for periodic shipping.
+func (n *Node) CatchUp() error {
+	n.opMu.RLock()
+	defer n.opMu.RUnlock()
+	if n.killed {
+		return ErrNodeDown
+	}
+	return n.ship.CatchUp(n.primary.AppliedOps())
+}
+
+// Kill models losing the primary process and its disk: in-flight
+// requests drain, the shipper detaches (nothing more can be read from a
+// dead disk), the primary closes, and every later request fails with
+// ErrNodeDown. Returns how many acked operations the replica never
+// received — the data loss a promotion inherits, zero under
+// ack-after-replicate.
+func (n *Node) Kill() (lost uint64, err error) {
+	n.opMu.Lock()
+	defer n.opMu.Unlock()
+	if n.killed {
+		return 0, fmt.Errorf("cluster: node %s already killed", n.name)
+	}
+	n.killed = true
+	applied := n.primary.AppliedOps()
+	shipped := n.ship.Watermark()
+	if applied > shipped {
+		lost = applied - shipped
+	}
+	n.ship.Detach()
+	_ = n.primary.Close()
+	return lost, nil
+}
+
+// Promote turns the replica into a primary and returns it, ready to be
+// swapped in behind the node's name. Only legal after Kill.
+func (n *Node) Promote() (*cloud.Durable, error) {
+	n.opMu.Lock()
+	defer n.opMu.Unlock()
+	if !n.killed {
+		return nil, fmt.Errorf("cluster: promote on live node %s", n.name)
+	}
+	if err := n.replica.Promote(); err != nil {
+		return nil, err
+	}
+	return n.replica, nil
+}
+
+// Close shuts down whichever stores are still open.
+func (n *Node) Close() error {
+	n.opMu.Lock()
+	defer n.opMu.Unlock()
+	var first error
+	if !n.killed {
+		n.killed = true
+		n.ship.Detach()
+		if err := n.primary.Close(); err != nil {
+			first = err
+		}
+	}
+	if err := n.replica.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// run executes one request against the primary, shipping before the ack
+// under the ack-after-replicate policy. The replication step runs while
+// still holding the read side, so a kill can never slip between a
+// request's apply and its ship.
+func run[T any](n *Node, call func(*cloud.Durable) (T, error)) (T, error) {
+	var zero T
+	n.opMu.RLock()
+	defer n.opMu.RUnlock()
+	if n.killed {
+		return zero, ErrNodeDown
+	}
+	resp, err := call(n.primary)
+	if err != nil {
+		return zero, err
+	}
+	if n.ackRep {
+		if serr := n.ship.CatchUp(n.primary.AppliedOps()); serr != nil {
+			// The operation applied on the primary but its record never
+			// reached the replica: under ack-after-replicate that is a
+			// failed request (the caller retries; keyed operations
+			// dedup on redelivery).
+			return zero, fmt.Errorf("cluster: node %s replicate: %w", n.name, serr)
+		}
+	}
+	return resp, nil
+}
+
+func (n *Node) RegisterUser(req protocol.RegisterUserRequest) error {
+	_, err := run(n, func(d *cloud.Durable) (struct{}, error) {
+		return struct{}{}, d.RegisterUser(req)
+	})
+	return err
+}
+
+func (n *Node) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.LoginResponse, error) { return d.Login(req) })
+}
+
+func (n *Node) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.DeviceTokenResponse, error) { return d.RequestDeviceToken(req) })
+}
+
+func (n *Node) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.BindTokenResponse, error) { return d.RequestBindToken(req) })
+}
+
+func (n *Node) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.StatusResponse, error) { return d.HandleStatus(req) })
+}
+
+func (n *Node) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.StatusBatchResponse, error) { return d.HandleStatusBatch(req) })
+}
+
+func (n *Node) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.BindResponse, error) { return d.HandleBind(req) })
+}
+
+func (n *Node) HandleUnbind(req protocol.UnbindRequest) error {
+	_, err := run(n, func(d *cloud.Durable) (struct{}, error) {
+		return struct{}{}, d.HandleUnbind(req)
+	})
+	return err
+}
+
+func (n *Node) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.ControlResponse, error) { return d.HandleControl(req) })
+}
+
+func (n *Node) PushUserData(req protocol.PushUserDataRequest) error {
+	_, err := run(n, func(d *cloud.Durable) (struct{}, error) {
+		return struct{}{}, d.PushUserData(req)
+	})
+	return err
+}
+
+func (n *Node) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.ReadingsResponse, error) { return d.Readings(req) })
+}
+
+func (n *Node) HandleShare(req protocol.ShareRequest) error {
+	_, err := run(n, func(d *cloud.Durable) (struct{}, error) {
+		return struct{}{}, d.HandleShare(req)
+	})
+	return err
+}
+
+func (n *Node) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.SharesResponse, error) { return d.Shares(req) })
+}
+
+func (n *Node) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.ShadowStateResponse, error) { return d.ShadowState(req) })
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnershipIsDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"node-2", "node-0", "node-1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership in a different insertion order must hash out to
+	// the identical key→node map.
+	b, err := NewRing([]string{"node-0", "node-1", "node-2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("AA:BB:CC:00:%02X:%02X", (i>>8)&0xff, i&0xff)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %s: owner %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing([]string{"node-0", "node-1", "node-2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("AA:BB:CC:%02X:%02X:%02X", (i>>16)&0xff, (i>>8)&0xff, i&0xff))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	// 64 virtual points per node keeps a 3-way split well inside a 2x
+	// band around the fair share; a grossly lopsided ring would break
+	// the cluster's scaling story.
+	for node, n := range counts {
+		if n < keys/6 || n > keys/2+keys/6 {
+			t.Fatalf("node %s owns %d of %d keys: %v", node, n, keys, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node name accepted")
+	}
+}
+
+func TestRingNodesIsACopy(t *testing.T) {
+	r, err := NewRing([]string{"b", "a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("Nodes() = %v, want sorted [a b]", nodes)
+	}
+	nodes[0] = "mutated"
+	if r.Nodes()[0] != "a" {
+		t.Fatal("Nodes() exposed internal slice")
+	}
+}

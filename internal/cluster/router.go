@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+)
+
+// Router fronts the fleet as one transport.Cloud: device-addressed
+// requests go to the ring owner of the device ID, account-addressed
+// ones to the owner of the user ID, and account creation broadcasts
+// (any node may later authenticate the user for its own devices'
+// binds). Each member sits behind a transport.Switchable, so a
+// failover — swap the promoted replica in behind the dead primary's
+// name — is invisible to the router and to every agent above it.
+type Router struct {
+	ring    *Ring
+	members map[string]*transport.Switchable
+}
+
+var _ transport.Cloud = (*Router)(nil)
+
+// NewRouter builds a router over the ring's members. members must hold
+// exactly the ring's node names.
+func NewRouter(ring *Ring, members map[string]*transport.Switchable) (*Router, error) {
+	for _, name := range ring.Nodes() {
+		if members[name] == nil {
+			return nil, fmt.Errorf("cluster: router missing member %q", name)
+		}
+	}
+	if len(members) != len(ring.Nodes()) {
+		return nil, fmt.Errorf("cluster: router has %d members for a %d-node ring", len(members), len(ring.Nodes()))
+	}
+	return &Router{ring: ring, members: members}, nil
+}
+
+// Member returns the Switchable behind a node name (the failover hook).
+func (r *Router) Member(name string) *transport.Switchable { return r.members[name] }
+
+// Ring returns the ring (ownership diagnostics).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// owner resolves the backend serving key.
+func (r *Router) owner(key string) transport.Cloud {
+	return r.members[r.ring.Owner(key)]
+}
+
+// RegisterUser broadcasts: accounts must exist everywhere because a
+// bind authenticating (UserID, password) lands on the device's owner,
+// not the account's. First error wins; a retry after partial success
+// reports user-exists from the nodes that already accepted it, so
+// harnesses create accounts before any failover window (see DESIGN §10).
+func (r *Router) RegisterUser(req protocol.RegisterUserRequest) error {
+	for _, name := range r.ring.Nodes() {
+		if err := r.members[name].RegisterUser(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Login routes to the account owner: the token it issues verifies only
+// there, so every later token-bearing call for it must route the same
+// way — which UserID-keyed routing guarantees.
+func (r *Router) Login(req protocol.LoginRequest) (protocol.LoginResponse, error) {
+	return r.owner(req.UserID).Login(req)
+}
+
+func (r *Router) RequestDeviceToken(req protocol.DeviceTokenRequest) (protocol.DeviceTokenResponse, error) {
+	return r.owner(req.DeviceID).RequestDeviceToken(req)
+}
+
+func (r *Router) RequestBindToken(req protocol.BindTokenRequest) (protocol.BindTokenResponse, error) {
+	return r.owner(req.DeviceID).RequestBindToken(req)
+}
+
+func (r *Router) HandleStatus(req protocol.StatusRequest) (protocol.StatusResponse, error) {
+	return r.owner(req.DeviceID).HandleStatus(req)
+}
+
+// HandleStatusBatch splits the batch by owner, dispatches the sub-
+// batches concurrently and stitches the per-item results back into
+// request order. A sub-batch envelope failure fails the whole batch —
+// the batch contract is all-or-nothing at the envelope level, and the
+// retry layer redelivers with the same item keys, so accepted items on
+// other nodes dedup.
+func (r *Router) HandleStatusBatch(req protocol.StatusBatchRequest) (protocol.StatusBatchResponse, error) {
+	if len(req.Items) == 0 {
+		return protocol.StatusBatchResponse{}, nil
+	}
+	type split struct {
+		sub     protocol.StatusBatchRequest
+		indices []int
+	}
+	splits := make(map[string]*split)
+	order := make([]string, 0, 1)
+	for i := range req.Items {
+		name := r.ring.Owner(req.Items[i].DeviceID)
+		sp := splits[name]
+		if sp == nil {
+			sp = &split{sub: protocol.StatusBatchRequest{SourceIP: req.SourceIP}}
+			splits[name] = sp
+			order = append(order, name)
+		}
+		sp.sub.Items = append(sp.sub.Items, req.Items[i])
+		sp.indices = append(sp.indices, i)
+	}
+	if len(splits) == 1 {
+		return r.members[order[0]].HandleStatusBatch(req)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	out := protocol.StatusBatchResponse{Results: make([]protocol.StatusBatchResult, len(req.Items))}
+	for _, name := range order {
+		sp := splits[name]
+		backend := r.members[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := backend.HandleStatusBatch(sp.sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for j, idx := range sp.indices {
+				out.Results[idx] = resp.Results[j]
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return protocol.StatusBatchResponse{}, firstErr
+	}
+	return out, nil
+}
+
+func (r *Router) HandleBind(req protocol.BindRequest) (protocol.BindResponse, error) {
+	return r.owner(req.DeviceID).HandleBind(req)
+}
+
+func (r *Router) HandleUnbind(req protocol.UnbindRequest) error {
+	return r.owner(req.DeviceID).HandleUnbind(req)
+}
+
+func (r *Router) HandleControl(req protocol.ControlRequest) (protocol.ControlResponse, error) {
+	return r.owner(req.DeviceID).HandleControl(req)
+}
+
+func (r *Router) PushUserData(req protocol.PushUserDataRequest) error {
+	return r.owner(req.DeviceID).PushUserData(req)
+}
+
+func (r *Router) Readings(req protocol.ReadingsRequest) (protocol.ReadingsResponse, error) {
+	return r.owner(req.DeviceID).Readings(req)
+}
+
+func (r *Router) HandleShare(req protocol.ShareRequest) error {
+	return r.owner(req.DeviceID).HandleShare(req)
+}
+
+func (r *Router) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
+	return r.owner(req.DeviceID).Shares(req)
+}
+
+func (r *Router) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
+	return r.owner(req.DeviceID).ShadowState(req)
+}

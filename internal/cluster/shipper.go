@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+// Shipper moves a primary's WAL to its replica: one Tailer per shard
+// log reads newly flushed frames, the records merge into global LSN
+// order, and each is handed to the replica's ShipRecord — the same
+// watermark-merge recovery performs offline, run continuously. Safe for
+// concurrent CatchUp calls (they serialize).
+type Shipper struct {
+	dst     *cloud.Durable
+	flush   func() error // pushes the primary's buffered frames to disk; nil if unbuffered
+	tailers []*wal.Tailer
+
+	mu       sync.Mutex
+	detached bool
+	shipped  uint64 // highest LSN delivered to dst
+}
+
+// NewShipper tails the primary's sharded WAL under primaryDir (the
+// durable directory, not the wal/ subdirectory) into dst, resuming at
+// dst's replication watermark. flush is called before each read pass so
+// buffered appends become visible — pass the primary's FlushWAL, or nil
+// when the policy flushes on every append.
+func NewShipper(primaryDir string, shards int, maxRecord int, dst *cloud.Durable, flush func() error) *Shipper {
+	s := &Shipper{dst: dst, flush: flush}
+	from := dst.AppliedOps()
+	s.shipped = from
+	for i := 0; i < shards; i++ {
+		dir := filepath.Join(primaryDir, "wal", wal.ShardDirName(i))
+		s.tailers = append(s.tailers, wal.NewTailer(dir, maxRecord, from))
+	}
+	return s
+}
+
+// CatchUp ships until the replica holds every record up to target (a
+// primary AppliedOps reading). Returns immediately if already there or
+// detached — a detached shipper's primary is gone, so whatever was
+// shipped is all there will ever be.
+func (s *Shipper) CatchUp(target uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached || s.shipped >= target {
+		return nil
+	}
+	// One pass normally suffices: the primary acked target before we
+	// were called, so its frames are on disk after one flush. The loop
+	// guards the one legal straggler — a record acked between our flush
+	// and read — and turns no-progress into a hard error instead of a
+	// spin: an unreachable target means the primary's log lost records
+	// the watermark claims (or the caller passed a future LSN).
+	for s.shipped < target {
+		before := s.shipped
+		if s.flush != nil {
+			if err := s.flush(); err != nil {
+				return fmt.Errorf("cluster: ship flush: %w", err)
+			}
+		}
+		n, err := s.pass()
+		if err != nil {
+			return err
+		}
+		if n == 0 && s.shipped == before {
+			return fmt.Errorf("cluster: shipping stalled at LSN %d short of target %d", s.shipped, target)
+		}
+	}
+	return nil
+}
+
+// pass polls every shard tailer once, merges the new records by LSN and
+// ships them. Returns how many records moved.
+func (s *Shipper) pass() (int, error) {
+	type rec struct {
+		shard   int
+		lsn     uint64
+		payload []byte
+	}
+	var recs []rec
+	for shard, tr := range s.tailers {
+		if _, err := tr.Poll(func(lsn uint64, payload []byte) error {
+			recs = append(recs, rec{shard: shard, lsn: lsn, payload: append([]byte(nil), payload...)})
+			return nil
+		}); err != nil {
+			return 0, fmt.Errorf("cluster: tail shard %d: %w", shard, err)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].lsn < recs[j].lsn })
+	for _, r := range recs {
+		if err := s.dst.ShipRecord(r.shard, r.lsn, r.payload); err != nil {
+			return 0, fmt.Errorf("cluster: ship record %d: %w", r.lsn, err)
+		}
+		if r.lsn > s.shipped {
+			s.shipped = r.lsn
+		}
+	}
+	return len(recs), nil
+}
+
+// Detach stops the shipper permanently — the primary's disk is gone.
+// Concurrent CatchUp calls finish first; later ones return immediately.
+func (s *Shipper) Detach() {
+	s.mu.Lock()
+	s.detached = true
+	s.mu.Unlock()
+}
+
+// Watermark reports the highest LSN shipped to the replica.
+func (s *Shipper) Watermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shipped
+}

@@ -131,13 +131,28 @@ func TestRaisedFrameCapAcceptsLargeBatch(t *testing.T) {
 
 // TestClientFrameCapBoundsResponses proves the client-side knob is real: a
 // client dialed with a tiny cap fails to read an ordinary reply with
-// bufio.ErrTooLong instead of silently truncating it.
+// bufio.ErrTooLong instead of silently truncating it — and that failure
+// poisons the client, because the jammed scanner would mis-pair every
+// later request with the leftover bytes of the oversized reply.
 func TestClientFrameCapBoundsResponses(t *testing.T) {
 	client := newTCPCloudWithOpts(t, nil, []tcpapi.Option{tcpapi.WithMaxFrame(16)})
 
 	_, err := client.Login(protocol.LoginRequest{UserID: "u", Password: "p"})
 	if !errors.Is(err, bufio.ErrTooLong) {
 		t.Errorf("reply past client cap = %v, want bufio.ErrTooLong", err)
+	}
+
+	// Reuse after the framing failure fails fast with the sticky
+	// poisoned error, still attributing the original cause. Even a
+	// request whose reply would fit the cap must not reach the wire.
+	for i := 0; i < 2; i++ {
+		_, err = client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: devID})
+		if !errors.Is(err, tcpapi.ErrClientPoisoned) {
+			t.Fatalf("reuse %d after overflow = %v, want ErrClientPoisoned", i, err)
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("reuse %d after overflow = %v, want the original bufio.ErrTooLong preserved", i, err)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package tcpapi
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,6 +12,14 @@ import (
 	"github.com/iotbind/iotbind/internal/transport"
 )
 
+// ErrClientPoisoned marks a client whose read stream is no longer
+// framed: a reply overflowed the scanner cap (bufio.ErrTooLong) or the
+// connection died mid-reply, so the next line on the wire may be the
+// middle of the oversized reply rather than a response to the next
+// request. Every call after that returns this error (wrapping the
+// original failure); the only recovery is Close and a fresh Dial.
+var ErrClientPoisoned = errors.New("tcpapi: client poisoned by earlier framing failure")
+
 // Client speaks the line protocol over one TCP connection and implements
 // transport.Cloud. Requests are serialized: the protocol is strict
 // request/response. Close the client when done.
@@ -18,6 +27,7 @@ type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
 	scanner *bufio.Scanner
+	err     error // sticky framing failure; see ErrClientPoisoned
 }
 
 var _ transport.Cloud = (*Client)(nil)
@@ -52,14 +62,25 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(op string, in, out any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		// The scanner is jammed (an earlier reply overflowed the frame
+		// cap, or the stream died mid-reply): issuing another request
+		// would mis-pair it with leftover bytes. Fail fast instead.
+		return fmt.Errorf("tcpapi: %s: %w: %w", op, ErrClientPoisoned, c.err)
+	}
 	if err := writeFrame(c.conn, wireRequest{Op: op, Payload: in}); err != nil {
 		return fmt.Errorf("tcpapi: send %s: %w", op, err)
 	}
 	if !c.scanner.Scan() {
-		if err := c.scanner.Err(); err != nil {
-			return fmt.Errorf("tcpapi: read %s: %w", op, err)
+		// A failed Scan never recovers — bufio.ErrTooLong leaves the
+		// oversized reply half-consumed, EOF/errors mean the stream is
+		// gone — so the framing is unrecoverable from here on.
+		err := c.scanner.Err()
+		if err == nil {
+			err = errors.New("connection closed")
 		}
-		return fmt.Errorf("tcpapi: read %s: connection closed", op)
+		c.err = err
+		return fmt.Errorf("tcpapi: read %s: %w", op, err)
 	}
 	var resp response
 	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestCloseSurfacesFlusherSyncError arms the group-fsync hook with an
+// injected failure, lets the background flusher trip it, and proves
+// Close reports that original error — not nil, and not the os.ErrClosed
+// artifact the old double-close shutdown path produced.
+func TestCloseSurfacesFlusherSyncError(t *testing.T) {
+	sentinel := errors.New("injected flusher fsync failure")
+	l, err := Open(t.TempDir(), Options{
+		Policy:     SyncGrouped,
+		GroupEvery: 2,
+		syncHook: func(err error) error {
+			if err != nil {
+				return err
+			}
+			return sentinel
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte{0xAB}, 32)
+	deadline := time.Now().Add(5 * time.Second)
+	poisoned := false
+	for time.Now().Before(deadline) {
+		if _, err := l.Append(payload); err != nil {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("append after flusher failure = %v, want the injected error", err)
+			}
+			poisoned = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !poisoned {
+		t.Fatal("background flusher never surfaced the injected fsync error")
+	}
+
+	cerr := l.Close()
+	if !errors.Is(cerr, sentinel) {
+		t.Fatalf("Close = %v, want the original injected fsync error", cerr)
+	}
+	if errors.Is(cerr, os.ErrClosed) {
+		t.Fatalf("Close = %v: the real error was masked by a double close", cerr)
+	}
+}
+
+// TestCloseAfterFailedRotationDoesNotDoubleClose injects a close error
+// at segment rotation: the append fails with the injected error, the
+// log is sticky-failed, and Close must report that same error exactly
+// once instead of re-closing the spent handle (which would overwrite it
+// with os.ErrClosed).
+func TestCloseAfterFailedRotationDoesNotDoubleClose(t *testing.T) {
+	sentinel := errors.New("injected rotation close failure")
+	closes := 0
+	l, err := Open(t.TempDir(), Options{
+		Policy:      SyncOff,
+		SegmentSize: 256,
+		closeHook: func(err error) error {
+			closes++
+			if err != nil {
+				return err
+			}
+			return sentinel
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte{0xCD}, 64)
+	var rotateErr error
+	for i := 0; i < 100; i++ {
+		if _, rotateErr = l.Append(payload); rotateErr != nil {
+			break
+		}
+	}
+	if rotateErr == nil {
+		t.Fatal("no rotation happened within 100 appends at a 256-byte segment size")
+	}
+	if !errors.Is(rotateErr, sentinel) {
+		t.Fatalf("rotating append = %v, want the injected close error", rotateErr)
+	}
+	if closes != 1 {
+		t.Fatalf("segment closed %d times during rotation, want 1", closes)
+	}
+
+	// The failure is sticky with the real error, not a closed-file artifact.
+	if _, err := l.Append(payload); !errors.Is(err, sentinel) {
+		t.Fatalf("append after failed rotation = %v, want the sticky injected error", err)
+	}
+
+	cerr := l.Close()
+	if !errors.Is(cerr, sentinel) {
+		t.Fatalf("Close = %v, want the original rotation close error", cerr)
+	}
+	if errors.Is(cerr, os.ErrClosed) {
+		t.Fatalf("Close = %v: the handle was closed a second time", cerr)
+	}
+	if closes != 1 {
+		t.Fatalf("segment close attempted %d times in total, want exactly 1", closes)
+	}
+}
+
+// TestCloseReportsCloseErrorOnce injects a close failure at shutdown
+// itself: Close reports it, closes the handle exactly once, and a second
+// Close is a no-op.
+func TestCloseReportsCloseErrorOnce(t *testing.T) {
+	sentinel := errors.New("injected shutdown close failure")
+	closes := 0
+	l, err := Open(t.TempDir(), Options{
+		Policy: SyncOff,
+		closeHook: func(err error) error {
+			closes++
+			if err != nil {
+				return err
+			}
+			return sentinel
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("one record")); err != nil {
+		t.Fatal(err)
+	}
+
+	if cerr := l.Close(); !errors.Is(cerr, sentinel) {
+		t.Fatalf("Close = %v, want the injected close error", cerr)
+	}
+	if closes != 1 {
+		t.Fatalf("segment closed %d times, want 1", closes)
+	}
+	if cerr := l.Close(); cerr != nil {
+		t.Fatalf("second Close = %v, want nil", cerr)
+	}
+	if closes != 1 {
+		t.Fatalf("second Close re-closed the handle (%d closes)", closes)
+	}
+
+	// The records written before shutdown still scan cleanly: the close
+	// error was a reporting matter, not data loss.
+	report, err := Scan(l.Dir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Records != 1 {
+		t.Fatalf("scanned %d records after failed close, want 1", report.Records)
+	}
+}

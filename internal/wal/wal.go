@@ -98,6 +98,10 @@ type Options struct {
 	// fsync (test-only: error injection for leader/follower
 	// propagation tests).
 	syncHook func(err error) error
+	// closeHook, when non-nil, intercepts the result of every segment
+	// file close on the write path — rotation and shutdown (test-only:
+	// close-error injection for the exactly-once close contract).
+	closeHook func(err error) error
 }
 
 func (o Options) withDefaults() Options {
@@ -560,6 +564,25 @@ func (l *Log) Sync() error {
 	return l.groupSyncLocked()
 }
 
+// Flush pushes buffered appends into the segment file without forcing
+// them to stable storage. Readers that tail the on-disk segments (a
+// replication shipper's Tailer) see everything appended so far after a
+// Flush; durability still follows the sync policy.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if l.w == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
 func (l *Log) syncLocked() error {
 	for l.syncing {
 		l.syncCond.Wait()
@@ -594,8 +617,16 @@ func (l *Log) rotateLocked(first uint64) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
-		return l.fail(err)
+	cerr := l.f.Close()
+	if l.opts.closeHook != nil {
+		cerr = l.opts.closeHook(cerr)
+	}
+	// The handle is spent either way: drop the references so no later
+	// path (Close, a retried append) closes it a second time — a second
+	// close would mask the real error with os.ErrClosed.
+	l.f, l.w = nil, nil
+	if cerr != nil {
+		return l.fail(cerr)
 	}
 	return l.openSegmentLocked(first)
 }
@@ -691,7 +722,12 @@ func (l *Log) TruncateBefore(keep uint64) (int, error) {
 }
 
 // Close flushes, fsyncs and closes the log. A crashed log closes
-// without touching the file again.
+// without touching the file again. A log that already failed sticky —
+// a background-flusher fsync error, a rotation whose close failed —
+// surfaces that original error instead of a follow-on artifact of
+// shutting down the dead handle (previously the shutdown error paths
+// could close the segment file twice, masking the first error with
+// os.ErrClosed).
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -705,17 +741,35 @@ func (l *Log) Close() error {
 	stop := l.flusherStop
 	var err error
 	switch {
-	case l.crashed, l.f == nil:
-		// nothing to flush
+	case l.crashed:
+		// crashLocked already closed the file.
+	case l.f == nil:
+		// Nothing open (a sparse log before its first append, or a
+		// failed rotation already spent the handle): report the sticky
+		// error, if any, rather than swallowing it.
+		err = l.err
 	default:
-		if ferr := l.w.Flush(); ferr != nil {
-			l.f.Close()
+		// Flush and sync best-effort, then close the handle exactly
+		// once, whatever failed before it.
+		ferr := l.w.Flush()
+		var serr error
+		if ferr == nil {
+			serr = l.f.Sync()
+		}
+		cerr := l.f.Close()
+		if l.opts.closeHook != nil {
+			cerr = l.opts.closeHook(cerr)
+		}
+		l.f, l.w = nil, nil
+		switch {
+		case ferr != nil:
 			err = l.fail(ferr)
-		} else if serr := l.f.Sync(); serr != nil {
-			l.f.Close()
+		case serr != nil:
 			err = l.fail(serr)
-		} else {
-			err = l.f.Close()
+		case cerr != nil:
+			err = l.fail(cerr)
+		default:
+			err = l.err
 		}
 	}
 	l.mu.Unlock()
