@@ -20,9 +20,19 @@ var ErrNotPrimary = errors.New("cloud: node is a replica (not primary)")
 // restart of their own), then replay it through the same persisted
 // clock/DRBG envelope recovery uses — the replica's state is the
 // primary's state because both are pure functions of the record stream.
-// Records must arrive in global LSN order, shard-tagged exactly as the
-// primary wrote them; a record at or below the replication watermark is
-// a redelivery and is skipped. Only legal on a follower.
+//
+// Each shard's records must arrive in increasing LSN order, shard-
+// tagged exactly as the primary wrote them; a record at or below its
+// own shard's watermark is a redelivery and is skipped. The redelivery
+// check is deliberately per shard, never a global watermark: the
+// primary's shard logs flush independently, so a higher LSN on one
+// shard may legally arrive before a lower LSN still in flight on
+// another, and a global watermark would discard that straggler as a
+// duplicate — silently and permanently. Cross-shard arrival order is
+// therefore only best-effort, which is sound because the only records
+// that can overtake each other are the hot lane's, and those commute
+// (a cold-lane record appends only after every lower LSN completed).
+// Only legal on a follower.
 func (d *Durable) ShipRecord(shard int, lsn uint64, payload []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -35,9 +45,6 @@ func (d *Durable) ShipRecord(shard int, lsn uint64, payload []byte) error {
 	if shard < 0 || shard >= len(d.shards) {
 		return fmt.Errorf("cloud: ShipRecord: shard %d outside the %d-shard layout", shard, len(d.shards))
 	}
-	if lsn <= d.lastAcked.Load() {
-		return nil
-	}
 	ws := d.shards[shard]
 	ws.mu.Lock()
 	if ws.log == nil {
@@ -48,19 +55,27 @@ func (d *Durable) ShipRecord(shard int, lsn uint64, payload []byte) error {
 		}
 		ws.log = log
 	}
+	if lsn <= ws.log.LastLSN() {
+		ws.mu.Unlock()
+		return nil
+	}
 	err := ws.log.AppendLSN(lsn, payload)
 	ws.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("cloud: ship record %d: %w", lsn, err)
 	}
-	// Log-before-apply, exactly like the primary: the watermark counts
-	// records the replica holds durably, whether or not the apply below
+	// Log-before-apply, exactly like the primary: the watermarks advance
+	// once the record is held durably, whether or not the apply below
 	// reports a decode fault (a fault there is terminal for shipping
-	// anyway — the streams have diverged).
+	// anyway — the streams have diverged). Both are maxes — the floor a
+	// promotion allocates LSNs above — not coverage: per-shard coverage
+	// lives in the shard logs themselves (ShardWatermarks).
 	if cur := d.nextLSN.Load(); lsn > cur {
 		d.nextLSN.Store(lsn)
 	}
-	d.lastAcked.Store(lsn)
+	if cur := d.lastAcked.Load(); lsn > cur {
+		d.lastAcked.Store(lsn)
+	}
 	return d.applyRecord(lsn, payload)
 }
 

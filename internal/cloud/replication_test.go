@@ -3,6 +3,7 @@ package cloud
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -220,6 +221,97 @@ func TestFollowerRejectsMutationsUntilPromoted(t *testing.T) {
 	}
 	if got := replica.AppliedOps(); got != before+1 {
 		t.Fatalf("promoted replica watermark = %d, want %d (LSNs continue past the shipped stream)", got, before+1)
+	}
+}
+
+// TestShipRecordAcceptsCrossShardStraggler pins the fix for the
+// cross-shard LSN race: shard logs flush independently, so a higher
+// LSN on one shard can ship before a lower LSN still in flight on
+// another. The replica must accept that straggler when it finally
+// arrives — a global `lsn <= lastAcked` redelivery check would discard
+// it silently and permanently, leaving an acked operation missing from
+// the promoted state while Kill reports zero loss.
+func TestShipRecordAcceptsCrossShardStraggler(t *testing.T) {
+	primaryDir, replicaDir := t.TempDir(), t.TempDir()
+	clock := newTestClock()
+	reg := NewRegistry()
+	if err := reg.Add(DeviceRecord{ID: testDevice, FactorySecret: testSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	primary, err := OpenDurable(primaryDir, devIDDesign(), reg, DurableOptions{
+		Clock: clock.Now, WALShards: 4, WAL: wal.Options{Policy: wal.SyncOff},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	// A second device on a different WAL shard than testDevice's.
+	shardA := primary.WALShardOf(testDevice)
+	devB := ""
+	for i := 0; devB == ""; i++ {
+		cand := fmt.Sprintf("AA:BB:CC:00:01:%02X", i)
+		if primary.WALShardOf(cand) != shardA {
+			devB = cand
+		}
+	}
+	if err := reg.Add(DeviceRecord{ID: devB, FactorySecret: "factory-secret-b", Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	replica := openReplica(t, primaryDir, replicaDir, reg, clock)
+
+	for _, req := range []protocol.StatusRequest{
+		{Kind: protocol.StatusRegister, DeviceID: testDevice, Firmware: "1.0", Model: "plug"},
+		{Kind: protocol.StatusRegister, DeviceID: devB, Firmware: "1.0", Model: "plug"},
+		{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "hb-straggler"},
+		{Kind: protocol.StatusHeartbeat, DeviceID: devB, IdempotencyKey: "hb-ahead"},
+	} {
+		if _, err := primary.HandleStatus(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	tailers := make([]*wal.Tailer, primary.WALShards())
+	for i := range tailers {
+		tailers[i] = wal.NewTailer(filepath.Join(primaryDir, "wal", wal.ShardDirName(i)), 0, 0)
+	}
+	recs := tailPrimary(t, tailers)
+	if len(recs) != 4 {
+		t.Fatalf("workload produced %d records, want 4", len(recs))
+	}
+	straggler := recs[2] // testDevice's heartbeat: shard A, below devB's heartbeat LSN
+	if straggler.shard != shardA || recs[3].shard == shardA {
+		t.Fatalf("workload did not interleave shards as expected: %+v", recs)
+	}
+
+	// Deliver everything except the straggler — in particular the
+	// higher LSN on the sibling shard — as an out-of-order flush would.
+	for _, rec := range []shippedRecord{recs[0], recs[1], recs[3]} {
+		if err := replica.ShipRecord(rec.shard, rec.lsn, rec.payload); err != nil {
+			t.Fatalf("ship %d: %v", rec.lsn, err)
+		}
+	}
+	if got := replica.AppliedOps(); got != recs[3].lsn {
+		t.Fatalf("replica watermark = %d, want %d", got, recs[3].lsn)
+	}
+
+	// The late straggler sits below the replica's max watermark but
+	// above its own shard's: it must be applied, not skipped.
+	if err := replica.ShipRecord(straggler.shard, straggler.lsn, straggler.payload); err != nil {
+		t.Fatalf("ship straggler %d: %v", straggler.lsn, err)
+	}
+	if got := replica.ShardWatermarks()[shardA]; got != straggler.lsn {
+		t.Fatalf("shard %d watermark = %d, want %d (straggler dropped)", shardA, got, straggler.lsn)
+	}
+	if got := replica.AppliedOps(); got != recs[3].lsn {
+		t.Fatalf("max watermark moved backward to %d on the straggler", got)
+	}
+	want := encodeState(t, primary)
+	if got := encodeState(t, replica); !bytes.Equal(want, got) {
+		t.Errorf("replica state differs from primary after the straggler:\nprimary:\n%s\nreplica:\n%s", want, got)
 	}
 }
 

@@ -51,11 +51,13 @@ type NodeConfig struct {
 // a backend; after Kill every call returns ErrNodeDown until the
 // harness promotes the replica and swaps it in.
 type Node struct {
-	name    string
-	primary *cloud.Durable
-	replica *cloud.Durable
-	ship    *Shipper
-	ackRep  bool
+	name       string
+	primaryDir string
+	maxRecord  int // WAL record cap, for the kill-time stranded scan
+	primary    *cloud.Durable
+	replica    *cloud.Durable
+	ship       *Shipper
+	ackRep     bool
 
 	// opMu is a genuine reader-writer drain: requests hold the read
 	// side for their full duration, Kill takes the write side, so a
@@ -107,11 +109,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		flush = nil // commit already flushed every acked frame
 	}
 	return &Node{
-		name:    cfg.Name,
-		primary: primary,
-		replica: replica,
-		ship:    NewShipper(primaryDir, primary.WALShards(), cfg.WAL.MaxRecord, replica, flush),
-		ackRep:  cfg.AckAfterReplicate,
+		name:       cfg.Name,
+		primaryDir: primaryDir,
+		maxRecord:  cfg.WAL.MaxRecord,
+		primary:    primary,
+		replica:    replica,
+		ship:       NewShipper(primaryDir, cfg.WAL.MaxRecord, replica, flush),
+		ackRep:     cfg.AckAfterReplicate,
 	}, nil
 }
 
@@ -125,25 +129,32 @@ func (n *Node) Primary() *cloud.Durable { return n.primary }
 func (n *Node) Replica() *cloud.Durable { return n.replica }
 
 // ReplicationLag reports how many acked operations the replica is
-// missing.
+// missing. Approximate in both directions: both sides are max
+// watermarks, and the shipper reads segment files directly, so it can
+// deliver a record whose lastAcked CAS on the primary has not landed
+// yet — hence the clamp instead of a raw unsigned subtraction.
 func (n *Node) ReplicationLag() uint64 {
 	n.opMu.RLock()
 	defer n.opMu.RUnlock()
 	if n.killed {
 		return 0
 	}
-	return n.primary.AppliedOps() - n.ship.Watermark()
+	applied, shipped := n.primary.AppliedOps(), n.ship.Watermark()
+	if shipped >= applied {
+		return 0
+	}
+	return applied - shipped
 }
 
-// CatchUp ships the replica up to the primary's current watermark —
-// the async-mode hook for periodic shipping.
+// CatchUp ships the replica up to the primary's current per-shard
+// watermark vector — the async-mode hook for periodic shipping.
 func (n *Node) CatchUp() error {
 	n.opMu.RLock()
 	defer n.opMu.RUnlock()
 	if n.killed {
 		return ErrNodeDown
 	}
-	return n.ship.CatchUp(n.primary.AppliedOps())
+	return n.ship.CatchUp(n.primary.ShardWatermarks())
 }
 
 // Kill models losing the primary process and its disk: in-flight
@@ -159,13 +170,27 @@ func (n *Node) Kill() (lost uint64, err error) {
 		return 0, fmt.Errorf("cluster: node %s already killed", n.name)
 	}
 	n.killed = true
-	applied := n.primary.AppliedOps()
-	shipped := n.ship.Watermark()
-	if applied > shipped {
-		lost = applied - shipped
-	}
+	marks := n.ship.ShardMarks()
 	n.ship.Detach()
+	// Count the stranded records exactly: flush the still-live process's
+	// buffers (a bookkeeping read taken before we model the disk loss),
+	// then scan each shard log above its shipped mark. Subtracting max
+	// watermarks would miss holes — a shard whose high LSN shipped while
+	// a lower sibling's record did not reads as fully covered.
+	_ = n.primary.FlushWAL()
+	var scanErr error
+	for shard, mark := range marks {
+		dir := filepath.Join(n.primaryDir, "wal", wal.ShardDirName(shard))
+		cnt, err := wal.NewTailer(dir, n.maxRecord, mark).Poll(nil)
+		lost += uint64(cnt)
+		if err != nil && scanErr == nil {
+			scanErr = err
+		}
+	}
 	_ = n.primary.Close()
+	if scanErr != nil {
+		return lost, fmt.Errorf("cluster: kill node %s: count stranded records: %w", n.name, scanErr)
+	}
 	return lost, nil
 }
 
@@ -217,7 +242,7 @@ func run[T any](n *Node, call func(*cloud.Durable) (T, error)) (T, error) {
 		return zero, err
 	}
 	if n.ackRep {
-		if serr := n.ship.CatchUp(n.primary.AppliedOps()); serr != nil {
+		if serr := n.ship.CatchUp(n.primary.ShardWatermarks()); serr != nil {
 			// The operation applied on the primary but its record never
 			// reached the replica: under ack-after-replicate that is a
 			// failed request (the caller retries; keyed operations

@@ -11,54 +11,97 @@ import (
 )
 
 // Shipper moves a primary's WAL to its replica: one Tailer per shard
-// log reads newly flushed frames, the records merge into global LSN
-// order, and each is handed to the replica's ShipRecord — the same
-// watermark-merge recovery performs offline, run continuously. Safe for
-// concurrent CatchUp calls (they serialize).
+// log reads newly flushed frames, the records merge into LSN order,
+// and each is handed to the replica's ShipRecord — the same
+// watermark-merge recovery performs offline, run continuously.
+//
+// Coverage is tracked per shard, never as one global high-water LSN.
+// Shard logs flush independently, so a record can become readable
+// before a lower-LSN record still in flight on a sibling shard; a
+// global max watermark would then claim the lower record was shipped
+// when it never was. Because each shard's records are tailed, shipped
+// and appended in increasing LSN order, the per-shard marks make the
+// coverage question exact: shard i is caught up to target[i] iff
+// marks[i] >= target[i].
+//
+// Safe for concurrent CatchUp calls (they serialize).
 type Shipper struct {
-	dst     *cloud.Durable
 	flush   func() error // pushes the primary's buffered frames to disk; nil if unbuffered
 	tailers []*wal.Tailer
+	ship    func(shard int, lsn uint64, payload []byte) error // dst.ShipRecord (swapped by failure-injection tests)
 
 	mu       sync.Mutex
 	detached bool
-	shipped  uint64 // highest LSN delivered to dst
+	marks    []uint64  // per-shard highest LSN delivered to dst
+	shipped  uint64    // highest LSN delivered to dst across all shards
+	pending  []shipRec // read off the tailers but not yet accepted by dst
+}
+
+// shipRec is one record in transit: polled from a primary shard log,
+// not yet accepted by the replica.
+type shipRec struct {
+	shard   int
+	lsn     uint64
+	payload []byte
 }
 
 // NewShipper tails the primary's sharded WAL under primaryDir (the
-// durable directory, not the wal/ subdirectory) into dst, resuming at
-// dst's replication watermark. flush is called before each read pass so
-// buffered appends become visible — pass the primary's FlushWAL, or nil
-// when the policy flushes on every append.
-func NewShipper(primaryDir string, shards int, maxRecord int, dst *cloud.Durable, flush func() error) *Shipper {
-	s := &Shipper{dst: dst, flush: flush}
-	from := dst.AppliedOps()
-	s.shipped = from
-	for i := 0; i < shards; i++ {
+// durable directory, not the wal/ subdirectory) into dst, resuming
+// each shard at dst's own watermark for that shard — the replica's
+// logs record exactly what it holds per shard, so a restarted replica
+// that took a higher LSN on one shard before a lower one on another
+// still re-requests the missing straggler. flush is called before each
+// read pass so buffered appends become visible — pass the primary's
+// FlushWAL, or nil when the policy flushes on every append.
+func NewShipper(primaryDir string, maxRecord int, dst *cloud.Durable, flush func() error) *Shipper {
+	marks := dst.ShardWatermarks()
+	s := &Shipper{flush: flush, ship: dst.ShipRecord, marks: marks}
+	for i, from := range marks {
 		dir := filepath.Join(primaryDir, "wal", wal.ShardDirName(i))
 		s.tailers = append(s.tailers, wal.NewTailer(dir, maxRecord, from))
+		if from > s.shipped {
+			s.shipped = from
+		}
 	}
 	return s
 }
 
-// CatchUp ships until the replica holds every record up to target (a
-// primary AppliedOps reading). Returns immediately if already there or
-// detached — a detached shipper's primary is gone, so whatever was
-// shipped is all there will ever be.
-func (s *Shipper) CatchUp(target uint64) error {
+// CatchUp ships until the replica holds, on every shard, each record
+// at or below that shard's target watermark (a primary ShardWatermarks
+// reading taken after the operations of interest appended). Waiting on
+// the whole vector — not a global max — is what makes ack-after-
+// replicate exact: a request's ack waits for its own record even when
+// a higher LSN on another shard shipped first.
+func (s *Shipper) CatchUp(target []uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.detached || s.shipped >= target {
-		return nil
+	if len(target) != len(s.marks) {
+		return fmt.Errorf("cluster: catch-up target names %d shards, shipping %d", len(target), len(s.marks))
 	}
-	// One pass normally suffices: the primary acked target before we
-	// were called, so its frames are on disk after one flush. The loop
-	// guards the one legal straggler — a record acked between our flush
-	// and read — and turns no-progress into a hard error instead of a
-	// spin: an unreachable target means the primary's log lost records
-	// the watermark claims (or the caller passed a future LSN).
-	for s.shipped < target {
-		before := s.shipped
+	for {
+		behind := -1
+		for i, want := range target {
+			if s.marks[i] < want {
+				behind = i
+				break
+			}
+		}
+		if behind < 0 {
+			return nil
+		}
+		if s.detached {
+			// The primary's disk is gone: whatever was shipped is all
+			// there will ever be, and it does not cover the target.
+			return fmt.Errorf("cluster: shipper detached with shard %d at LSN %d short of target %d",
+				behind, s.marks[behind], target[behind])
+		}
+		// One pass normally suffices: the target was read after the
+		// records of interest appended, so one flush makes them
+		// readable. The loop guards the one legal straggler — a record
+		// flushed between our flush and read — and turns no-progress
+		// into a hard error instead of a spin: an unreachable target
+		// means the primary's log lost records its watermark claims (or
+		// the caller passed a future vector).
 		if s.flush != nil {
 			if err := s.flush(); err != nil {
 				return fmt.Errorf("cluster: ship flush: %w", err)
@@ -68,53 +111,76 @@ func (s *Shipper) CatchUp(target uint64) error {
 		if err != nil {
 			return err
 		}
-		if n == 0 && s.shipped == before {
-			return fmt.Errorf("cluster: shipping stalled at LSN %d short of target %d", s.shipped, target)
+		if n == 0 {
+			return fmt.Errorf("cluster: shipping stalled with shard %d at LSN %d short of target %d",
+				behind, s.marks[behind], target[behind])
 		}
 	}
-	return nil
 }
 
-// pass polls every shard tailer once, merges the new records by LSN and
-// ships them. Returns how many records moved.
+// pass polls every shard tailer for newly visible records, then ships
+// the pending buffer in LSN order. Tailer→pending and pending→replica
+// are deliberately separate steps: a tailer never re-reads what it
+// already delivered, so a record may not be forgotten until the
+// replica accepted it — shipping straight out of the Poll callback
+// would strand every record collected before a transient failure
+// (polled past, never shipped) and stall the replica forever. On error
+// the unshipped remainder stays pending for the next pass. Returns how
+// many records were delivered to the replica.
 func (s *Shipper) pass() (int, error) {
-	type rec struct {
-		shard   int
-		lsn     uint64
-		payload []byte
-	}
-	var recs []rec
 	for shard, tr := range s.tailers {
 		if _, err := tr.Poll(func(lsn uint64, payload []byte) error {
-			recs = append(recs, rec{shard: shard, lsn: lsn, payload: append([]byte(nil), payload...)})
+			s.pending = append(s.pending, shipRec{shard: shard, lsn: lsn, payload: append([]byte(nil), payload...)})
 			return nil
 		}); err != nil {
+			// Keep what this pass already collected: the tailers are
+			// past it, so the pending buffer holds the only copy the
+			// shipper will ever see.
 			return 0, fmt.Errorf("cluster: tail shard %d: %w", shard, err)
 		}
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].lsn < recs[j].lsn })
-	for _, r := range recs {
-		if err := s.dst.ShipRecord(r.shard, r.lsn, r.payload); err != nil {
-			return 0, fmt.Errorf("cluster: ship record %d: %w", r.lsn, err)
+	sort.Slice(s.pending, func(i, j int) bool { return s.pending[i].lsn < s.pending[j].lsn })
+	delivered := 0
+	for len(s.pending) > 0 {
+		r := s.pending[0]
+		if err := s.ship(r.shard, r.lsn, r.payload); err != nil {
+			return delivered, fmt.Errorf("cluster: ship record %d: %w", r.lsn, err)
+		}
+		s.pending = s.pending[1:]
+		if r.lsn > s.marks[r.shard] {
+			s.marks[r.shard] = r.lsn
 		}
 		if r.lsn > s.shipped {
 			s.shipped = r.lsn
 		}
+		delivered++
 	}
-	return len(recs), nil
+	s.pending = nil
+	return delivered, nil
 }
 
 // Detach stops the shipper permanently — the primary's disk is gone.
-// Concurrent CatchUp calls finish first; later ones return immediately.
+// Concurrent CatchUp calls finish first; later ones succeed only if
+// their target was already covered.
 func (s *Shipper) Detach() {
 	s.mu.Lock()
 	s.detached = true
 	s.mu.Unlock()
 }
 
-// Watermark reports the highest LSN shipped to the replica.
+// Watermark reports the highest LSN shipped to the replica. A max
+// across shards, so it may briefly run ahead of lower-LSN records
+// still in flight on other shards — coverage questions go through
+// ShardMarks.
 func (s *Shipper) Watermark() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.shipped
+}
+
+// ShardMarks returns a copy of the per-shard shipped watermark vector.
+func (s *Shipper) ShardMarks() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.marks...)
 }

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestShipperRetriesPendingAfterTransientFailure pins the pending
+// buffer: a tailer never re-reads what it already delivered, so when a
+// ship fails mid-pass the collected-but-unshipped records must survive
+// in the shipper and go out on the next pass. Without the buffer the
+// tailers are past them, every later CatchUp reports "shipping
+// stalled", and the replica can never catch up even though the failure
+// was transient.
+func TestShipperRetriesPendingAfterTransientFailure(t *testing.T) {
+	n := newLabNode(t, "n0", false, labDev)
+	driveNode(t, n)
+
+	errInjected := errors.New("injected transient ship failure")
+	real := n.ship.ship
+	calls := 0
+	n.ship.mu.Lock()
+	n.ship.ship = func(shard int, lsn uint64, payload []byte) error {
+		calls++
+		if calls == 1 {
+			return errInjected
+		}
+		return real(shard, lsn, payload)
+	}
+	n.ship.mu.Unlock()
+
+	// First pass polls the whole backlog, then fails on the very first
+	// delivery: everything is now invisible to the tailers.
+	if err := n.CatchUp(); !errors.Is(err, errInjected) {
+		t.Fatalf("CatchUp = %v, want the injected failure", err)
+	}
+	if lag := n.ReplicationLag(); lag == 0 {
+		t.Fatal("zero lag reported after a failed pass")
+	}
+
+	// The retry drains the pending buffer and fully catches up.
+	if err := n.CatchUp(); err != nil {
+		t.Fatalf("CatchUp retry = %v, want success", err)
+	}
+	if lag := n.ReplicationLag(); lag != 0 {
+		t.Fatalf("lag = %d after successful retry", lag)
+	}
+	want := n.primary.ShardWatermarks()
+	got := n.replica.ShardWatermarks()
+	for i := range want {
+		if got[i] < want[i] {
+			t.Fatalf("replica shard %d at %d, primary at %d", i, got[i], want[i])
+		}
+	}
+	lost, err := n.Kill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("kill after full catch-up reported %d lost acks", lost)
+	}
+}
+
+// TestShipperDetachedShortOfTargetErrors: once the primary's disk is
+// gone, a target the shipped marks don't cover can never be reached —
+// that must surface as an error, not a silent success that lets an
+// unreplicated operation ack.
+func TestShipperDetachedShortOfTargetErrors(t *testing.T) {
+	n := newLabNode(t, "n0", false, labDev)
+	driveNode(t, n)
+	n.ship.Detach()
+	if err := n.ship.CatchUp(n.primary.ShardWatermarks()); err == nil {
+		t.Fatal("detached shipper reported a target it never covered as reached")
+	}
+	// A covered target is still fine after detach.
+	if err := n.ship.CatchUp(n.ship.ShardMarks()); err != nil {
+		t.Fatalf("detached shipper failed an already-covered target: %v", err)
+	}
+}
+
+// TestShipperRejectsMismatchedTargetVector: a target naming the wrong
+// number of shards is a layout bug, not a catch-up request.
+func TestShipperRejectsMismatchedTargetVector(t *testing.T) {
+	n := newLabNode(t, "n0", false, labDev)
+	if err := n.ship.CatchUp(make([]uint64, 1)); err == nil {
+		t.Fatal("mismatched target vector accepted")
+	}
+}
+
+// TestReplicationLagClampsShippedAhead: the shipper reads segment
+// files directly, so it can deliver a record whose lastAcked CAS on
+// the primary has not landed yet. The lag report must clamp to zero
+// instead of underflowing to ~2^64.
+func TestReplicationLagClampsShippedAhead(t *testing.T) {
+	n := newLabNode(t, "n0", false, labDev)
+	driveNode(t, n)
+	n.ship.mu.Lock()
+	n.ship.shipped = n.primary.AppliedOps() + 3
+	n.ship.mu.Unlock()
+	if lag := n.ReplicationLag(); lag != 0 {
+		t.Fatalf("lag = %d, want 0 while the shipper runs ahead of the ack watermark", lag)
+	}
+}

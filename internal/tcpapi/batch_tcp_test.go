@@ -156,6 +156,41 @@ func TestClientFrameCapBoundsResponses(t *testing.T) {
 	}
 }
 
+// TestClientWriteFailurePoisons pins the write side of the poisoning
+// contract: a failed request write may have left a partial line on the
+// wire, so every later call must fail fast with the sticky poisoned
+// error instead of concatenating a fresh request onto the fragment and
+// feeding the server a garbled merge.
+func TestClientWriteFailurePoisons(t *testing.T) {
+	client, _ := newTCPCloud(t)
+	if _, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first failure reports the raw write error.
+	_, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: devID})
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write on closed conn = %v, want net.ErrClosed", err)
+	}
+	if errors.Is(err, tcpapi.ErrClientPoisoned) {
+		t.Fatalf("first failure already wrapped as poisoned: %v", err)
+	}
+
+	// Every call after it is sticky-poisoned, original cause attached.
+	for i := 0; i < 2; i++ {
+		_, err := client.HandleStatus(protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: devID})
+		if !errors.Is(err, tcpapi.ErrClientPoisoned) {
+			t.Fatalf("reuse %d after write failure = %v, want ErrClientPoisoned", i, err)
+		}
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("reuse %d after write failure = %v, want the original cause preserved", i, err)
+		}
+	}
+}
+
 // TestWithMaxFrameIgnoresNonPositive proves a zero/negative cap keeps the
 // default rather than disabling reads outright.
 func TestWithMaxFrameIgnoresNonPositive(t *testing.T) {

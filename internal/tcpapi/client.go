@@ -8,16 +8,19 @@ import (
 	"net"
 	"sync"
 
+	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/transport"
 )
 
-// ErrClientPoisoned marks a client whose read stream is no longer
-// framed: a reply overflowed the scanner cap (bufio.ErrTooLong) or the
-// connection died mid-reply, so the next line on the wire may be the
-// middle of the oversized reply rather than a response to the next
-// request. Every call after that returns this error (wrapping the
-// original failure); the only recovery is Close and a fresh Dial.
+// ErrClientPoisoned marks a client whose stream is no longer framed in
+// either direction: a reply overflowed the scanner cap
+// (bufio.ErrTooLong), the connection died mid-reply, or a request
+// write failed partway — leaving either leftover reply bytes to
+// mis-pair with the next request, or a partial request line for the
+// next one to concatenate onto. Every call after that returns this
+// error (wrapping the original failure); the only recovery is Close
+// and a fresh Dial.
 var ErrClientPoisoned = errors.New("tcpapi: client poisoned by earlier framing failure")
 
 // Client speaks the line protocol over one TCP connection and implements
@@ -56,6 +59,25 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// writeRequest marshals one request envelope and writes it as a single
+// frame. An encode failure leaves nothing on the wire, so the client
+// stays usable; a Write failure may have left a partial line behind,
+// after which the next request's bytes would concatenate onto it and
+// the server would parse a garbled merge — so Write failures poison
+// the client just like read-side framing failures do.
+func (c *Client) writeRequest(op string, in any) error {
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.Encode(wireRequest{Op: op, Payload: in}); err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(buf.Bytes()); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
 // roundTrip sends one frame and decodes the reply into out. The request
 // envelope is marshaled exactly once, payload inline, through a pooled
 // buffer — not payload-first into a RawMessage and envelope second.
@@ -68,7 +90,7 @@ func (c *Client) roundTrip(op string, in, out any) error {
 		// would mis-pair it with leftover bytes. Fail fast instead.
 		return fmt.Errorf("tcpapi: %s: %w: %w", op, ErrClientPoisoned, c.err)
 	}
-	if err := writeFrame(c.conn, wireRequest{Op: op, Payload: in}); err != nil {
+	if err := c.writeRequest(op, in); err != nil {
 		return fmt.Errorf("tcpapi: send %s: %w", op, err)
 	}
 	if !c.scanner.Scan() {
