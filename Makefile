@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke ci
+.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke ci
 
 all: ci
 
@@ -58,6 +58,9 @@ bench-json:
 	  | $(GO) run ./cmd/benchjson -o BENCH_6.json
 	{ $(GO) test -bench='^BenchmarkClusterStatus$$' -benchtime=20000x -benchmem -run='^$$' ./internal/cluster/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_7.json
+	{ $(GO) test -bench='^BenchmarkBinStatus$$' -benchtime=10000x -benchmem -run='^$$' . ; \
+	  $(GO) test -bench='^BenchmarkConnLoad$$' -benchtime=1x -benchmem -run='^$$' -timeout=20m . ; } \
+	  | $(GO) run ./cmd/benchjson -merge -o BENCH_8.json
 
 # bench-json-smoke proves the bench->JSON pipeline still parses (one
 # iteration per benchmark, output discarded) without the full sweep's
@@ -65,12 +68,13 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o /dev/null
 
-# fuzz-smoke runs the WAL frame-decode and shard-merge fuzzers briefly:
-# long enough to shake out parser and merge crashes on arbitrary bytes,
-# short enough for CI.
+# fuzz-smoke runs the WAL frame-decode, shard-merge and binapi wire
+# fuzzers briefly: long enough to shake out parser and merge crashes on
+# arbitrary bytes, short enough for CI.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=5s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzMergeShards -fuzztime=5s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzWireFrameDecode -fuzztime=5s ./internal/binapi/
 
 # wal-verify regenerates the crash-test corpus — clean, torn-tail and
 # corrupt single-directory logs plus sharded layouts (clean merge, torn
@@ -88,9 +92,17 @@ wal-verify:
 cluster-smoke:
 	$(GO) test -race -run='^TestClusterSmoke$$' -v ./internal/cluster/
 
+# conn-smoke runs the connection-scale harness at CI size: thousands of
+# multiplexed pipe connections plus a socket run through the striped
+# event loop, verifying message counts, latency metrics and the
+# goroutine bound (no per-connection server goroutines in pipe mode).
+conn-smoke:
+	$(GO) test -run='^TestConnLoad' -v ./internal/testbed/
+
 # ci is the tier-1+ verification gate: formatting, vet, build, the full
 # suite under the race detector (including the fault-injection, retry,
 # binding-under-loss and crash-recovery tests), a benchmark smoke run,
-# the bench JSON pipeline smoke, the WAL fuzz smoke, the offline WAL
-# integrity check and the multi-node failover smoke.
-ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke
+# the bench JSON pipeline smoke, the WAL+wire fuzz smoke, the offline
+# WAL integrity check, the multi-node failover smoke and the
+# connection-scale smoke.
+ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke

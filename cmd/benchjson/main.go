@@ -6,6 +6,12 @@
 //
 //	go test -bench=. -benchmem -run='^$' . | benchjson -o BENCH_4.json
 //
+// With -merge, entries already present in the output file are kept
+// unless this run re-measured them, so a partial re-run backfills into
+// an archived file instead of truncating it:
+//
+//	go test -bench=BenchmarkBinStatus ... | benchjson -merge -o BENCH_8.json
+//
 // Each benchmark line becomes one entry keyed by the benchmark name
 // (with the -GOMAXPROCS suffix stripped):
 //
@@ -41,6 +47,7 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	mergeOld := flag.Bool("merge", false, "overlay new entries onto an existing -o file instead of replacing it")
 	flag.Parse()
 
 	entries, err := parse(bufio.NewScanner(os.Stdin))
@@ -51,6 +58,13 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *mergeOld && *out != "" && *out != "-" {
+		entries, err = merge(*out, entries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	w := os.Stdout
@@ -71,6 +85,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// merge overlays fresh entries onto the ones already archived in path.
+// Keys measured by this run win; keys only in the old file survive, so
+// re-running a single benchmark backfills one entry without erasing the
+// rest. A missing file is not an error — merge into nothing is a plain
+// write.
+func merge(path string, fresh map[string]Entry) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	old := make(map[string]Entry)
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("merge %s: %w", path, err)
+	}
+	for name, e := range fresh {
+		old[name] = e
+	}
+	return old, nil
 }
 
 // parse extracts benchmark result lines: a Benchmark name, an iteration

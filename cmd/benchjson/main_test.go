@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/iotbind/iotbind
+BenchmarkTCPStatusRoundTrip-8   	   69132	     17301 ns/op	        57803 msgs/s	    4528 B/op	      30 allocs/op
+BenchmarkBinStatus/pipe-8       	  566002	      2113 ns/op	       473253 msgs/s	       0 B/op	       0 allocs/op
+BenchmarkConnLoad/pipe100k-8    	       1	1318550418 ns/op	       429.4 bytes/conn	    100000 conns	         4.000 goroutines	        66.00 p50-µs	       229.0 p99-µs	    379203 msgs/s	 6424 B/op	      59 allocs/op
+PASS
+`
+
+func parseString(t *testing.T, s string) map[string]Entry {
+	t.Helper()
+	entries, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestParseCustomMetrics: ReportMetric units — including ones with
+// non-ASCII characters like p99-µs — must land in the Metrics map with
+// the -GOMAXPROCS suffix stripped from the key.
+func TestParseCustomMetrics(t *testing.T) {
+	entries := parseString(t, benchOutput)
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(entries), entries)
+	}
+
+	tcp, ok := entries["BenchmarkTCPStatusRoundTrip"]
+	if !ok {
+		t.Fatalf("missing proc-suffix-stripped key, have %v", entries)
+	}
+	if tcp.NsPerOp != 17301 || tcp.AllocsPerOp != 30 || tcp.Metrics["msgs/s"] != 57803 {
+		t.Fatalf("tcp entry mismatch: %+v", tcp)
+	}
+
+	load := entries["BenchmarkConnLoad/pipe100k"]
+	want := map[string]float64{
+		"bytes/conn": 429.4, "conns": 100000, "goroutines": 4,
+		"p50-µs": 66, "p99-µs": 229, "msgs/s": 379203,
+	}
+	for unit, val := range want {
+		if load.Metrics[unit] != val {
+			t.Fatalf("metric %q = %v, want %v (entry %+v)", unit, load.Metrics[unit], val, load)
+		}
+	}
+	if load.BytesPerOp != 6424 || load.AllocsPerOp != 59 {
+		t.Fatalf("benchmem fields mismatch after custom metrics: %+v", load)
+	}
+}
+
+// TestMergeBackfill: merging must keep archived entries this run did
+// not re-measure, replace the ones it did, and add new ones — the
+// backfill path that lets BENCH files grow across partial re-runs.
+func TestMergeBackfill(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	old := map[string]Entry{
+		"BenchmarkOld":    {Iterations: 10, NsPerOp: 100},
+		"BenchmarkShared": {Iterations: 10, NsPerOp: 999},
+	}
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := map[string]Entry{
+		"BenchmarkShared": {Iterations: 20, NsPerOp: 50, Metrics: map[string]float64{"msgs/s": 1234}},
+		"BenchmarkNew":    {Iterations: 5, NsPerOp: 7},
+	}
+	merged, err := merge(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merged %d entries, want 3: %v", len(merged), merged)
+	}
+	if merged["BenchmarkOld"].NsPerOp != 100 {
+		t.Fatalf("archived entry lost: %+v", merged["BenchmarkOld"])
+	}
+	if merged["BenchmarkShared"].NsPerOp != 50 || merged["BenchmarkShared"].Metrics["msgs/s"] != 1234 {
+		t.Fatalf("re-measured entry not replaced: %+v", merged["BenchmarkShared"])
+	}
+	if merged["BenchmarkNew"].NsPerOp != 7 {
+		t.Fatalf("new entry missing: %+v", merged["BenchmarkNew"])
+	}
+}
+
+// TestMergeMissingFile: merging into a file that does not exist yet is
+// a plain write, not an error.
+func TestMergeMissingFile(t *testing.T) {
+	fresh := map[string]Entry{"BenchmarkOnly": {Iterations: 1, NsPerOp: 2}}
+	merged, err := merge(filepath.Join(t.TempDir(), "absent.json"), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 1 || merged["BenchmarkOnly"].NsPerOp != 2 {
+		t.Fatalf("merge into missing file mangled entries: %v", merged)
+	}
+}
+
+// TestMergeCorruptFile: a malformed archive must fail loudly rather
+// than be silently overwritten.
+func TestMergeCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merge(path, map[string]Entry{"B": {}}); err == nil {
+		t.Fatal("merge accepted corrupt archive")
+	}
+}

@@ -30,8 +30,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"github.com/iotbind/iotbind/internal/cloud"
 	"github.com/iotbind/iotbind/internal/wal"
+	"github.com/iotbind/iotbind/internal/wirecodec"
 )
 
 func main() {
@@ -88,7 +88,7 @@ func inspect(cmd, dir string, stdout, stderr io.Writer) int {
 		if cmd != "dump" {
 			return nil
 		}
-		desc, derr := cloud.DescribeWALRecord(payload)
+		desc, derr := wirecodec.DescribeRecord(payload)
 		if derr != nil {
 			desc = fmt.Sprintf("undecodable payload: %v", derr)
 		}
@@ -125,7 +125,7 @@ func inspectSharded(cmd, dir string, stdout, stderr io.Writer) int {
 		if cmd != "dump" {
 			return nil
 		}
-		desc, derr := cloud.DescribeWALRecord(payload)
+		desc, derr := wirecodec.DescribeRecord(payload)
 		if derr != nil {
 			desc = fmt.Sprintf("undecodable payload: %v", derr)
 		}

@@ -3,6 +3,7 @@ package iotbind
 import (
 	"io"
 
+	"github.com/iotbind/iotbind/internal/binapi"
 	"github.com/iotbind/iotbind/internal/campaign"
 	"github.com/iotbind/iotbind/internal/cloud"
 	"github.com/iotbind/iotbind/internal/device"
@@ -208,6 +209,60 @@ func NewTCPServer(c CloudTransport, opts ...TCPOption) *TCPServer {
 
 // DialTCP connects a line-protocol client to a TCPServer.
 func DialTCP(addr string, opts ...TCPOption) (*TCPClient, error) { return tcpapi.Dial(addr, opts...) }
+
+// ---- binary persistent-connection front end --------------------------------
+
+// BinServer serves a cloud over the binapi wire protocol: persistent
+// connections carrying multiplexed binary frames (the WAL's frame
+// geometry), dispatched by a connection-striped event loop with
+// credit-based per-connection backpressure.
+type BinServer = binapi.Server
+
+// BinClient is a multiplexed binapi connection; it implements
+// CloudTransport, so devices, apps and the cluster router run over it
+// unchanged.
+type BinClient = binapi.Client
+
+// BinOption configures a BinServer or BinClient.
+type BinOption = binapi.Option
+
+// WithBinWindow sets the per-connection credit window the server
+// advertises and enforces.
+func WithBinWindow(n int) BinOption { return binapi.WithWindow(n) }
+
+// WithBinMaxFrame sets the maximum accepted frame payload in bytes.
+func WithBinMaxFrame(n int) BinOption { return binapi.WithMaxFrame(n) }
+
+// WithBinStripes sets the server's event-loop stripe count.
+func WithBinStripes(n int) BinOption { return binapi.WithStripes(n) }
+
+// NewBinServer wraps a cloud for the binary front end; call Serve with
+// a listener (socket mode), Pipe for in-process connections, and Close
+// to shut down.
+func NewBinServer(c CloudTransport, opts ...BinOption) *BinServer {
+	return binapi.NewServer(c, opts...)
+}
+
+// DialBin connects a binapi client to a BinServer over TCP.
+func DialBin(addr string, opts ...BinOption) (*BinClient, error) { return binapi.Dial(addr, opts...) }
+
+// ConnLoadConfig parameterizes a connection-scale run against the
+// binary front end.
+type ConnLoadConfig = testbed.ConnLoadConfig
+
+// ConnLoadResult reports a connection-scale run.
+type ConnLoadResult = testbed.ConnLoadResult
+
+// Connection-load transport modes.
+const (
+	ConnLoadPipe   = testbed.ConnLoadPipe
+	ConnLoadSocket = testbed.ConnLoadSocket
+)
+
+// RunConnLoad opens many persistent binapi connections against one
+// cloud and reports throughput, latency percentiles and per-connection
+// wire cost.
+func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) { return testbed.RunConnLoad(cfg) }
 
 // ---- cloud observability and persistence ------------------------------------
 

@@ -1,0 +1,606 @@
+package binapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/iotbind/iotbind/internal/jsonpool"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+	"github.com/iotbind/iotbind/internal/wal"
+	"github.com/iotbind/iotbind/internal/wirecodec"
+)
+
+// Server serves a cloud over persistent binary connections. Connections
+// are striped over a fixed set of event-loop goroutines; each stripe
+// owns its connections' decode state and response buffers, so the hot
+// path runs without per-message goroutines or per-message locks.
+type Server struct {
+	cloud transport.Cloud
+	opts  options
+
+	stripes []*stripe
+	next    atomic.Uint32
+
+	mu        sync.Mutex
+	conns     map[*conn]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	backpressured atomic.Uint64
+}
+
+// NewServer wraps a cloud implementation and starts the stripe
+// goroutines. Callers must Close the server to stop them.
+func NewServer(cloud transport.Cloud, opts ...Option) *Server {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.stripes <= 0 {
+		o.stripes = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cloud:     cloud,
+		opts:      o,
+		conns:     make(map[*conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+	s.stripes = make([]*stripe, o.stripes)
+	for i := range s.stripes {
+		st := &stripe{
+			srv:  s,
+			wake: make(chan struct{}, 1),
+			quit: make(chan struct{}),
+		}
+		s.stripes[i] = st
+		s.wg.Add(1)
+		go st.loop()
+	}
+	return s
+}
+
+// Backpressured reports how many request frames arrived past a
+// connection's credit window and were answered with wire_backpressure
+// instead of being dispatched.
+func (s *Server) Backpressured() uint64 { return s.backpressured.Load() }
+
+// Stripes reports the configured stripe count.
+func (s *Server) Stripes() int { return len(s.stripes) }
+
+// errServerClosed reports an operation on a closed server.
+var errServerClosed = errors.New("binapi: server closed")
+
+// addConn registers a connection and assigns it a stripe round-robin.
+func (s *Server) addConn(c *conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errServerClosed
+	}
+	c.st = s.stripes[int(s.next.Add(1))%len(s.stripes)]
+	s.conns[c] = struct{}{}
+	return nil
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Serve accepts socket connections on l until Close. It blocks. Each
+// accepted connection gets a hello frame, a pump goroutine feeding its
+// stripe (the Go netpoller acting as the readiness source), and the
+// same striped dispatch as pipe connections.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("binapi: accept: %w", err)
+		}
+		if err := s.startSocketConn(nc); err != nil {
+			_ = nc.Close()
+		}
+	}
+}
+
+// startSocketConn wires one accepted socket into the stripe machinery.
+func (s *Server) startSocketConn(nc net.Conn) error {
+	c := &conn{srv: s, src: remoteIP(nc), sock: nc}
+	c.flush = func(b []byte) error {
+		_, err := nc.Write(b)
+		return err
+	}
+	if err := s.addConn(c); err != nil {
+		return err
+	}
+	if err := c.flush(s.helloFrame()); err != nil {
+		s.dropConn(c)
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dropConn(c)
+		return errServerClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		c.pump(nc)
+	}()
+	return nil
+}
+
+// pump moves bytes from a socket into the stripe readiness queue. This
+// is the only per-connection goroutine in socket mode, and it does no
+// parsing or dispatch — it blocks in Read (parking on the netpoller)
+// and hands buffers to the owning stripe.
+func (c *conn) pump(nc net.Conn) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := nc.Read(buf)
+		if n > 0 {
+			if derr := c.deliver(buf[:n]); derr != nil {
+				c.close(derr)
+				return
+			}
+		}
+		if err != nil {
+			c.close(err)
+			return
+		}
+	}
+}
+
+// helloFrame builds the greeting sent on every new connection.
+func (s *Server) helloFrame() []byte {
+	var payload bytes.Buffer
+	encodeHello(&payload, s.opts.window, s.opts.maxFrame)
+	return appendFrame(nil, 0, kindHello, flagResponse, payload.Bytes())
+}
+
+// Close stops accepting, closes every connection, and stops the
+// stripes.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		_ = l.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.close(errServerClosed)
+	}
+	for _, st := range s.stripes {
+		close(st.quit)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// conn is the server side of one connection. Inbound bytes accumulate
+// in a small double-buffered queue guarded by inMu; all parsing,
+// dispatch and response encoding happen on the owning stripe's
+// goroutine, which is the only reader of the decode-state fields.
+type conn struct {
+	srv *Server
+	st  *stripe
+	src string
+
+	// flush writes one coalesced batch of response frames back to the
+	// client: a socket write in socket mode, a direct feed into the
+	// client's decoder in pipe mode.
+	flush func([]byte) error
+	// onClose, when set, tells the pipe client its server side died.
+	onClose func(error)
+	sock    net.Conn
+
+	inMu   sync.Mutex
+	in     []byte
+	queued bool
+	closed bool
+
+	// Device-ID interning cache, stripe-owned: a persistent connection
+	// speaks for one device (or a stable hub set), so the previous
+	// message's ID almost always matches and the per-message string
+	// allocation disappears.
+	devIDRaw []byte
+	devID    string
+}
+
+// inboundCap bounds buffered inbound bytes per connection. A client
+// honouring the credit window can never exceed window in-flight frames;
+// a flood past the cap costs the sender its connection rather than
+// server memory.
+func (c *conn) inboundCap() int {
+	return (c.srv.opts.window + 2) * (c.srv.opts.maxFrame + 64)
+}
+
+// deliver appends inbound bytes and marks the connection ready on its
+// stripe. Called from the pump goroutine (socket mode) or the client's
+// writer (pipe mode).
+func (c *conn) deliver(b []byte) error {
+	c.inMu.Lock()
+	if c.closed {
+		c.inMu.Unlock()
+		return errConnClosed
+	}
+	if len(c.in)+len(b) > c.inboundCap() {
+		c.inMu.Unlock()
+		return fmt.Errorf("%w: inbound buffer over %d bytes", protocol.ErrBackpressure, c.inboundCap())
+	}
+	c.in = append(c.in, b...)
+	enqueue := !c.queued
+	c.queued = true
+	c.inMu.Unlock()
+	if enqueue {
+		c.st.enqueue(c)
+	}
+	return nil
+}
+
+var errConnClosed = errors.New("binapi: connection closed")
+
+// close tears the connection down once; safe from any goroutine.
+func (c *conn) close(err error) {
+	c.inMu.Lock()
+	if c.closed {
+		c.inMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.in = nil
+	c.inMu.Unlock()
+	if c.sock != nil {
+		_ = c.sock.Close()
+	}
+	if c.onClose != nil {
+		c.onClose(err)
+	}
+	c.srv.dropConn(c)
+}
+
+// stripe is one event-loop goroutine owning a set of connections. The
+// ready queue is double-buffered: producers append under mu, the loop
+// swaps the whole batch out and services it lock-free. out and scratch
+// are reused across every connection the stripe serves.
+type stripe struct {
+	srv   *Server
+	mu    sync.Mutex
+	ready []*conn
+	spare []*conn
+	wake  chan struct{}
+	quit  chan struct{}
+
+	out     []byte
+	scratch bytes.Buffer
+}
+
+func (st *stripe) enqueue(c *conn) {
+	st.mu.Lock()
+	st.ready = append(st.ready, c)
+	st.mu.Unlock()
+	select {
+	case st.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (st *stripe) take() []*conn {
+	st.mu.Lock()
+	batch := st.ready
+	st.ready = st.spare[:0]
+	st.spare = batch
+	st.mu.Unlock()
+	return batch
+}
+
+func (st *stripe) loop() {
+	defer st.srv.wg.Done()
+	for {
+		select {
+		case <-st.wake:
+		case <-st.quit:
+			return
+		}
+		for {
+			batch := st.take()
+			if len(batch) == 0 {
+				break
+			}
+			for _, c := range batch {
+				st.service(c)
+			}
+		}
+	}
+}
+
+// service drains one connection: snapshot the inbound buffer, process
+// every complete frame, compact the unconsumed tail, and flush all
+// responses in one write.
+func (st *stripe) service(c *conn) {
+	c.inMu.Lock()
+	if c.closed {
+		c.inMu.Unlock()
+		return
+	}
+	data := c.in
+	c.queued = false
+	c.inMu.Unlock()
+
+	consumed, fatal := st.process(c, data)
+
+	c.inMu.Lock()
+	if !c.closed {
+		// The pump may have appended while we parsed; the consumed
+		// prefix is identical in either buffer, so shift the tail down.
+		n := copy(c.in, c.in[consumed:])
+		c.in = c.in[:n]
+	}
+	c.inMu.Unlock()
+
+	if len(st.out) > 0 {
+		err := c.flush(st.out)
+		st.out = st.out[:0]
+		if cap(st.out) > 1<<22 {
+			st.out = nil
+		}
+		if fatal == nil {
+			fatal = err
+		}
+	}
+	if fatal != nil {
+		c.close(fatal)
+	}
+}
+
+// process parses every complete frame in data, dispatching at most
+// window requests (the credit rule) and answering the excess with
+// wire_backpressure error frames. It returns the consumed byte count
+// and a fatal error if the byte stream itself is unframeable.
+func (st *stripe) process(c *conn, data []byte) (consumed int, fatal error) {
+	off := 0
+	handled := 0
+	for off < len(data) {
+		hdr, payload, frameLen, err := wal.ParseFrame(data[off:], st.srv.opts.maxFrame)
+		if err != nil {
+			if errors.Is(err, wal.ErrShortFrame) {
+				break
+			}
+			// Framing is stateful: a bad length or checksum poisons
+			// everything after it, so the connection dies.
+			return off, fmt.Errorf("binapi: unframeable inbound bytes: %w", err)
+		}
+		stream, kind, flags := unpackHeader(hdr)
+		off += frameLen
+		if flags&flagResponse != 0 {
+			// Clients do not answer the server; ignore.
+			continue
+		}
+		handled++
+		if handled > st.srv.opts.window {
+			st.srv.backpressured.Add(1)
+			st.errorFrame(stream, protocol.ErrBackpressure,
+				fmt.Sprintf("more than %d requests in flight", st.srv.opts.window))
+			continue
+		}
+		st.dispatch(c, stream, kind, payload)
+	}
+	return off, nil
+}
+
+// errorFrame appends a kindError response: wire code string + message.
+func (st *stripe) errorFrame(stream uint32, err error, msg string) {
+	code, ok := protocol.WireCode(err)
+	if !ok {
+		code = "internal"
+	}
+	st.scratch.Reset()
+	wirecodec.PutStr(&st.scratch, code)
+	wirecodec.PutStr(&st.scratch, msg)
+	st.out = appendFrame(st.out, stream, kindError, flagResponse, st.scratch.Bytes())
+}
+
+// dispatch routes one request frame to the cloud and appends the
+// response frame.
+func (st *stripe) dispatch(c *conn, stream uint32, kind uint8, payload []byte) {
+	switch kind {
+	case kindStatus:
+		cur := wirecodec.NewCursor(payload, 0)
+		var req protocol.StatusRequest
+		st.readStatusInterned(cur, c, &req)
+		if !cur.Done() {
+			st.errorFrame(stream, protocol.ErrBadRequest, "malformed status body")
+			return
+		}
+		req.SourceIP = c.src
+		resp, err := st.srv.cloud.HandleStatus(req)
+		if err != nil {
+			st.errorFrame(stream, err, err.Error())
+			return
+		}
+		st.scratch.Reset()
+		wirecodec.PutStatusResponse(&st.scratch, &resp)
+		st.out = appendFrame(st.out, stream, kindStatus, flagResponse, st.scratch.Bytes())
+
+	case kindBatch:
+		cur := wirecodec.NewCursor(payload, 0)
+		var req protocol.StatusBatchRequest
+		cur.Str() // sender's source IP claim: discarded, the transport stamps
+		n := cur.Count(wirecodec.MinStatusSize)
+		if cur.Err() == nil && n > 0 {
+			req.Items = make([]protocol.StatusRequest, n)
+			for i := range req.Items {
+				st.readStatusInterned(cur, c, &req.Items[i])
+			}
+		}
+		if !cur.Done() {
+			st.errorFrame(stream, protocol.ErrBadRequest, "malformed status batch body")
+			return
+		}
+		req.SourceIP = c.src
+		resp, err := st.srv.cloud.HandleStatusBatch(req)
+		if err != nil {
+			st.errorFrame(stream, err, err.Error())
+			return
+		}
+		st.scratch.Reset()
+		wirecodec.PutStatusBatchResponse(&st.scratch, &resp)
+		st.out = appendFrame(st.out, stream, kindBatch, flagResponse, st.scratch.Bytes())
+
+	case kindJSON:
+		st.dispatchJSON(c, stream, payload)
+
+	default:
+		st.errorFrame(stream, protocol.ErrBadRequest, fmt.Sprintf("unknown frame kind 0x%02x", kind))
+	}
+}
+
+// readStatusInterned decodes one status body with the connection's
+// device-ID cache: when the raw ID bytes match the previous message's,
+// the cached string is reused and the decode allocates nothing.
+func (st *stripe) readStatusInterned(cur *wirecodec.Cursor, c *conn, req *protocol.StatusRequest) {
+	req.Kind = protocol.StatusKind(cur.U8())
+	raw := cur.StrBytes()
+	if len(raw) > 0 && bytes.Equal(raw, c.devIDRaw) {
+		req.DeviceID = c.devID
+	} else if cur.Err() == nil {
+		req.DeviceID = string(raw)
+		c.devIDRaw = append(c.devIDRaw[:0], raw...)
+		c.devID = req.DeviceID
+	}
+	wirecodec.ReadStatusRest(cur, req)
+}
+
+// dispatchJSON handles a cold operation riding in a JSON envelope.
+func (st *stripe) dispatchJSON(c *conn, stream uint32, payload []byte) {
+	var req struct {
+		Op      string          `json:"op"`
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(payload, &req); err != nil {
+		st.errorFrame(stream, protocol.ErrBadRequest, "malformed json envelope")
+		return
+	}
+	resp := st.callJSON(c, req.Op, req.Payload)
+	buf := jsonpool.Get()
+	defer buf.Put()
+	if err := buf.Encode(resp); err != nil {
+		st.errorFrame(stream, err, err.Error())
+		return
+	}
+	st.out = appendFrame(st.out, stream, kindJSON, flagResponse, buf.Bytes())
+}
+
+// callJSON mirrors tcpapi's dispatch table for the operations that have
+// no binary form.
+func (st *stripe) callJSON(c *conn, op string, raw json.RawMessage) jsonResponse {
+	cloud := st.srv.cloud
+	switch op {
+	case opRegisterUser:
+		var p protocol.RegisterUserRequest
+		return jsonCall(raw, &p, func() (any, error) { return struct{}{}, cloud.RegisterUser(p) })
+	case opLogin:
+		var p protocol.LoginRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.Login(p) })
+	case opDeviceToken:
+		var p protocol.DeviceTokenRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.RequestDeviceToken(p) })
+	case opBindToken:
+		var p protocol.BindTokenRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.RequestBindToken(p) })
+	case opBind:
+		var p protocol.BindRequest
+		return jsonCall(raw, &p, func() (any, error) {
+			p.SourceIP = c.src
+			return cloud.HandleBind(p)
+		})
+	case opUnbind:
+		var p protocol.UnbindRequest
+		return jsonCall(raw, &p, func() (any, error) {
+			p.SourceIP = c.src
+			return struct{}{}, cloud.HandleUnbind(p)
+		})
+	case opControl:
+		var p protocol.ControlRequest
+		return jsonCall(raw, &p, func() (any, error) {
+			p.SourceIP = c.src
+			return cloud.HandleControl(p)
+		})
+	case opUserData:
+		var p protocol.PushUserDataRequest
+		return jsonCall(raw, &p, func() (any, error) { return struct{}{}, cloud.PushUserData(p) })
+	case opReadings:
+		var p protocol.ReadingsRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.Readings(p) })
+	case opShare:
+		var p protocol.ShareRequest
+		return jsonCall(raw, &p, func() (any, error) { return struct{}{}, cloud.HandleShare(p) })
+	case opShares:
+		var p protocol.SharesRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.Shares(p) })
+	case opShadow:
+		var p protocol.ShadowStateRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.ShadowState(p) })
+	default:
+		return jsonResponse{OK: false, Code: "bad_request", Message: fmt.Sprintf("unknown op %q", op)}
+	}
+}
+
+func jsonCall(raw json.RawMessage, into any, handler func() (any, error)) jsonResponse {
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, into); err != nil {
+			return jsonResponse{OK: false, Code: "bad_request", Message: "malformed payload"}
+		}
+	}
+	result, err := handler()
+	if err != nil {
+		if code, ok := protocol.WireCode(err); ok {
+			return jsonResponse{OK: false, Code: code, Message: err.Error()}
+		}
+		return jsonResponse{OK: false, Code: "internal", Message: err.Error()}
+	}
+	return jsonResponse{OK: true, Payload: result}
+}
+
+func remoteIP(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
+}

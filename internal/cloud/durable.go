@@ -409,8 +409,8 @@ func (d *Durable) applyRecord(lsn uint64, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)
 	}
-	d.beginOp(rec.at, newDRBG(&d.master, lsn))
-	err = rec.apply(d.svc)
+	d.beginOp(rec.At, newDRBG(&d.master, lsn))
+	err = applyWALRecord(rec, d.svc)
 	d.endOp()
 	if err != nil {
 		return fmt.Errorf("cloud: WAL record %d: %w", lsn, err)

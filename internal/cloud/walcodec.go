@@ -2,385 +2,69 @@ package cloud
 
 import (
 	"bytes"
-	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"math"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/wirecodec"
 )
 
-// WAL record encoding. Two formats share the payload space and are
-// distinguished by the first byte:
-//
-//   - 0x01 / 0x02: hand-rolled binary records for the hot operations
-//     (single status, status batch). The status path is the one that
-//     must stay within the durability budget, so its record encoder is
-//     a flat length-prefixed field walk into a pooled buffer — no
-//     reflection, no intermediate allocations.
-//   - 0x03: a liveness record — the coalesced effect of a device's
-//     unlogged bare heartbeats (lastSeen, session owner), flushed by
-//     cloud.Durable ahead of any logged record whose outcome could
-//     depend on that state. Replay applies it directly to the shadow:
-//     no credential re-evaluation, no drain, no counters.
-//   - '{' (0x7b): a JSON envelope for everything cold (accounts,
-//     logins, token issues, bind/unbind/control/push/share). These
-//     happen at human rates; clarity beats compactness.
-//
-// Every record carries the wall-clock time the operation executed at.
-// Replay pins the service clock to that instant and derives operation
-// entropy from the record's LSN (see drbg), which is what makes a
-// replayed operation byte-identical to its live execution.
-const (
-	walTagStatus   = 0x01
-	walTagBatch    = 0x02
-	walTagLiveness = 0x03
-	walTagJSON     = '{'
-)
+// WAL record encoding lives in internal/wirecodec, shared with the
+// binary wire front end (binapi) so a status message is serialized by
+// exactly one encoder whether it is logged for durability or framed for
+// the wire. This file keeps thin aliases for the cloud package's own
+// call sites plus the one thing that is genuinely cloud-side: applying
+// a decoded record to a Service during replay.
+type walRecord = wirecodec.Record
 
-// Minimum encoded item sizes: decoders bound count-prefixed
-// allocations by remaining-bytes / minimum-size, so a corrupt or
-// crafted count cannot force an allocation orders of magnitude larger
-// than the record that carries it.
-const (
-	// walMinReadingSize is an empty-name reading: name uvarint(1) +
-	// value f64(8) + time i64(8).
-	walMinReadingSize = 17
-	// walMinStatusSize is an all-empty status body: kind u8(1) + nine
-	// empty strings (1 each) + button u8(1) + readings count uvarint(1).
-	walMinStatusSize = 12
-)
+// walEnvelope is the JSON record for the cold operations.
+type walEnvelope = wirecodec.Envelope
 
-// walTimeZero encodes time.Time{} — UnixNano is undefined for the zero
-// time, so it travels as a sentinel.
-const walTimeZero = math.MinInt64
+func walEncodeTime(t time.Time) int64 { return wirecodec.EncodeTime(t) }
 
-func walEncodeTime(t time.Time) int64 {
-	if t.IsZero() {
-		return walTimeZero
-	}
-	return t.UnixNano()
-}
-
-func walDecodeTime(v int64) time.Time {
-	if v == walTimeZero {
-		return time.Time{}
-	}
-	return time.Unix(0, v).UTC()
-}
-
-// walEnvelope is the JSON record for the cold operations: exactly one
-// request pointer is set, per Op.
-type walEnvelope struct {
-	Op  string `json:"op"`
-	At  int64  `json:"at"`
-	Src string `json:"src,omitempty"`
-
-	RegisterUser *protocol.RegisterUserRequest `json:"register_user,omitempty"`
-	Login        *protocol.LoginRequest        `json:"login,omitempty"`
-	DeviceToken  *protocol.DeviceTokenRequest  `json:"device_token,omitempty"`
-	BindToken    *protocol.BindTokenRequest    `json:"bind_token,omitempty"`
-	Bind         *protocol.BindRequest         `json:"bind,omitempty"`
-	Unbind       *protocol.UnbindRequest       `json:"unbind,omitempty"`
-	Control      *protocol.ControlRequest      `json:"control,omitempty"`
-	Push         *protocol.PushUserDataRequest `json:"push,omitempty"`
-	Share        *protocol.ShareRequest        `json:"share,omitempty"`
-}
-
-// ---- binary primitives -----------------------------------------------------
-
-func walPutU8(b *bytes.Buffer, v uint8) { b.WriteByte(v) }
-
-func walPutI64(b *bytes.Buffer, v int64) {
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], uint64(v))
-	b.Write(tmp[:])
-}
-
-func walPutUvarint(b *bytes.Buffer, v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	b.Write(tmp[:n])
-}
-
-func walPutStr(b *bytes.Buffer, s string) {
-	walPutUvarint(b, uint64(len(s)))
-	b.WriteString(s)
-}
-
-func walPutF64(b *bytes.Buffer, v float64) {
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
-	b.Write(tmp[:])
-}
-
-// walCursor is a bounds-checked reader over a binary record. The first
-// failure sticks; every accessor afterwards returns a zero value, and
-// the caller checks err once at the end.
-type walCursor struct {
-	data []byte
-	off  int
-	err  error
-}
-
-func (c *walCursor) fail() {
-	c.err = fmt.Errorf("cloud: %w: truncated WAL record", protocol.ErrBadRequest)
-}
-
-func (c *walCursor) u8() uint8 {
-	if c.err != nil || c.off >= len(c.data) {
-		if c.err == nil {
-			c.fail()
-		}
-		return 0
-	}
-	v := c.data[c.off]
-	c.off++
-	return v
-}
-
-func (c *walCursor) i64() int64 {
-	if c.err != nil || c.off+8 > len(c.data) {
-		if c.err == nil {
-			c.fail()
-		}
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(c.data[c.off:])
-	c.off += 8
-	return int64(v)
-}
-
-func (c *walCursor) f64() float64 { return math.Float64frombits(uint64(c.i64())) }
-
-func (c *walCursor) uvarint() uint64 {
-	if c.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(c.data[c.off:])
-	if n <= 0 {
-		c.fail()
-		return 0
-	}
-	c.off += n
-	return v
-}
-
-func (c *walCursor) str() string {
-	n := c.uvarint()
-	if c.err != nil {
-		return ""
-	}
-	if n > uint64(len(c.data)-c.off) {
-		c.fail()
-		return ""
-	}
-	s := string(c.data[c.off : c.off+int(n)])
-	c.off += int(n)
-	return s
-}
-
-// count reads an item count and rejects any that could not fit in the
-// remaining bytes at min encoded bytes per item, before the caller
-// sizes an allocation by it.
-func (c *walCursor) count(min int) uint64 {
-	n := c.uvarint()
-	if c.err != nil {
-		return 0
-	}
-	if n > uint64(len(c.data)-c.off)/uint64(min) {
-		c.fail()
-		return 0
-	}
-	return n
-}
-
-// ---- status record ---------------------------------------------------------
-
-// walPutStatusBody serializes one StatusRequest (including its source
-// address, which does not travel in JSON).
-func walPutStatusBody(b *bytes.Buffer, req *protocol.StatusRequest) {
-	walPutU8(b, uint8(req.Kind))
-	walPutStr(b, req.DeviceID)
-	walPutStr(b, req.DevToken)
-	walPutStr(b, req.Signature)
-	walPutStr(b, req.SessionToken)
-	walPutStr(b, req.DataProof)
-	walPutStr(b, req.IdempotencyKey)
-	walPutStr(b, req.Firmware)
-	walPutStr(b, req.Model)
-	walPutStr(b, req.SourceIP)
-	var button uint8
-	if req.ButtonPressed {
-		button = 1
-	}
-	walPutU8(b, button)
-	walPutUvarint(b, uint64(len(req.Readings)))
-	for i := range req.Readings {
-		walPutStr(b, req.Readings[i].Name)
-		walPutF64(b, req.Readings[i].Value)
-		walPutI64(b, walEncodeTime(req.Readings[i].At))
-	}
-}
-
-func walReadStatusBody(c *walCursor) protocol.StatusRequest {
-	var req protocol.StatusRequest
-	req.Kind = protocol.StatusKind(c.u8())
-	req.DeviceID = c.str()
-	req.DevToken = c.str()
-	req.Signature = c.str()
-	req.SessionToken = c.str()
-	req.DataProof = c.str()
-	req.IdempotencyKey = c.str()
-	req.Firmware = c.str()
-	req.Model = c.str()
-	req.SourceIP = c.str()
-	req.ButtonPressed = c.u8() != 0
-	n := c.count(walMinReadingSize)
-	if c.err != nil {
-		return req
-	}
-	if n > 0 {
-		req.Readings = make([]protocol.Reading, n)
-		for i := range req.Readings {
-			req.Readings[i].Name = c.str()
-			req.Readings[i].Value = c.f64()
-			req.Readings[i].At = walDecodeTime(c.i64())
-		}
-	}
-	return req
-}
-
-// encodeStatusRecord writes a complete status WAL record into b.
 func encodeStatusRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusRequest) {
-	walPutU8(b, walTagStatus)
-	walPutI64(b, walEncodeTime(at))
-	walPutStatusBody(b, req)
+	wirecodec.EncodeStatusRecord(b, at, req)
 }
 
-// encodeLivenessRecord writes a liveness WAL record into b: the device
-// whose unlogged bare heartbeats are being made durable, the time of
-// the last one, and the session owner it authenticated (empty when the
-// design's device auth carries no owner).
 func encodeLivenessRecord(b *bytes.Buffer, at time.Time, deviceID, owner string) {
-	walPutU8(b, walTagLiveness)
-	walPutI64(b, walEncodeTime(at))
-	walPutStr(b, deviceID)
-	walPutStr(b, owner)
+	wirecodec.EncodeLivenessRecord(b, at, deviceID, owner)
 }
 
-// encodeBatchRecord writes a complete status-batch WAL record into b.
-// The envelope source address and each item's own address are both
-// kept: the handler only overrides items when the envelope address is
-// non-empty.
 func encodeBatchRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusBatchRequest) {
-	walPutU8(b, walTagBatch)
-	walPutI64(b, walEncodeTime(at))
-	walPutStr(b, req.SourceIP)
-	walPutUvarint(b, uint64(len(req.Items)))
-	for i := range req.Items {
-		walPutStatusBody(b, &req.Items[i])
-	}
+	wirecodec.EncodeBatchRecord(b, at, req)
 }
 
-// ---- decoding --------------------------------------------------------------
-
-// walRecord is one decoded WAL record, ready to re-execute.
-type walRecord struct {
-	op string
-	at time.Time
-
-	status   *protocol.StatusRequest
-	batch    *protocol.StatusBatchRequest
-	liveness *walLiveness
-	env      *walEnvelope
-}
-
-// walLiveness is a decoded liveness record body.
-type walLiveness struct {
-	deviceID string
-	owner    string
-}
-
-// decodeWALRecord parses any record payload.
 func decodeWALRecord(payload []byte) (walRecord, error) {
-	if len(payload) == 0 {
-		return walRecord{}, fmt.Errorf("cloud: %w: empty WAL record", protocol.ErrBadRequest)
-	}
-	switch payload[0] {
-	case walTagStatus:
-		c := &walCursor{data: payload, off: 1}
-		at := walDecodeTime(c.i64())
-		req := walReadStatusBody(c)
-		if c.err == nil && c.off != len(c.data) {
-			c.fail()
-		}
-		if c.err != nil {
-			return walRecord{}, c.err
-		}
-		return walRecord{op: "status", at: at, status: &req}, nil
-	case walTagLiveness:
-		c := &walCursor{data: payload, off: 1}
-		at := walDecodeTime(c.i64())
-		lv := walLiveness{deviceID: c.str(), owner: c.str()}
-		if c.err == nil && c.off != len(c.data) {
-			c.fail()
-		}
-		if c.err != nil {
-			return walRecord{}, c.err
-		}
-		return walRecord{op: "liveness", at: at, liveness: &lv}, nil
-	case walTagBatch:
-		c := &walCursor{data: payload, off: 1}
-		at := walDecodeTime(c.i64())
-		var req protocol.StatusBatchRequest
-		req.SourceIP = c.str()
-		n := c.count(walMinStatusSize)
-		if c.err != nil {
-			return walRecord{}, c.err
-		}
-		req.Items = make([]protocol.StatusRequest, n)
-		for i := range req.Items {
-			req.Items[i] = walReadStatusBody(c)
-		}
-		if c.err == nil && c.off != len(c.data) {
-			c.fail()
-		}
-		if c.err != nil {
-			return walRecord{}, c.err
-		}
-		return walRecord{op: "status_batch", at: at, batch: &req}, nil
-	case walTagJSON:
-		var env walEnvelope
-		if err := json.Unmarshal(payload, &env); err != nil {
-			return walRecord{}, fmt.Errorf("cloud: %w: WAL envelope: %v", protocol.ErrBadRequest, err)
-		}
-		return walRecord{op: env.Op, at: walDecodeTime(env.At), env: &env}, nil
-	default:
-		return walRecord{}, fmt.Errorf("cloud: %w: unknown WAL record tag 0x%02x", protocol.ErrBadRequest, payload[0])
-	}
+	return wirecodec.DecodeRecord(payload)
 }
 
-// apply re-executes the record against the service through the exported
-// (stat-counting) handlers, so replayed operations move the activity
-// counters exactly as the live executions did. Application-level errors
-// are discarded: a logged operation that failed live fails identically
-// on replay, and that failure is part of the state being rebuilt.
-func (r walRecord) apply(s *Service) error {
+// DescribeWALRecord renders a one-line human summary of a WAL record
+// payload — kept as an alias so existing tooling call sites compile;
+// new consumers should use wirecodec.DescribeRecord directly.
+func DescribeWALRecord(payload []byte) (string, error) {
+	return wirecodec.DescribeRecord(payload)
+}
+
+// applyWALRecord re-executes a decoded record against the service
+// through the exported (stat-counting) handlers, so replayed operations
+// move the activity counters exactly as the live executions did.
+// Application-level errors are discarded: a logged operation that
+// failed live fails identically on replay, and that failure is part of
+// the state being rebuilt.
+func applyWALRecord(r walRecord, s *Service) error {
 	switch {
-	case r.status != nil:
-		_, _ = s.HandleStatus(*r.status)
-	case r.batch != nil:
+	case r.Status != nil:
+		_, _ = s.HandleStatus(*r.Status)
+	case r.Batch != nil:
 		// The handler mutates item source addresses in place; give it
 		// its own copy so the decoded record stays pristine.
-		req := *r.batch
-		req.Items = append([]protocol.StatusRequest(nil), r.batch.Items...)
+		req := *r.Batch
+		req.Items = append([]protocol.StatusRequest(nil), r.Batch.Items...)
 		_, _ = s.HandleStatusBatch(req)
-	case r.liveness != nil:
-		s.applyLiveness(r.liveness.deviceID, r.at, r.liveness.owner)
-	case r.env != nil:
-		env := r.env
+	case r.Liveness != nil:
+		s.applyLiveness(r.Liveness.DeviceID, r.At, r.Liveness.Owner)
+	case r.Env != nil:
+		env := r.Env
 		switch {
 		case env.RegisterUser != nil:
 			_ = s.RegisterUser(*env.RegisterUser)
@@ -413,53 +97,4 @@ func (r walRecord) apply(s *Service) error {
 		return fmt.Errorf("cloud: %w: empty WAL record", protocol.ErrBadRequest)
 	}
 	return nil
-}
-
-// DescribeWALRecord renders a one-line human summary of a WAL record
-// payload — the walinspect dump format. It never executes the record.
-func DescribeWALRecord(payload []byte) (string, error) {
-	rec, err := decodeWALRecord(payload)
-	if err != nil {
-		return "", err
-	}
-	ts := "-"
-	if !rec.at.IsZero() {
-		ts = rec.at.UTC().Format(time.RFC3339Nano)
-	}
-	switch {
-	case rec.status != nil:
-		return fmt.Sprintf("%s status %s device=%s keyed=%t readings=%d",
-			ts, rec.status.Kind, rec.status.DeviceID,
-			rec.status.IdempotencyKey != "", len(rec.status.Readings)), nil
-	case rec.batch != nil:
-		return fmt.Sprintf("%s status_batch items=%d", ts, len(rec.batch.Items)), nil
-	case rec.liveness != nil:
-		return fmt.Sprintf("%s liveness device=%s owner=%q", ts, rec.liveness.deviceID, rec.liveness.owner), nil
-	default:
-		env := rec.env
-		switch {
-		case env.RegisterUser != nil:
-			return fmt.Sprintf("%s register_user user=%s", ts, env.RegisterUser.UserID), nil
-		case env.Login != nil:
-			return fmt.Sprintf("%s login user=%s", ts, env.Login.UserID), nil
-		case env.DeviceToken != nil:
-			return fmt.Sprintf("%s device_token device=%s", ts, env.DeviceToken.DeviceID), nil
-		case env.BindToken != nil:
-			return fmt.Sprintf("%s bind_token device=%s", ts, env.BindToken.DeviceID), nil
-		case env.Bind != nil:
-			return fmt.Sprintf("%s bind device=%s sender=%d keyed=%t",
-				ts, env.Bind.DeviceID, env.Bind.Sender, env.Bind.IdempotencyKey != ""), nil
-		case env.Unbind != nil:
-			return fmt.Sprintf("%s unbind device=%s sender=%d", ts, env.Unbind.DeviceID, env.Unbind.Sender), nil
-		case env.Control != nil:
-			return fmt.Sprintf("%s control device=%s cmd=%s", ts, env.Control.DeviceID, env.Control.Command.Name), nil
-		case env.Push != nil:
-			return fmt.Sprintf("%s push device=%s kind=%s", ts, env.Push.DeviceID, env.Push.Data.Kind), nil
-		case env.Share != nil:
-			return fmt.Sprintf("%s share device=%s guest=%s revoke=%t",
-				ts, env.Share.DeviceID, env.Share.Guest, env.Share.Revoke), nil
-		default:
-			return fmt.Sprintf("%s %s", ts, env.Op), nil
-		}
-	}
 }

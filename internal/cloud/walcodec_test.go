@@ -1,148 +1,43 @@
 package cloud
 
+// The binary record codec moved to internal/wirecodec (shared with the
+// binapi wire front end); its round-trip, truncation and allocation-
+// bound tests moved with it. What stays here is the cloud-side glue:
+// the snapshot codec's pooled-buffer guard and the alias layer's replay
+// dispatch.
+
 import (
 	"bytes"
-	"errors"
 	"io"
-	"reflect"
 	"testing"
 	"time"
 
 	"github.com/iotbind/iotbind/internal/protocol"
 )
 
-func TestWALCodecStatusRoundTrip(t *testing.T) {
-	at := time.Date(2026, 7, 6, 12, 0, 1, 500, time.UTC)
-	req := &protocol.StatusRequest{
-		Kind:           protocol.StatusRegister,
-		DeviceID:       testDevice,
-		DevToken:       "devtok",
-		Signature:      "sig",
-		SessionToken:   "sess",
-		DataProof:      "proof",
-		ButtonPressed:  true,
-		Firmware:       "1.2",
-		Model:          "plug",
-		IdempotencyKey: "k1",
-		SourceIP:       "10.0.0.7",
-		Readings: []protocol.Reading{
-			{Name: "power_w", Value: 3.25, At: at},
-			{Name: "temp_c", Value: -1.5, At: time.Time{}},
-		},
-	}
-	var buf bytes.Buffer
-	encodeStatusRecord(&buf, at, req)
-	rec, err := decodeWALRecord(buf.Bytes())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !rec.at.Equal(at) {
-		t.Errorf("at = %v, want %v", rec.at, at)
-	}
-	if rec.status == nil {
-		t.Fatal("decoded record has no status request")
-	}
-	if !reflect.DeepEqual(rec.status, req) {
-		t.Errorf("round trip:\n got %+v\nwant %+v", rec.status, req)
-	}
-}
-
-func TestWALCodecBatchRoundTrip(t *testing.T) {
-	at := time.Date(2026, 7, 6, 12, 0, 2, 0, time.UTC)
-	req := &protocol.StatusBatchRequest{
-		SourceIP: "10.0.0.9",
-		Items: []protocol.StatusRequest{
-			{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "a"},
-			{Kind: protocol.StatusRegister, DeviceID: testDevice, SourceIP: "10.0.0.3",
-				Readings: []protocol.Reading{{Name: "power_w", Value: 1, At: at}}},
-		},
-	}
-	var buf bytes.Buffer
-	encodeBatchRecord(&buf, at, req)
-	rec, err := decodeWALRecord(buf.Bytes())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rec.batch == nil {
-		t.Fatal("decoded record has no batch request")
-	}
-	if !reflect.DeepEqual(rec.batch, req) {
-		t.Errorf("round trip:\n got %+v\nwant %+v", rec.batch, req)
-	}
-}
-
-// TestWALCodecTruncationIsError proves every truncation of a valid
-// binary record decodes to an error, never a panic or a silent partial
-// request.
-func TestWALCodecTruncationIsError(t *testing.T) {
-	at := time.Date(2026, 7, 6, 12, 0, 3, 0, time.UTC)
+// TestWALRecordApplyRoundTrip proves a record encoded through the
+// wirecodec aliases decodes and applies against a live service — the
+// replay path exercised end to end without a WAL underneath.
+func TestWALRecordApplyRoundTrip(t *testing.T) {
+	svc, _, _, _ := newTestService(t, devIDDesign())
+	at := time.Date(2026, 7, 6, 12, 0, 1, 0, time.UTC)
 	var buf bytes.Buffer
 	encodeStatusRecord(&buf, at, &protocol.StatusRequest{
-		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "k",
-		Readings: []protocol.Reading{{Name: "power_w", Value: 2, At: at}},
+		Kind: protocol.StatusRegister, DeviceID: testDevice,
 	})
-	full := buf.Bytes()
-	for n := 0; n < len(full); n++ {
-		if _, err := decodeWALRecord(full[:n]); err == nil {
-			t.Errorf("truncation to %d bytes decoded without error", n)
-		}
-	}
-	if _, err := decodeWALRecord(append(append([]byte(nil), full...), 0xFF)); err == nil {
-		t.Error("trailing garbage decoded without error")
-	}
-}
-
-// TestWALCodecLivenessRoundTrip covers the liveness record: the
-// coalesced bare-heartbeat effect flushed ahead of logged records.
-func TestWALCodecLivenessRoundTrip(t *testing.T) {
-	at := time.Date(2026, 7, 6, 12, 0, 4, 250, time.UTC)
-	var buf bytes.Buffer
-	encodeLivenessRecord(&buf, at, testDevice, "victim@example.com")
 	rec, err := decodeWALRecord(buf.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.liveness == nil {
-		t.Fatal("decoded record has no liveness body")
+	if err := applyWALRecord(rec, svc); err != nil {
+		t.Fatal(err)
 	}
-	if !rec.at.Equal(at) || rec.liveness.deviceID != testDevice || rec.liveness.owner != "victim@example.com" {
-		t.Errorf("round trip = %v %+v, want %v device=%s owner=victim@example.com", rec.at, rec.liveness, at, testDevice)
+	st, err := svc.ShadowState(protocol.ShadowStateRequest{DeviceID: testDevice})
+	if err != nil {
+		t.Fatal(err)
 	}
-	full := buf.Bytes()
-	for n := 0; n < len(full); n++ {
-		if _, err := decodeWALRecord(full[:n]); err == nil {
-			t.Errorf("truncation to %d bytes decoded without error", n)
-		}
-	}
-}
-
-// TestWALCodecHugeCountsRejected pins the decoder's allocation bound: a
-// crafted record claiming more items than its remaining bytes could
-// possibly hold must be rejected before the count sizes an allocation —
-// recovery and walinspect read arbitrary files.
-func TestWALCodecHugeCountsRejected(t *testing.T) {
-	at := time.Date(2026, 7, 6, 12, 0, 5, 0, time.UTC)
-
-	var status bytes.Buffer
-	walPutU8(&status, walTagStatus)
-	walPutI64(&status, at.UnixNano())
-	walPutU8(&status, uint8(protocol.StatusHeartbeat))
-	for i := 0; i < 9; i++ { // device ID through source IP, all empty
-		walPutStr(&status, "")
-	}
-	walPutU8(&status, 0)                  // button
-	walPutUvarint(&status, uint64(1)<<40) // readings "count" with no bytes behind it
-	if _, err := decodeWALRecord(status.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
-		t.Errorf("huge readings count decoded to %v, want ErrBadRequest", err)
-	}
-
-	var batch bytes.Buffer
-	walPutU8(&batch, walTagBatch)
-	walPutI64(&batch, at.UnixNano())
-	walPutStr(&batch, "") // envelope source IP
-	walPutUvarint(&batch, uint64(1)<<40)
-	if _, err := decodeWALRecord(batch.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
-		t.Errorf("huge batch item count decoded to %v, want ErrBadRequest", err)
+	if st.State.String() != "online" {
+		t.Errorf("after applied register, shadow state = %v, want online", st.State)
 	}
 }
 

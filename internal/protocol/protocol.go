@@ -346,4 +346,12 @@ var (
 	ErrPayloadTooLarge = errors.New("protocol: payload too large")
 	// ErrUserExists is returned when registering a taken user ID.
 	ErrUserExists = errors.New("protocol: user already exists")
+	// ErrBackpressure is returned by the binary front end when a sender
+	// overruns its advertised credit window — more requests in flight on
+	// one connection than the server agreed to buffer. Well-behaved
+	// clients never see it (the binapi client blocks on its credit
+	// semaphore instead); receiving it means the sender is ignoring the
+	// window, and the correct reaction is to drain responses before
+	// sending more, not to retry blindly.
+	ErrBackpressure = errors.New("protocol: connection credit window exceeded")
 )

@@ -19,6 +19,7 @@ var wireCodes = []struct {
 	{ErrDeviceOffline, "device_offline"},
 	{ErrUserExists, "user_exists"},
 	{ErrPayloadTooLarge, "payload_too_large"},
+	{ErrBackpressure, "wire_backpressure"},
 	{ErrBadRequest, "bad_request"},
 }
 

@@ -44,7 +44,7 @@ func TestWireCodesAreUnique(t *testing.T) {
 		}
 		seen[pair.Code] = true
 	}
-	if len(seen) != 11 {
-		t.Errorf("have %d wire codes, want 11", len(seen))
+	if len(seen) != 12 {
+		t.Errorf("have %d wire codes, want 12", len(seen))
 	}
 }

@@ -1,0 +1,84 @@
+package tcpapi_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/tcpapi"
+)
+
+// newIdleServer starts a server with the given idle timeout and returns
+// its address.
+func newIdleServer(t *testing.T, idle time.Duration) string {
+	t.Helper()
+	reg := cloud.NewRegistry()
+	if err := reg.Add(cloud.DeviceRecord{ID: devID, FactorySecret: devSecret, Model: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := cloud.NewService(laxDesign(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := tcpapi.NewServer(svc, tcpapi.WithIdleTimeout(idle))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = server.Serve(l)
+	}()
+	t.Cleanup(func() {
+		_ = server.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+// TestIdleTimeoutDropsStalledClient: a connection that sends nothing
+// must be dropped once the idle deadline passes — a stalled client may
+// not hold a server goroutine and socket forever.
+func TestIdleTimeoutDropsStalledClient(t *testing.T) {
+	addr := newIdleServer(t, 100*time.Millisecond)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	start := time.Now()
+	_ = nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 256)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("stalled connection received data instead of being dropped")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the stalled connection past the idle deadline")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("drop took %v, idle timeout is 100ms", waited)
+	}
+}
+
+// TestIdleTimeoutSparesActiveClient: the deadline re-arms per request,
+// so a client whose requests are each spaced under the timeout stays
+// connected even after its cumulative lifetime exceeds it.
+func TestIdleTimeoutSparesActiveClient(t *testing.T) {
+	addr := newIdleServer(t, 250*time.Millisecond)
+	client, err := tcpapi.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	req := protocol.StatusRequest{Kind: protocol.StatusRegister, DeviceID: devID}
+	for i := 0; i < 5; i++ {
+		if _, err := client.HandleStatus(req); err != nil {
+			t.Fatalf("request %d on active connection: %v", i, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

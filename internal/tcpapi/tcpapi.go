@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
@@ -53,7 +54,8 @@ const DefaultMaxFrame = 1 << 20
 
 // options holds the knobs shared by Server and Client.
 type options struct {
-	maxFrame int
+	maxFrame    int
+	idleTimeout time.Duration
 }
 
 func defaultOptions() options {
@@ -83,6 +85,20 @@ func WithMaxFrame(n int) Option {
 	return func(o *options) {
 		if n > 0 {
 			o.maxFrame = n
+		}
+	}
+}
+
+// WithIdleTimeout makes the server drop a connection that delivers no
+// complete request for d: a stalled or half-open client holds a
+// goroutine and a socket forever otherwise, and a fleet of them is a
+// resource-exhaustion attack no status-path defence sees. Zero (the
+// default) keeps connections indefinitely. Server-side only; clients
+// ignore it.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.idleTimeout = d
 		}
 	}
 }
@@ -222,7 +238,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(s.opts.scanBuffer(), s.opts.maxFrame)
 
-	for scanner.Scan() {
+	for {
+		// The deadline re-arms per frame, so it bounds idle gaps (and
+		// drip-fed partial lines), not total connection lifetime.
+		if s.opts.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.opts.idleTimeout))
+		}
+		if !scanner.Scan() {
+			break
+		}
 		var req request
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			_ = writeFrame(conn, wireResponse{OK: false, Code: "bad_request", Message: "malformed frame"})

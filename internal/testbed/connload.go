@@ -1,0 +1,285 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/binapi"
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// ConnLoadMode selects how connections reach the binapi server.
+type ConnLoadMode string
+
+const (
+	// ConnLoadPipe uses in-process duplex buffers: zero per-connection
+	// goroutines on the server, which is what makes 100k+ concurrent
+	// connections in one test process feasible.
+	ConnLoadPipe ConnLoadMode = "pipe"
+	// ConnLoadSocket uses real loopback TCP sockets — bounded by file
+	// descriptors and ephemeral ports, so it runs at thousands scale as
+	// an honest-wire smoke next to the pipe-mode headline.
+	ConnLoadSocket ConnLoadMode = "socket"
+)
+
+// ConnLoadConfig parameterizes a connection-scale run against the
+// binapi front end: many persistent connections, each a registered
+// device delivering heartbeats over the multiplexed binary protocol.
+type ConnLoadConfig struct {
+	// Design is the binding design (default ClusterLabDesign — token-free,
+	// so setup per connection is one register status).
+	Design core.DesignSpec
+	// Conns is the connection count (default 1000). Each connection is
+	// its own registered device.
+	Conns int
+	// MsgsPerConn is the number of timed heartbeats per connection
+	// (default 5), sent after an untimed register.
+	MsgsPerConn int
+	// Mode picks pipe or socket transport (default pipe).
+	Mode ConnLoadMode
+	// Workers bounds the goroutines driving traffic (default
+	// 8×GOMAXPROCS, capped at Conns). All connections stay open for the
+	// whole run; Workers only bounds how many have a request in flight.
+	Workers int
+	// Window is the per-connection credit window the server advertises
+	// (default 8 — small, because slot tables are per-connection memory).
+	Window int
+	// Stripes is the server event-loop stripe count (default GOMAXPROCS).
+	Stripes int
+}
+
+// ConnLoadResult reports one connection-scale run.
+type ConnLoadResult struct {
+	// Mode, Conns, Stripes, Window echo the effective configuration.
+	Mode    ConnLoadMode
+	Conns   int
+	Stripes int
+	Window  int
+	// Messages is the number of timed heartbeats delivered.
+	Messages int
+	// Elapsed is the wall-clock time of the timed phase.
+	Elapsed time.Duration
+	// MsgsPerSec is Messages/Elapsed.
+	MsgsPerSec float64
+	// P50Micros and P99Micros are request round-trip latency
+	// percentiles in microseconds over every timed message.
+	P50Micros float64
+	P99Micros float64
+	// BytesPerConn is the mean wire traffic per connection (both
+	// directions) across the whole run, including registration.
+	BytesPerConn float64
+	// Goroutines is the process goroutine count while every connection
+	// was open — the stripe-architecture proof: in pipe mode it stays
+	// near Workers + Stripes regardless of Conns.
+	Goroutines int
+}
+
+// RunConnLoad opens cfg.Conns persistent binapi connections against one
+// cloud, registers a device per connection, then drives MsgsPerConn
+// heartbeats per connection and reports throughput, latency percentiles
+// and per-connection wire cost. The run fails on the first rejected
+// message.
+func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) {
+	var res ConnLoadResult
+	if cfg.Design.Name == "" {
+		cfg.Design = ClusterLabDesign()
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1000
+	}
+	if cfg.MsgsPerConn <= 0 {
+		cfg.MsgsPerConn = 5
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ConnLoadPipe
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Conns {
+		cfg.Workers = cfg.Conns
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = runtime.GOMAXPROCS(0)
+	}
+
+	clock := &Clock{t: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)}
+	registry := cloud.NewRegistry()
+	ids := make([]string, cfg.Conns)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%02X:BB:CC:%02X:%02X:%02X", (i>>24)&0xff, (i>>16)&0xff, (i>>8)&0xff, i&0xff)
+		if err := registry.Add(cloud.DeviceRecord{
+			ID:            ids[i],
+			FactorySecret: "factory-secret-" + ids[i],
+			Model:         cfg.Design.Name,
+		}); err != nil {
+			return res, fmt.Errorf("testbed: conn load: %w", err)
+		}
+	}
+	svc, err := cloud.NewService(cfg.Design, registry, cloud.WithClock(clock.Now))
+	if err != nil {
+		return res, fmt.Errorf("testbed: conn load: %w", err)
+	}
+
+	srv := binapi.NewServer(svc, binapi.WithWindow(cfg.Window), binapi.WithStripes(cfg.Stripes))
+	defer srv.Close()
+
+	var dial func(i int) (*binapi.Client, error)
+	switch cfg.Mode {
+	case ConnLoadPipe:
+		dial = func(i int) (*binapi.Client, error) {
+			return srv.Pipe(fmt.Sprintf("10.%d.%d.%d", (i>>16)&0xff, (i>>8)&0xff, i&0xff))
+		}
+	case ConnLoadSocket:
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return res, fmt.Errorf("testbed: conn load: listen: %w", lerr)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		addr := ln.Addr().String()
+		dial = func(int) (*binapi.Client, error) { return binapi.Dial(addr) }
+	default:
+		return res, fmt.Errorf("testbed: conn load: unknown mode %q", cfg.Mode)
+	}
+
+	// Open every connection and register its device — untimed setup.
+	// Workers share the connection slice; each connection is driven by
+	// exactly one worker at a time throughout.
+	conns := make([]*binapi.Client, cfg.Conns)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	per := (cfg.Conns + cfg.Workers - 1) / cfg.Workers
+	forEachSlice := func(fn func(lo, hi int)) {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > cfg.Conns {
+				hi = cfg.Conns
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	forEachSlice(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c, derr := dial(i)
+			if derr != nil {
+				fail(fmt.Errorf("dial conn %d: %w", i, derr))
+				return
+			}
+			conns[i] = c
+			if _, serr := c.HandleStatus(protocol.StatusRequest{
+				Kind: protocol.StatusRegister, DeviceID: ids[i],
+				Firmware: "1.0", Model: cfg.Design.Name,
+			}); serr != nil {
+				fail(fmt.Errorf("register conn %d: %w", i, serr))
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return res, fmt.Errorf("testbed: conn load: %w", firstErr)
+	}
+
+	// Every connection is now open and registered; this is the number
+	// the stripe architecture is about.
+	res.Goroutines = runtime.NumGoroutine()
+
+	// Timed phase: workers sweep their connection slices round-robin so
+	// traffic interleaves across the whole fleet rather than finishing
+	// one connection before touching the next.
+	lats := make([][]int64, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > cfg.Conns {
+			hi = cfg.Conns
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			mine := make([]int64, 0, (hi-lo)*cfg.MsgsPerConn)
+			for n := 0; n < cfg.MsgsPerConn; n++ {
+				for i := lo; i < hi; i++ {
+					t0 := time.Now()
+					if _, herr := conns[i].HandleStatus(protocol.StatusRequest{
+						Kind: protocol.StatusHeartbeat, DeviceID: ids[i],
+					}); herr != nil {
+						fail(fmt.Errorf("heartbeat conn %d: %w", i, herr))
+						return
+					}
+					mine = append(mine, time.Since(t0).Microseconds())
+				}
+			}
+			lats[w] = mine
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return res, fmt.Errorf("testbed: conn load: %w", firstErr)
+	}
+
+	all := make([]int64, 0, cfg.Conns*cfg.MsgsPerConn)
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var bytes int64
+	for _, c := range conns {
+		bytes += c.BytesIn() + c.BytesOut()
+	}
+
+	res.Mode = cfg.Mode
+	res.Conns = cfg.Conns
+	res.Stripes = cfg.Stripes
+	res.Window = cfg.Window
+	res.Messages = len(all)
+	res.Elapsed = elapsed
+	if elapsed > 0 {
+		res.MsgsPerSec = float64(res.Messages) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		res.P50Micros = float64(all[len(all)/2])
+		res.P99Micros = float64(all[len(all)*99/100])
+	}
+	res.BytesPerConn = float64(bytes) / float64(cfg.Conns)
+	return res, nil
+}

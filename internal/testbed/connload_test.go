@@ -1,0 +1,56 @@
+package testbed
+
+import (
+	"runtime"
+	"testing"
+)
+
+// connSmokeConns keeps the unit-test scale modest; the 100k-connection
+// headline run lives in the root benchmark suite (BenchmarkConnLoad)
+// and `make conn-smoke`.
+func connSmokeConns() int {
+	if raceEnabled {
+		return 300
+	}
+	return 2000
+}
+
+func TestConnLoadPipe(t *testing.T) {
+	conns := connSmokeConns()
+	res, err := RunConnLoad(ConnLoadConfig{Conns: conns, MsgsPerConn: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != conns*3 {
+		t.Fatalf("messages = %d, want %d", res.Messages, conns*3)
+	}
+	if res.MsgsPerSec <= 0 || res.P99Micros <= 0 || res.BytesPerConn <= 0 {
+		t.Fatalf("degenerate metrics: %+v", res)
+	}
+	// The architecture claim: goroutines scale with workers+stripes, not
+	// connections. Allow generous slack for test-runner goroutines.
+	if limit := res.Conns/4 + 200; res.Goroutines >= limit {
+		t.Fatalf("goroutines = %d with %d pipe conns (stripes=%d): per-connection goroutines crept in",
+			res.Goroutines, res.Conns, res.Stripes)
+	}
+}
+
+func TestConnLoadSocket(t *testing.T) {
+	conns := 200
+	if raceEnabled {
+		conns = 50
+	}
+	res, err := RunConnLoad(ConnLoadConfig{
+		Conns: conns, MsgsPerConn: 3, Mode: ConnLoadSocket,
+		Workers: 4 * runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != conns*3 {
+		t.Fatalf("messages = %d, want %d", res.Messages, conns*3)
+	}
+	if res.MsgsPerSec <= 0 {
+		t.Fatalf("degenerate metrics: %+v", res)
+	}
+}

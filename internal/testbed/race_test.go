@@ -1,0 +1,6 @@
+//go:build race
+
+package testbed
+
+// raceEnabled scales down load-test sizes under the race detector.
+const raceEnabled = true

@@ -56,9 +56,12 @@ var (
 // on both amd64 and arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendFrame encodes one record into dst and returns the extended
-// slice.
-func appendFrame(dst []byte, lsn uint64, payload []byte) []byte {
+// AppendFrame encodes one record into dst and returns the extended
+// slice. Exported because the frame geometry is shared with the binapi
+// wire protocol: the wire reuses this exact layout with the LSN slot
+// carrying a (stream ID, kind, flags) header word instead, so one
+// encoder and one parser serve both the log and the connection.
+func AppendFrame(dst []byte, lsn uint64, payload []byte) []byte {
 	off := len(dst)
 	dst = append(dst, make([]byte, frameHeaderSize)...)
 	dst = append(dst, payload...)

@@ -15,7 +15,7 @@ import (
 func FuzzFrameDecode(f *testing.F) {
 	// Seed with the interesting shapes: valid frames, truncations at
 	// every boundary, a bit flip, an oversized length, and zeroes.
-	valid := appendFrame(nil, 7, []byte("seed-payload"))
+	valid := AppendFrame(nil, 7, []byte("seed-payload"))
 	f.Add(valid)
 	f.Add(valid[:frameHeaderSize-1]) // short header
 	f.Add(valid[:frameHeaderSize])   // header only
@@ -51,7 +51,7 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		// Accepted frames are exactly re-encodable: the CRC pins both
 		// LSN and payload to the consumed bytes.
-		if re := appendFrame(nil, lsn, payload); !bytes.Equal(re, data[:frameLen]) {
+		if re := AppendFrame(nil, lsn, payload); !bytes.Equal(re, data[:frameLen]) {
 			t.Fatalf("accepted frame does not re-encode to its input")
 		}
 	})
@@ -61,8 +61,8 @@ func FuzzFrameDecode(f *testing.F) {
 // segment file: Scan must classify any damage as a torn tail or a typed
 // error, never panic, and never mutate the file.
 func FuzzScanDir(f *testing.F) {
-	good := appendFrame(nil, 1, []byte("a"))
-	good = appendFrame(good, 2, []byte("bb"))
+	good := AppendFrame(nil, 1, []byte("a"))
+	good = AppendFrame(good, 2, []byte("bb"))
 	f.Add(good)
 	f.Add(good[:len(good)-3])
 	f.Add([]byte("not a frame at all"))
@@ -97,7 +97,7 @@ func FuzzMergeShards(f *testing.F) {
 	frames := func(lsns ...uint64) []byte {
 		var out []byte
 		for _, lsn := range lsns {
-			out = appendFrame(out, lsn, []byte{byte(lsn), 'p'})
+			out = AppendFrame(out, lsn, []byte{byte(lsn), 'p'})
 		}
 		return out
 	}

@@ -127,7 +127,7 @@ func TestSparseOpenDropsDeadTailSegment(t *testing.T) {
 	dir := t.TempDir()
 	sparseAppend(t, dir, Options{}, 10, 20)
 	// A follow-on segment whose only frame tore mid-write.
-	frame := appendFrame(nil, 99, []byte("torn"))
+	frame := AppendFrame(nil, 99, []byte("torn"))
 	if err := os.WriteFile(segmentPath(dir, 99), frame[:len(frame)-2], 0o644); err != nil {
 		t.Fatal(err)
 	}

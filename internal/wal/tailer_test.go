@@ -119,10 +119,10 @@ func TestTailerStopsAtLiveTailThenResumes(t *testing.T) {
 	dir := t.TempDir()
 	seg := filepath.Join(dir, "00000000000000000001.wal")
 	var full []byte
-	full = appendFrame(full, 1, []byte("first"))
-	full = appendFrame(full, 2, []byte("second"))
+	full = AppendFrame(full, 1, []byte("first"))
+	full = AppendFrame(full, 2, []byte("second"))
 	cut := len(full)
-	full = appendFrame(full, 3, []byte("third"))
+	full = AppendFrame(full, 3, []byte("third"))
 	if err := os.WriteFile(seg, full[:cut+7], 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -146,13 +146,13 @@ func TestTailerStopsAtLiveTailThenResumes(t *testing.T) {
 func TestTailerRejectsTornSealedSegment(t *testing.T) {
 	dir := t.TempDir()
 	var first []byte
-	first = appendFrame(first, 1, []byte("first"))
-	first = appendFrame(first, 2, []byte("second"))
+	first = AppendFrame(first, 1, []byte("first"))
+	first = AppendFrame(first, 2, []byte("second"))
 	if err := os.WriteFile(filepath.Join(dir, "00000000000000000001.wal"), first[:len(first)-3], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var second []byte
-	second = appendFrame(second, 3, []byte("third"))
+	second = AppendFrame(second, 3, []byte("third"))
 	if err := os.WriteFile(filepath.Join(dir, "00000000000000000003.wal"), second, 0o644); err != nil {
 		t.Fatal(err)
 	}

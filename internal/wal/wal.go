@@ -384,7 +384,7 @@ func (l *Log) appendLocked(lsn uint64, payload []byte) error {
 		return fmt.Errorf("wal: append: %w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
 
-	l.scratch = appendFrame(l.scratch[:0], lsn, payload)
+	l.scratch = AppendFrame(l.scratch[:0], lsn, payload)
 	frame := l.scratch
 
 	if l.f == nil {

@@ -147,7 +147,7 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := appendFrame(nil, 6, []byte("this frame is cut short"))
+	frame := AppendFrame(nil, 6, []byte("this frame is cut short"))
 	if _, err := f.Write(frame[:len(frame)-5]); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,180 @@
+package wirecodec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// Envelope is the JSON record for the cold operations: exactly one
+// request pointer is set, per Op.
+type Envelope struct {
+	Op  string `json:"op"`
+	At  int64  `json:"at"`
+	Src string `json:"src,omitempty"`
+
+	RegisterUser *protocol.RegisterUserRequest `json:"register_user,omitempty"`
+	Login        *protocol.LoginRequest        `json:"login,omitempty"`
+	DeviceToken  *protocol.DeviceTokenRequest  `json:"device_token,omitempty"`
+	BindToken    *protocol.BindTokenRequest    `json:"bind_token,omitempty"`
+	Bind         *protocol.BindRequest         `json:"bind,omitempty"`
+	Unbind       *protocol.UnbindRequest       `json:"unbind,omitempty"`
+	Control      *protocol.ControlRequest      `json:"control,omitempty"`
+	Push         *protocol.PushUserDataRequest `json:"push,omitempty"`
+	Share        *protocol.ShareRequest        `json:"share,omitempty"`
+}
+
+// Liveness is a decoded liveness record body.
+type Liveness struct {
+	DeviceID string
+	Owner    string
+}
+
+// Record is one decoded record, ready to re-execute (WAL replay) or
+// dispatch (wire). Exactly one of the payload pointers is set.
+type Record struct {
+	Op string
+	At time.Time
+
+	Status   *protocol.StatusRequest
+	Batch    *protocol.StatusBatchRequest
+	Liveness *Liveness
+	Env      *Envelope
+}
+
+// EncodeStatusRecord writes a complete status record into b.
+func EncodeStatusRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusRequest) {
+	PutU8(b, TagStatus)
+	PutI64(b, EncodeTime(at))
+	PutStatusBody(b, req)
+}
+
+// EncodeLivenessRecord writes a liveness record into b: the device
+// whose unlogged bare heartbeats are being made durable, the time of
+// the last one, and the session owner it authenticated (empty when the
+// design's device auth carries no owner).
+func EncodeLivenessRecord(b *bytes.Buffer, at time.Time, deviceID, owner string) {
+	PutU8(b, TagLiveness)
+	PutI64(b, EncodeTime(at))
+	PutStr(b, deviceID)
+	PutStr(b, owner)
+}
+
+// EncodeBatchRecord writes a complete status-batch record into b. The
+// envelope source address and each item's own address are both kept:
+// the handler only overrides items when the envelope address is
+// non-empty.
+func EncodeBatchRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusBatchRequest) {
+	PutU8(b, TagBatch)
+	PutI64(b, EncodeTime(at))
+	PutStr(b, req.SourceIP)
+	PutUvarint(b, uint64(len(req.Items)))
+	for i := range req.Items {
+		PutStatusBody(b, &req.Items[i])
+	}
+}
+
+// DecodeRecord parses any record payload.
+func DecodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wirecodec: %w: empty record", protocol.ErrBadRequest)
+	}
+	switch payload[0] {
+	case TagStatus:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		req := ReadStatusBody(c)
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "status", At: at, Status: &req}, nil
+	case TagLiveness:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		lv := Liveness{DeviceID: c.Str(), Owner: c.Str()}
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "liveness", At: at, Liveness: &lv}, nil
+	case TagBatch:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		var req protocol.StatusBatchRequest
+		req.SourceIP = c.Str()
+		n := c.Count(MinStatusSize)
+		if err := c.Err(); err != nil {
+			return Record{}, err
+		}
+		req.Items = make([]protocol.StatusRequest, n)
+		for i := range req.Items {
+			req.Items[i] = ReadStatusBody(c)
+		}
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "status_batch", At: at, Batch: &req}, nil
+	case TagJSON:
+		var env Envelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return Record{}, fmt.Errorf("wirecodec: %w: envelope: %v", protocol.ErrBadRequest, err)
+		}
+		return Record{Op: env.Op, At: DecodeTime(env.At), Env: &env}, nil
+	default:
+		return Record{}, fmt.Errorf("wirecodec: %w: unknown record tag 0x%02x", protocol.ErrBadRequest, payload[0])
+	}
+}
+
+// DescribeRecord renders a one-line human summary of a record payload —
+// the walinspect dump format. It never executes the record.
+func DescribeRecord(payload []byte) (string, error) {
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		return "", err
+	}
+	ts := "-"
+	if !rec.At.IsZero() {
+		ts = rec.At.UTC().Format(time.RFC3339Nano)
+	}
+	switch {
+	case rec.Status != nil:
+		return fmt.Sprintf("%s status %s device=%s keyed=%t readings=%d",
+			ts, rec.Status.Kind, rec.Status.DeviceID,
+			rec.Status.IdempotencyKey != "", len(rec.Status.Readings)), nil
+	case rec.Batch != nil:
+		return fmt.Sprintf("%s status_batch items=%d", ts, len(rec.Batch.Items)), nil
+	case rec.Liveness != nil:
+		return fmt.Sprintf("%s liveness device=%s owner=%q", ts, rec.Liveness.DeviceID, rec.Liveness.Owner), nil
+	default:
+		env := rec.Env
+		switch {
+		case env.RegisterUser != nil:
+			return fmt.Sprintf("%s register_user user=%s", ts, env.RegisterUser.UserID), nil
+		case env.Login != nil:
+			return fmt.Sprintf("%s login user=%s", ts, env.Login.UserID), nil
+		case env.DeviceToken != nil:
+			return fmt.Sprintf("%s device_token device=%s", ts, env.DeviceToken.DeviceID), nil
+		case env.BindToken != nil:
+			return fmt.Sprintf("%s bind_token device=%s", ts, env.BindToken.DeviceID), nil
+		case env.Bind != nil:
+			return fmt.Sprintf("%s bind device=%s sender=%d keyed=%t",
+				ts, env.Bind.DeviceID, env.Bind.Sender, env.Bind.IdempotencyKey != ""), nil
+		case env.Unbind != nil:
+			return fmt.Sprintf("%s unbind device=%s sender=%d", ts, env.Unbind.DeviceID, env.Unbind.Sender), nil
+		case env.Control != nil:
+			return fmt.Sprintf("%s control device=%s cmd=%s", ts, env.Control.DeviceID, env.Control.Command.Name), nil
+		case env.Push != nil:
+			return fmt.Sprintf("%s push device=%s kind=%s", ts, env.Push.DeviceID, env.Push.Data.Kind), nil
+		case env.Share != nil:
+			return fmt.Sprintf("%s share device=%s guest=%s revoke=%t",
+				ts, env.Share.DeviceID, env.Share.Guest, env.Share.Revoke), nil
+		default:
+			return fmt.Sprintf("%s %s", ts, env.Op), nil
+		}
+	}
+}

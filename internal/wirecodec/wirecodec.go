@@ -1,0 +1,425 @@
+// Package wirecodec holds the compact binary record forms shared by the
+// write-ahead log (cloud.Durable) and the persistent-connection binary
+// front end (binapi). The encoders started life as internal/cloud's WAL
+// codec; extracting them means a status message is serialized by exactly
+// one piece of code whether it is being logged for durability or framed
+// for the wire — and walinspect's describe logic understands both.
+//
+// Two payload formats share the record space, distinguished by the
+// first byte:
+//
+//   - 0x01 / 0x02: hand-rolled binary records for the hot operations
+//     (single status, status batch). The status path is the one that
+//     must stay within the durability and framing budgets, so its
+//     encoder is a flat length-prefixed field walk into a caller-owned
+//     buffer — no reflection, no intermediate allocations.
+//   - 0x03: a liveness record — the coalesced effect of a device's
+//     unlogged bare heartbeats (lastSeen, session owner), flushed by
+//     cloud.Durable ahead of any logged record whose outcome could
+//     depend on that state.
+//   - '{' (0x7b): a JSON envelope for everything cold (accounts,
+//     logins, token issues, bind/unbind/control/push/share). These
+//     happen at human rates; clarity beats compactness.
+//
+// Every record carries the wall-clock time the operation executed at.
+// WAL replay pins the service clock to that instant; the wire carries
+// the same layout so one decoder serves both consumers. Decoders bound
+// every count-prefixed allocation by remaining-bytes / minimum-item-
+// size, so a corrupt or crafted count cannot force an allocation orders
+// of magnitude larger than the record that carries it.
+package wirecodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// Record tags: the first payload byte.
+const (
+	TagStatus   = 0x01
+	TagBatch    = 0x02
+	TagLiveness = 0x03
+	TagJSON     = '{'
+)
+
+// Minimum encoded item sizes, used with Cursor.Count to bound
+// count-prefixed allocations.
+const (
+	// MinReadingSize is an empty-name reading: name uvarint(1) +
+	// value f64(8) + time i64(8).
+	MinReadingSize = 17
+	// MinStatusSize is an all-empty status body: kind u8(1) + nine
+	// empty strings (1 each) + button u8(1) + readings count uvarint(1).
+	MinStatusSize = 12
+	// MinCommandSize is an empty command: id(1) + name(1) + args
+	// count(1).
+	MinCommandSize = 3
+	// MinUserDataSize is an empty user-data item: kind(1) + body(1).
+	MinUserDataSize = 2
+	// MinStringSize is an empty length-prefixed string.
+	MinStringSize = 1
+	// MinBatchResultSize is an empty batch item outcome: code(1) +
+	// message(1) + an all-empty status response (bound u8(1) + nonce(1)
+	// + command count(1) + user-data count(1)).
+	MinBatchResultSize = 6
+)
+
+// timeZero encodes time.Time{} — UnixNano is undefined for the zero
+// time, so it travels as a sentinel.
+const timeZero = math.MinInt64
+
+// EncodeTime converts a wall-clock instant to its wire form.
+func EncodeTime(t time.Time) int64 {
+	if t.IsZero() {
+		return timeZero
+	}
+	return t.UnixNano()
+}
+
+// DecodeTime reverses EncodeTime.
+func DecodeTime(v int64) time.Time {
+	if v == timeZero {
+		return time.Time{}
+	}
+	return time.Unix(0, v).UTC()
+}
+
+// ---- binary primitives -----------------------------------------------------
+
+// PutU8 appends one byte.
+func PutU8(b *bytes.Buffer, v uint8) { b.WriteByte(v) }
+
+// PutI64 appends a little-endian int64.
+func PutI64(b *bytes.Buffer, v int64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+	b.Write(tmp[:])
+}
+
+// PutUvarint appends a varint-encoded count or length.
+func PutUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+// PutStr appends a length-prefixed string.
+func PutStr(b *bytes.Buffer, s string) {
+	PutUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+// PutF64 appends a little-endian float64.
+func PutF64(b *bytes.Buffer, v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	b.Write(tmp[:])
+}
+
+// Cursor is a bounds-checked reader over a binary record. The first
+// failure sticks; every accessor afterwards returns a zero value, and
+// the caller checks Err once at the end. Strings alias nothing: each
+// Str copies out of the input, so decoded requests survive buffer
+// reuse.
+type Cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewCursor positions a cursor at off within data.
+func NewCursor(data []byte, off int) *Cursor {
+	return &Cursor{data: data, off: off}
+}
+
+// Err returns the sticky decode failure, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Done reports whether every byte was consumed; trailing garbage is a
+// decode error the same way truncation is.
+func (c *Cursor) Done() bool { return c.err == nil && c.off == len(c.data) }
+
+// Fail marks the cursor failed (truncated or trailing-garbage record).
+func (c *Cursor) Fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("wirecodec: %w: truncated record", protocol.ErrBadRequest)
+	}
+}
+
+// U8 reads one byte.
+func (c *Cursor) U8() uint8 {
+	if c.err != nil || c.off >= len(c.data) {
+		c.Fail()
+		return 0
+	}
+	v := c.data[c.off]
+	c.off++
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (c *Cursor) I64() int64 {
+	if c.err != nil || c.off+8 > len(c.data) {
+		c.Fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.off:])
+	c.off += 8
+	return int64(v)
+}
+
+// F64 reads a little-endian float64.
+func (c *Cursor) F64() float64 { return math.Float64frombits(uint64(c.I64())) }
+
+// Uvarint reads a varint-encoded count or length.
+func (c *Cursor) Uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		c.Fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+// Str reads a length-prefixed string.
+func (c *Cursor) Str() string {
+	n := c.Uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(len(c.data)-c.off) {
+		c.Fail()
+		return ""
+	}
+	s := string(c.data[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+// StrBytes reads a length-prefixed string but returns the raw bytes,
+// aliasing the input. Hot-path decoders use it to intern repeated
+// values (a connection's device ID) without a per-message allocation;
+// the slice is valid only as long as the input buffer.
+func (c *Cursor) StrBytes() []byte {
+	n := c.Uvarint()
+	if c.err != nil {
+		return nil
+	}
+	if n > uint64(len(c.data)-c.off) {
+		c.Fail()
+		return nil
+	}
+	b := c.data[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b
+}
+
+// Count reads an item count and rejects any that could not fit in the
+// remaining bytes at min encoded bytes per item, before the caller
+// sizes an allocation by it.
+func (c *Cursor) Count(min int) uint64 {
+	n := c.Uvarint()
+	if c.err != nil {
+		return 0
+	}
+	if n > uint64(len(c.data)-c.off)/uint64(min) {
+		c.Fail()
+		return 0
+	}
+	return n
+}
+
+// ---- status request body ---------------------------------------------------
+
+// PutStatusBody serializes one StatusRequest (including its source
+// address, which does not travel in JSON: the WAL must replay the
+// address the transport stamped, and remote binapi servers overwrite it
+// with the connection's address before dispatch).
+func PutStatusBody(b *bytes.Buffer, req *protocol.StatusRequest) {
+	PutU8(b, uint8(req.Kind))
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.DevToken)
+	PutStr(b, req.Signature)
+	PutStr(b, req.SessionToken)
+	PutStr(b, req.DataProof)
+	PutStr(b, req.IdempotencyKey)
+	PutStr(b, req.Firmware)
+	PutStr(b, req.Model)
+	PutStr(b, req.SourceIP)
+	var button uint8
+	if req.ButtonPressed {
+		button = 1
+	}
+	PutU8(b, button)
+	PutUvarint(b, uint64(len(req.Readings)))
+	for i := range req.Readings {
+		PutStr(b, req.Readings[i].Name)
+		PutF64(b, req.Readings[i].Value)
+		PutI64(b, EncodeTime(req.Readings[i].At))
+	}
+}
+
+// ReadStatusBody decodes one StatusRequest.
+func ReadStatusBody(c *Cursor) protocol.StatusRequest {
+	var req protocol.StatusRequest
+	req.Kind = protocol.StatusKind(c.U8())
+	req.DeviceID = c.Str()
+	ReadStatusRest(c, &req)
+	return req
+}
+
+// ReadStatusRest decodes the fields following Kind and DeviceID into
+// req. Split out so hot-path decoders (the binapi server) can read the
+// device ID through an interning cache — the one per-message string
+// allocation in an otherwise allocation-free decode — and delegate the
+// rest here.
+func ReadStatusRest(c *Cursor, req *protocol.StatusRequest) {
+	req.DevToken = c.Str()
+	req.Signature = c.Str()
+	req.SessionToken = c.Str()
+	req.DataProof = c.Str()
+	req.IdempotencyKey = c.Str()
+	req.Firmware = c.Str()
+	req.Model = c.Str()
+	req.SourceIP = c.Str()
+	req.ButtonPressed = c.U8() != 0
+	n := c.Count(MinReadingSize)
+	if c.err != nil {
+		return
+	}
+	if n > 0 {
+		req.Readings = make([]protocol.Reading, n)
+		for i := range req.Readings {
+			req.Readings[i].Name = c.Str()
+			req.Readings[i].Value = c.F64()
+			req.Readings[i].At = DecodeTime(c.I64())
+		}
+	}
+}
+
+// ---- status response body --------------------------------------------------
+
+// PutStatusResponse serializes one StatusResponse — the wire-only
+// counterpart of PutStatusBody (responses are never logged, so this
+// form has no WAL tag).
+func PutStatusResponse(b *bytes.Buffer, resp *protocol.StatusResponse) {
+	var bound uint8
+	if resp.Bound {
+		bound = 1
+	}
+	PutU8(b, bound)
+	PutStr(b, resp.SessionNonce)
+	PutUvarint(b, uint64(len(resp.Commands)))
+	for i := range resp.Commands {
+		PutCommand(b, &resp.Commands[i])
+	}
+	PutUvarint(b, uint64(len(resp.UserData)))
+	for i := range resp.UserData {
+		PutStr(b, resp.UserData[i].Kind)
+		PutStr(b, resp.UserData[i].Body)
+	}
+}
+
+// ReadStatusResponse decodes one StatusResponse.
+func ReadStatusResponse(c *Cursor) protocol.StatusResponse {
+	var resp protocol.StatusResponse
+	resp.Bound = c.U8() != 0
+	resp.SessionNonce = c.Str()
+	if n := c.Count(MinCommandSize); c.err == nil && n > 0 {
+		resp.Commands = make([]protocol.Command, n)
+		for i := range resp.Commands {
+			resp.Commands[i] = ReadCommand(c)
+		}
+	}
+	if n := c.Count(MinUserDataSize); c.err == nil && n > 0 {
+		resp.UserData = make([]protocol.UserData, n)
+		for i := range resp.UserData {
+			resp.UserData[i].Kind = c.Str()
+			resp.UserData[i].Body = c.Str()
+		}
+	}
+	return resp
+}
+
+// PutStatusBatchResponse serializes the per-item outcomes of a status
+// batch, index-aligned with the request.
+func PutStatusBatchResponse(b *bytes.Buffer, resp *protocol.StatusBatchResponse) {
+	PutUvarint(b, uint64(len(resp.Results)))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		PutStr(b, r.Code)
+		PutStr(b, r.Message)
+		PutStatusResponse(b, &r.Response)
+	}
+}
+
+// ReadStatusBatchResponse decodes the per-item outcomes of a status
+// batch.
+func ReadStatusBatchResponse(c *Cursor) protocol.StatusBatchResponse {
+	var resp protocol.StatusBatchResponse
+	n := c.Count(MinBatchResultSize)
+	if c.err != nil || n == 0 {
+		return resp
+	}
+	resp.Results = make([]protocol.StatusBatchResult, n)
+	for i := range resp.Results {
+		resp.Results[i].Code = c.Str()
+		resp.Results[i].Message = c.Str()
+		resp.Results[i].Response = ReadStatusResponse(c)
+	}
+	return resp
+}
+
+// PutCommand serializes one control command.
+func PutCommand(b *bytes.Buffer, cmd *protocol.Command) {
+	PutStr(b, cmd.ID)
+	PutStr(b, cmd.Name)
+	PutUvarint(b, uint64(len(cmd.Args)))
+	if len(cmd.Args) > 0 {
+		// Deterministic order so identical commands encode identically
+		// regardless of map iteration; args are tiny.
+		keys := make([]string, 0, len(cmd.Args))
+		for k := range cmd.Args {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			PutStr(b, k)
+			PutStr(b, cmd.Args[k])
+		}
+	}
+}
+
+// ReadCommand decodes one control command.
+func ReadCommand(c *Cursor) protocol.Command {
+	var cmd protocol.Command
+	cmd.ID = c.Str()
+	cmd.Name = c.Str()
+	if n := c.Count(2 * MinStringSize); c.err == nil && n > 0 {
+		cmd.Args = make(map[string]string, n)
+		for i := uint64(0); i < n; i++ {
+			k := c.Str()
+			cmd.Args[k] = c.Str()
+		}
+	}
+	return cmd
+}
+
+// sortStrings is an insertion sort: arg maps hold a handful of keys and
+// pulling in package sort would be the only import for it.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

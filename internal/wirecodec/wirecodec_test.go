@@ -1,0 +1,222 @@
+package wirecodec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+const testDevice = "AA:BB:CC:00:00:01"
+
+func TestStatusRecordRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 1, 500, time.UTC)
+	req := &protocol.StatusRequest{
+		Kind:           protocol.StatusRegister,
+		DeviceID:       testDevice,
+		DevToken:       "devtok",
+		Signature:      "sig",
+		SessionToken:   "sess",
+		DataProof:      "proof",
+		ButtonPressed:  true,
+		Firmware:       "1.2",
+		Model:          "plug",
+		IdempotencyKey: "k1",
+		SourceIP:       "10.0.0.7",
+		Readings: []protocol.Reading{
+			{Name: "power_w", Value: 3.25, At: at},
+			{Name: "temp_c", Value: -1.5, At: time.Time{}},
+		},
+	}
+	var buf bytes.Buffer
+	EncodeStatusRecord(&buf, at, req)
+	rec, err := DecodeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.At.Equal(at) {
+		t.Errorf("at = %v, want %v", rec.At, at)
+	}
+	if rec.Status == nil {
+		t.Fatal("decoded record has no status request")
+	}
+	if !reflect.DeepEqual(rec.Status, req) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", rec.Status, req)
+	}
+}
+
+func TestBatchRecordRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 2, 0, time.UTC)
+	req := &protocol.StatusBatchRequest{
+		SourceIP: "10.0.0.9",
+		Items: []protocol.StatusRequest{
+			{Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "a"},
+			{Kind: protocol.StatusRegister, DeviceID: testDevice, SourceIP: "10.0.0.3",
+				Readings: []protocol.Reading{{Name: "power_w", Value: 1, At: at}}},
+		},
+	}
+	var buf bytes.Buffer
+	EncodeBatchRecord(&buf, at, req)
+	rec, err := DecodeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batch == nil {
+		t.Fatal("decoded record has no batch request")
+	}
+	if !reflect.DeepEqual(rec.Batch, req) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", rec.Batch, req)
+	}
+}
+
+// TestTruncationIsError proves every truncation of a valid binary
+// record decodes to an error, never a panic or a silent partial
+// request.
+func TestTruncationIsError(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 3, 0, time.UTC)
+	var buf bytes.Buffer
+	EncodeStatusRecord(&buf, at, &protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice, IdempotencyKey: "k",
+		Readings: []protocol.Reading{{Name: "power_w", Value: 2, At: at}},
+	})
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRecord(full[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	if _, err := DecodeRecord(append(append([]byte(nil), full...), 0xFF)); err == nil {
+		t.Error("trailing garbage decoded without error")
+	}
+}
+
+// TestLivenessRoundTrip covers the liveness record: the coalesced
+// bare-heartbeat effect flushed ahead of logged records.
+func TestLivenessRoundTrip(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 4, 250, time.UTC)
+	var buf bytes.Buffer
+	EncodeLivenessRecord(&buf, at, testDevice, "victim@example.com")
+	rec, err := DecodeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Liveness == nil {
+		t.Fatal("decoded record has no liveness body")
+	}
+	if !rec.At.Equal(at) || rec.Liveness.DeviceID != testDevice || rec.Liveness.Owner != "victim@example.com" {
+		t.Errorf("round trip = %v %+v, want %v device=%s owner=victim@example.com", rec.At, rec.Liveness, at, testDevice)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRecord(full[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+// TestHugeCountsRejected pins the decoder's allocation bound: a crafted
+// record claiming more items than its remaining bytes could possibly
+// hold must be rejected before the count sizes an allocation — WAL
+// recovery, walinspect and the wire front end all read foreign bytes.
+func TestHugeCountsRejected(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 5, 0, time.UTC)
+
+	var status bytes.Buffer
+	PutU8(&status, TagStatus)
+	PutI64(&status, at.UnixNano())
+	PutU8(&status, uint8(protocol.StatusHeartbeat))
+	for i := 0; i < 9; i++ { // device ID through source IP, all empty
+		PutStr(&status, "")
+	}
+	PutU8(&status, 0)                  // button
+	PutUvarint(&status, uint64(1)<<40) // readings "count" with no bytes behind it
+	if _, err := DecodeRecord(status.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("huge readings count decoded to %v, want ErrBadRequest", err)
+	}
+
+	var batch bytes.Buffer
+	PutU8(&batch, TagBatch)
+	PutI64(&batch, at.UnixNano())
+	PutStr(&batch, "") // envelope source IP
+	PutUvarint(&batch, uint64(1)<<40)
+	if _, err := DecodeRecord(batch.Bytes()); !errors.Is(err, protocol.ErrBadRequest) {
+		t.Errorf("huge batch item count decoded to %v, want ErrBadRequest", err)
+	}
+}
+
+// TestStatusResponseRoundTrip covers the wire-only response body,
+// including deterministic arg-map encoding and the zero-value fast
+// path.
+func TestStatusResponseRoundTrip(t *testing.T) {
+	cases := []protocol.StatusResponse{
+		{},
+		{Bound: true, SessionNonce: "nonce-1"},
+		{
+			Bound: true,
+			Commands: []protocol.Command{
+				{ID: "c1", Name: "turn_on"},
+				{ID: "c2", Name: "set", Args: map[string]string{"level": "7", "mode": "eco"}},
+			},
+			UserData: []protocol.UserData{{Kind: "schedule", Body: "09:00 on"}},
+		},
+	}
+	for i, resp := range cases {
+		var buf bytes.Buffer
+		PutStatusResponse(&buf, &resp)
+		c := NewCursor(buf.Bytes(), 0)
+		got := ReadStatusResponse(c)
+		if !c.Done() {
+			t.Fatalf("case %d: cursor not done (err=%v)", i, c.Err())
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("case %d round trip:\n got %+v\nwant %+v", i, got, resp)
+		}
+		for n := 1; n < buf.Len(); n++ {
+			tc := NewCursor(buf.Bytes()[:n], 0)
+			ReadStatusResponse(tc)
+			if tc.Done() {
+				t.Errorf("case %d: truncation to %d bytes read cleanly", i, n)
+			}
+		}
+	}
+}
+
+// TestResponseHugeCountsRejected extends the allocation bound to the
+// response decoder: command and user-data counts are checked against
+// remaining bytes before sizing slices.
+func TestResponseHugeCountsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	PutU8(&buf, 1)   // bound
+	PutStr(&buf, "") // nonce
+	PutUvarint(&buf, uint64(1)<<40)
+	c := NewCursor(buf.Bytes(), 0)
+	ReadStatusResponse(c)
+	if c.Err() == nil {
+		t.Error("huge command count read without error")
+	}
+}
+
+// TestDescribeRecord pins the walinspect dump format survives the move
+// into wirecodec.
+func TestDescribeRecord(t *testing.T) {
+	at := time.Date(2026, 7, 6, 12, 0, 6, 0, time.UTC)
+	var buf bytes.Buffer
+	EncodeStatusRecord(&buf, at, &protocol.StatusRequest{
+		Kind: protocol.StatusHeartbeat, DeviceID: testDevice,
+		Readings: []protocol.Reading{{Name: "power_w", Value: 1, At: at}},
+	})
+	desc, err := DescribeRecord(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "2026-07-06T12:00:06Z status heartbeat device=" + testDevice + " keyed=false readings=1"
+	if desc != want {
+		t.Errorf("describe = %q, want %q", desc, want)
+	}
+	if _, err := DescribeRecord([]byte{0x77}); err == nil {
+		t.Error("unknown tag described without error")
+	}
+}
