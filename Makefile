@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke ci
+.PHONY: all build crossbuild fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke ci
 
 all: ci
 
 build:
 	$(GO) build ./...
+
+# crossbuild compiles for a non-Linux target so the build-tagged epoll
+# readiness source and its pump fallback both stay compilable.
+crossbuild:
+	GOOS=darwin $(GO) build ./...
 
 # fmt fails (listing the offenders) if any file is not gofmt-clean.
 fmt:
@@ -59,8 +64,10 @@ bench-json:
 	{ $(GO) test -bench='^BenchmarkClusterStatus$$' -benchtime=20000x -benchmem -run='^$$' ./internal/cluster/ ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_7.json
 	{ $(GO) test -bench='^BenchmarkBinStatus$$' -benchtime=10000x -benchmem -run='^$$' . ; \
-	  $(GO) test -bench='^BenchmarkConnLoad$$' -benchtime=1x -benchmem -run='^$$' -timeout=20m . ; } \
+	  $(GO) test -bench='^BenchmarkConnLoad$$/^(pipe100k|socket2k-pump)$$' -benchtime=1x -benchmem -run='^$$' -timeout=20m . ; } \
 	  | $(GO) run ./cmd/benchjson -merge -o BENCH_8.json
+	{ $(GO) test -bench='^BenchmarkConnLoad$$/^socket' -benchtime=1x -benchmem -run='^$$' -timeout=30m . ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_9.json
 
 # bench-json-smoke proves the bench->JSON pipeline still parses (one
 # iteration per benchmark, output discarded) without the full sweep's
@@ -93,16 +100,21 @@ cluster-smoke:
 	$(GO) test -race -run='^TestClusterSmoke$$' -v ./internal/cluster/
 
 # conn-smoke runs the connection-scale harness at CI size: thousands of
-# multiplexed pipe connections plus a socket run through the striped
-# event loop, verifying message counts, latency metrics and the
-# goroutine bound (no per-connection server goroutines in pipe mode).
+# multiplexed pipe connections plus socket runs through both readiness
+# sources (raw epoll and the pump fallback), verifying message counts,
+# latency metrics and the goroutine bounds — no per-connection server
+# goroutines in pipe or epoll mode. The second line is the epoll unit
+# gate: three-way transport equivalence, the short-write/EPOLLOUT
+# re-arm path, idle-timeout behaviour and the fd-close-vs-ready storm.
 conn-smoke:
 	$(GO) test -run='^TestConnLoad' -v ./internal/testbed/
+	$(GO) test -race -run='^(TestReadinessEquivalence|TestShortWriteRearm|TestEpollCloseRaceStorm|TestIdleTimeout)' -v ./internal/binapi/
 
-# ci is the tier-1+ verification gate: formatting, vet, build, the full
+# ci is the tier-1+ verification gate: formatting, vet, build (native
+# and a darwin cross-compile for the non-epoll fallback), the full
 # suite under the race detector (including the fault-injection, retry,
 # binding-under-loss and crash-recovery tests), a benchmark smoke run,
 # the bench JSON pipeline smoke, the WAL+wire fuzz smoke, the offline
 # WAL integrity check, the multi-node failover smoke and the
 # connection-scale smoke.
-ci: fmt vet build race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke
+ci: fmt vet build crossbuild race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke

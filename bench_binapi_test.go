@@ -7,9 +7,13 @@ package iotbind_test
 //	  comparison against tcpapi's loopback JSON per-message cost in
 //	  BENCH_4) and socket mode (real loopback TCP).
 //	BenchmarkConnLoad — fleet-scale connection runs: 100k concurrent
-//	  pipe connections and a thousands-level socket smoke, reporting
-//	  msgs/s, latency percentiles, bytes/conn and the process goroutine
-//	  count (the stripe-architecture proof).
+//	  pipe connections, pump-vs-epoll socket rungs at 2k, and the raw-
+//	  epoll readiness ladder at 50k and 100k real sockets (BENCH_9),
+//	  reporting msgs/s, latency percentiles, bytes/conn, the process
+//	  goroutine count and the server's own goroutine count (the
+//	  readiness-source proof). The big socket rungs self-skip when the
+//	  fd limit cannot be raised to 2×conns or the platform has no
+//	  epoll.
 
 import (
 	"net"
@@ -98,11 +102,28 @@ func BenchmarkConnLoad(b *testing.B) {
 		cfg  iotbind.ConnLoadConfig
 	}{
 		{"pipe100k", iotbind.ConnLoadConfig{Conns: 100_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadPipe}},
-		{"socket2k", iotbind.ConnLoadConfig{Conns: 2_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket}},
+		{"socket2k-pump", iotbind.ConnLoadConfig{Conns: 2_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessPump}},
+		{"socket2k-epoll", iotbind.ConnLoadConfig{Conns: 2_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessEpoll}},
+		{"socket9k-pump", iotbind.ConnLoadConfig{Conns: 9_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessPump}},
+		{"socket9k-epoll", iotbind.ConnLoadConfig{Conns: 9_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessEpoll}},
+		{"socket50k-epoll", iotbind.ConnLoadConfig{Conns: 50_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessEpoll}},
+		{"socket100k-epoll", iotbind.ConnLoadConfig{Conns: 100_000, MsgsPerConn: 5, Mode: iotbind.ConnLoadSocket,
+			Readiness: iotbind.BinReadinessEpoll}},
 	}
 	for _, run := range runs {
 		run := run
 		b.Run(run.name, func(b *testing.B) {
+			if run.cfg.Readiness == iotbind.BinReadinessEpoll && !iotbind.BinEpollSupported() {
+				b.Skip("raw-epoll readiness source requires linux")
+			}
+			if run.cfg.Mode == iotbind.ConnLoadSocket && !iotbind.EnsureFDLimit(2*run.cfg.Conns+512) {
+				b.Skipf("cannot raise fd limit to %d", 2*run.cfg.Conns+512)
+			}
 			res, err := iotbind.RunConnLoad(run.cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -118,6 +139,7 @@ func BenchmarkConnLoad(b *testing.B) {
 			b.ReportMetric(res.P99Micros, "p99-µs")
 			b.ReportMetric(res.BytesPerConn, "bytes/conn")
 			b.ReportMetric(float64(res.Goroutines), "goroutines")
+			b.ReportMetric(float64(res.ServerGoroutines), "srv-goroutines")
 		})
 	}
 }

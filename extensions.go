@@ -2,6 +2,7 @@ package iotbind
 
 import (
 	"io"
+	"time"
 
 	"github.com/iotbind/iotbind/internal/binapi"
 	"github.com/iotbind/iotbind/internal/campaign"
@@ -236,6 +237,29 @@ func WithBinMaxFrame(n int) BinOption { return binapi.WithMaxFrame(n) }
 // WithBinStripes sets the server's event-loop stripe count.
 func WithBinStripes(n int) BinOption { return binapi.WithStripes(n) }
 
+// BinReadiness selects the server's socket readiness source.
+type BinReadiness = binapi.Readiness
+
+// Socket readiness sources: auto picks raw epoll on Linux and the
+// per-connection pump goroutine elsewhere.
+const (
+	BinReadinessAuto  = binapi.ReadinessAuto
+	BinReadinessPump  = binapi.ReadinessPump
+	BinReadinessEpoll = binapi.ReadinessEpoll
+)
+
+// WithBinReadiness pins the server's socket readiness source.
+func WithBinReadiness(r BinReadiness) BinOption { return binapi.WithReadiness(r) }
+
+// WithBinIdleTimeout drops socket connections that deliver no bytes for
+// d (0 disables; epoll mode sweeps on a coarse grid, pump mode uses
+// read deadlines).
+func WithBinIdleTimeout(d time.Duration) BinOption { return binapi.WithIdleTimeout(d) }
+
+// BinEpollSupported reports whether the raw-epoll readiness source is
+// available on this platform.
+func BinEpollSupported() bool { return binapi.EpollSupported() }
+
 // NewBinServer wraps a cloud for the binary front end; call Serve with
 // a listener (socket mode), Pipe for in-process connections, and Close
 // to shut down.
@@ -263,6 +287,11 @@ const (
 // cloud and reports throughput, latency percentiles and per-connection
 // wire cost.
 func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) { return testbed.RunConnLoad(cfg) }
+
+// EnsureFDLimit raises RLIMIT_NOFILE until at least need descriptors
+// are available, reporting whether it succeeded — the gate for the
+// 50k+ socket rungs of BenchmarkConnLoad.
+func EnsureFDLimit(need int) bool { return testbed.EnsureFDLimit(need) }
 
 // ---- cloud observability and persistence ------------------------------------
 

@@ -34,9 +34,13 @@
 //     pipelined burst costs one syscall per direction, not one per
 //     message. In pipe mode (in-process duplex buffers, the 100k-
 //     connection testbed) the server runs zero goroutines per
-//     connection; in socket mode a minimal pump goroutine per
-//     connection feeds the same stripe machinery, with Go's netpoller
-//     acting as the readiness source.
+//     connection. Socket mode has two readiness sources: on Linux a
+//     raw-epoll poller goroutine per stripe (edge-triggered
+//     EPOLLIN|EPOLLRDHUP over non-blocking fds) drains sockets into the
+//     same stripe machinery, so 100k real sockets run on the stripe
+//     goroutines alone; elsewhere (or with WithReadiness(ReadinessPump))
+//     a minimal pump goroutine per connection blocks in Read with Go's
+//     netpoller acting as the readiness source.
 //
 // The client implements transport.Cloud, so devices, apps, retry
 // wrappers and the cluster Router run over it unchanged.
@@ -44,11 +48,17 @@ package binapi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"time"
 
 	"github.com/iotbind/iotbind/internal/wal"
 	"github.com/iotbind/iotbind/internal/wirecodec"
 )
+
+// ErrEpollUnsupported reports a raw-epoll request on a platform without
+// epoll (ReadinessEpoll off-Linux, or NewClientPoller there).
+var ErrEpollUnsupported = errors.New("binapi: epoll readiness source requires linux")
 
 // Frame kinds. The wire reuses wirecodec's tag values for the two hot
 // operations so a captured status payload is bit-identical to its WAL
@@ -96,11 +106,46 @@ const DefaultMaxFrame = 1 << 20
 // in the low 16 bits of the stream ID.
 const MaxWindow = 1 << 15
 
+// Readiness selects the server's readiness source for socket
+// connections: what tells a stripe that a connection has bytes to
+// parse.
+type Readiness int
+
+const (
+	// ReadinessAuto picks raw epoll on Linux and the netpoller pump
+	// elsewhere. This is the default.
+	ReadinessAuto Readiness = iota
+	// ReadinessPump runs one pump goroutine per socket connection,
+	// blocking in Read with the Go netpoller as the readiness source.
+	// Portable; goroutine count is O(connections).
+	ReadinessPump
+	// ReadinessEpoll runs one raw-epoll poller goroutine per stripe
+	// (edge-triggered EPOLLIN|EPOLLRDHUP); socket mode then has the same
+	// fixed goroutine count as pipe mode. Linux only: requesting it
+	// elsewhere makes the server reject socket connections.
+	ReadinessEpoll
+)
+
+// String reports the readiness source name as used in benchmarks and
+// experiment tables.
+func (r Readiness) String() string {
+	switch r {
+	case ReadinessPump:
+		return "pump"
+	case ReadinessEpoll:
+		return "epoll"
+	default:
+		return "auto"
+	}
+}
+
 // options holds the knobs shared by Server and Client.
 type options struct {
-	window   int
-	maxFrame int
-	stripes  int
+	window      int
+	maxFrame    int
+	stripes     int
+	readiness   Readiness
+	idleTimeout time.Duration
 }
 
 func defaultOptions() options {
@@ -140,6 +185,28 @@ func WithStripes(n int) Option {
 	return func(o *options) {
 		if n > 0 {
 			o.stripes = n
+		}
+	}
+}
+
+// WithReadiness selects the socket readiness source (see Readiness).
+// Pipe connections are unaffected; they have no socket to poll.
+func WithReadiness(r Readiness) Option {
+	return func(o *options) { o.readiness = r }
+}
+
+// WithIdleTimeout makes the server drop a socket connection that
+// delivers no inbound bytes for d: a stalled or half-open client holds
+// a socket (and, on the pump path, a goroutine) forever otherwise, and
+// a fleet of them is a resource-exhaustion attack no status-path
+// defence sees. The epoll path arms a coarse per-stripe deadline sweep
+// (granularity ~d/4); the pump path uses read deadlines. Zero (the
+// default) keeps connections indefinitely. Pipe connections are never
+// swept. Server-side only; clients ignore it.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.idleTimeout = d
 		}
 	}
 }

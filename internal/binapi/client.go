@@ -122,7 +122,9 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	c.closefn = func() { _ = nc.Close() }
 	go func() {
-		buf := make([]byte, 32*1024)
+		buf := getInBuf()
+		buf = buf[:cap(buf)]
+		defer putInBuf(buf[:0])
 		for {
 			n, rerr := nc.Read(buf)
 			if n > 0 {
@@ -136,16 +138,25 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 			}
 		}
 	}()
+	if err := c.awaitHello(nc); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// awaitHello blocks until the server's hello configures the client, the
+// connection dies, or a timeout poisons it.
+func (c *Client) awaitHello(nc net.Conn) error {
 	select {
 	case <-c.helloCh:
-		return c, nil
+		return nil
 	case <-c.closedCh:
 		_ = nc.Close()
-		return nil, c.fatalErr()
+		return c.fatalErr()
 	case <-time.After(10 * time.Second):
 		_ = nc.Close()
 		c.fail(errors.New("binapi: hello timeout"))
-		return nil, errors.New("binapi: timed out waiting for server hello")
+		return errors.New("binapi: timed out waiting for server hello")
 	}
 }
 

@@ -1,0 +1,402 @@
+//go:build linux
+
+package binapi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/iotbind/iotbind/internal/cloud"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/protocol"
+	"github.com/iotbind/iotbind/internal/transport"
+	"github.com/iotbind/iotbind/internal/wal"
+	"github.com/iotbind/iotbind/internal/wirecodec"
+)
+
+// startSocketServer serves svc on a fresh loopback listener and returns
+// the server and its address.
+func startSocketServer(t *testing.T, svc *cloud.Service, opts ...Option) (*Server, string) {
+	t.Helper()
+	srv := NewServer(svc, opts...)
+	t.Cleanup(func() { _ = srv.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String()
+}
+
+// TestReadinessEquivalence drives an identical seeded op mix through
+// three binapi transports — epoll-readiness socket (dialed through a
+// ClientPoller), pump-readiness socket, and in-process pipe — against
+// twin clouds, and requires byte-identical snapshots and identical
+// activity counters afterwards: the readiness source must be a
+// scheduling change, not a semantics change.
+func TestReadinessEquivalence(t *testing.T) {
+	const devices = 6
+	svcs := [3]*cloud.Service{newLabService(t, devices), newLabService(t, devices), newLabService(t, devices)}
+	names := [3]string{"epoll", "pump", "pipe"}
+
+	epollSrv, epollAddr := startSocketServer(t, svcs[0], WithStripes(2), WithReadiness(ReadinessEpoll))
+	if got := epollSrv.Readiness(); got != ReadinessEpoll {
+		t.Fatalf("readiness = %v, want epoll", got)
+	}
+	pl, err := NewClientPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	epollCl, err := pl.Dial(epollAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epollCl.Close()
+
+	pumpSrv, pumpAddr := startSocketServer(t, svcs[1], WithStripes(2), WithReadiness(ReadinessPump))
+	if got := pumpSrv.Readiness(); got != ReadinessPump {
+		t.Fatalf("readiness = %v, want pump", got)
+	}
+	pumpCl, err := Dial(pumpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pumpCl.Close()
+
+	pipeSrv := NewServer(svcs[2], WithStripes(2))
+	defer pipeSrv.Close()
+	pipeCl, err := pipeSrv.Pipe("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeCl.Close()
+
+	fronts := [3]transport.Cloud{epollCl, pumpCl, pipeCl}
+	all := func(op string, do func(c transport.Cloud) error) {
+		t.Helper()
+		var errs [3]error
+		for i, c := range fronts {
+			errs[i] = do(c)
+		}
+		for i := 1; i < len(fronts); i++ {
+			if (errs[0] == nil) != (errs[i] == nil) {
+				t.Fatalf("%s: outcome diverged: %s=%v %s=%v", op, names[0], errs[0], names[i], errs[i])
+			}
+			if errs[0] != nil && !errors.Is(errs[i], firstSentinel(errs[0])) {
+				t.Fatalf("%s: error class diverged: %s=%v %s=%v", op, names[0], errs[0], names[i], errs[i])
+			}
+		}
+	}
+
+	for u := 0; u < 2; u++ {
+		user, pw := fmt.Sprintf("user-%d@example.com", u), fmt.Sprintf("pw-%d", u)
+		all("register-user", func(c transport.Cloud) error {
+			return c.RegisterUser(protocol.RegisterUserRequest{UserID: user, Password: pw})
+		})
+	}
+	rng := rand.New(rand.NewSource(11))
+	at := frozenClock()()
+	for op := 0; op < 400; op++ {
+		dev := testDeviceID(rng.Intn(devices))
+		user := fmt.Sprintf("user-%d@example.com", rng.Intn(2))
+		pw := "pw-" + user[5:6]
+		switch rng.Intn(6) {
+		case 0:
+			all("status-register", func(c transport.Cloud) error {
+				_, err := c.HandleStatus(protocol.StatusRequest{
+					Kind: protocol.StatusRegister, DeviceID: dev,
+					Firmware: "1.0", Model: "binapi-lab",
+				})
+				return err
+			})
+		case 1:
+			req := protocol.StatusRequest{Kind: protocol.StatusHeartbeat, DeviceID: dev}
+			if rng.Intn(2) == 0 {
+				req.Readings = []protocol.Reading{{Name: "temp_c", Value: float64(rng.Intn(100)) / 4, At: at}}
+			}
+			req.ButtonPressed = rng.Intn(4) == 0
+			all("heartbeat", func(c transport.Cloud) error {
+				_, err := c.HandleStatus(req)
+				return err
+			})
+		case 2:
+			items := make([]protocol.StatusRequest, 1+rng.Intn(4))
+			for i := range items {
+				items[i] = protocol.StatusRequest{
+					Kind: protocol.StatusHeartbeat, DeviceID: testDeviceID(rng.Intn(devices + 1)),
+				}
+			}
+			all("batch", func(c transport.Cloud) error {
+				resp, err := c.HandleStatusBatch(protocol.StatusBatchRequest{Items: items})
+				if err != nil {
+					return err
+				}
+				if len(resp.Results) != len(items) {
+					return fmt.Errorf("result count %d != %d", len(resp.Results), len(items))
+				}
+				return nil
+			})
+		case 3:
+			all("bind", func(c transport.Cloud) error {
+				_, err := c.HandleBind(protocol.BindRequest{
+					DeviceID: dev, UserID: user, UserPassword: pw,
+					IdempotencyKey: fmt.Sprintf("bind-%d", op),
+				})
+				return err
+			})
+		case 4:
+			all("unbind", func(c transport.Cloud) error {
+				return c.HandleUnbind(protocol.UnbindRequest{DeviceID: dev, Sender: core.SenderDevice})
+			})
+		case 5:
+			var shadows [3]protocol.ShadowStateResponse
+			var errs [3]error
+			for i, c := range fronts {
+				shadows[i], errs[i] = c.ShadowState(protocol.ShadowStateRequest{DeviceID: dev})
+			}
+			for i := 1; i < len(fronts); i++ {
+				if (errs[0] == nil) != (errs[i] == nil) {
+					t.Fatalf("shadow: outcome diverged: %s=%v %s=%v", names[0], errs[0], names[i], errs[i])
+				}
+				if errs[0] == nil && !reflect.DeepEqual(shadows[0], shadows[i]) {
+					t.Fatalf("shadow state diverged: %+v vs %+v", shadows[0], shadows[i])
+				}
+			}
+		}
+	}
+
+	var snaps [3]bytes.Buffer
+	for i, svc := range svcs {
+		if err := cloud.EncodeSnapshot(&snaps[i], svc.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(svcs); i++ {
+		if !bytes.Equal(snaps[0].Bytes(), snaps[i].Bytes()) {
+			t.Fatalf("snapshots diverged:\n--- %s ---\n%s\n--- %s ---\n%s",
+				names[0], snaps[0].Bytes(), names[i], snaps[i].Bytes())
+		}
+		if !reflect.DeepEqual(svcs[0].Stats(), svcs[i].Stats()) {
+			t.Fatalf("stats diverged:\n%s: %+v\n%s: %+v", names[0], svcs[0].Stats(), names[i], svcs[i].Stats())
+		}
+	}
+}
+
+// setSockBuf returns a Control func that pins a socket buffer option
+// (SO_SNDBUF/SO_RCVBUF) to n bytes.
+func setSockBuf(opt, n int) func(network, address string, rc syscall.RawConn) error {
+	return func(_, _ string, rc syscall.RawConn) error {
+		var serr error
+		cerr := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, opt, n)
+		})
+		if cerr != nil {
+			return cerr
+		}
+		return serr
+	}
+}
+
+// readFrame accumulates bytes from nc until one complete frame parses,
+// returning its header parts and payload plus any unconsumed tail.
+func readFrame(t *testing.T, nc net.Conn, buf []byte) (stream uint32, kind, flags uint8, payload, rest []byte) {
+	t.Helper()
+	tmp := make([]byte, 64<<10)
+	for {
+		hdr, pl, n, err := wal.ParseFrame(buf, 0)
+		if err == nil {
+			stream, kind, flags = unpackHeader(hdr)
+			return stream, kind, flags, pl, buf[n:]
+		}
+		if !errors.Is(err, wal.ErrShortFrame) {
+			t.Fatalf("parse frame: %v", err)
+		}
+		n, rerr := nc.Read(tmp)
+		if n > 0 {
+			buf = append(buf, tmp[:n]...)
+			continue
+		}
+		if rerr != nil {
+			t.Fatalf("read: %v", rerr)
+		}
+	}
+}
+
+// TestShortWriteRearm fills the server's socket send buffer so a
+// coalesced flush short-writes, then verifies the parked tail drains
+// via EPOLLOUT: tiny SO_SNDBUF/SO_RCVBUF, a huge batch request, and a
+// client that only starts reading after the server has parked a tail.
+// The complete response — and a follow-up request — must still arrive
+// intact.
+func TestShortWriteRearm(t *testing.T) {
+	const items = 4500
+	svc := newLabService(t, 1)
+	srv := NewServer(svc, WithStripes(1), WithReadiness(ReadinessEpoll))
+	defer srv.Close()
+	lc := net.ListenConfig{Control: setSockBuf(syscall.SO_SNDBUF, 4096)}
+	ln, err := lc.Listen(nil, "tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	d := net.Dialer{Control: setSockBuf(syscall.SO_RCVBUF, 4096)}
+	nc, err := d.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(30 * time.Second))
+
+	_, kind, _, _, rest := readFrame(t, nc, nil)
+	if kind != kindHello {
+		t.Fatalf("first frame kind = 0x%02x, want hello", kind)
+	}
+
+	// One giant batch of unknown-device heartbeats: the response burst
+	// (per-item error results) dwarfs the 4KiB socket buffers.
+	var payload bytes.Buffer
+	wirecodec.PutStr(&payload, "")
+	wirecodec.PutUvarint(&payload, uint64(items))
+	for i := 0; i < items; i++ {
+		wirecodec.PutStatusBody(&payload, &protocol.StatusRequest{
+			Kind: protocol.StatusHeartbeat, DeviceID: "99:99:99:99:99:99",
+		})
+	}
+	frame := appendFrame(nil, 1, kindBatch, 0, payload.Bytes())
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Don't read yet: wait for the server to hit the full buffer and
+	// park a tail for EPOLLOUT.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.ShortWrites() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never short-wrote despite 4KiB socket buffers")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Now drain: the parked tail must flow out through EPOLLOUT re-arms
+	// until the batch response is complete and correct.
+	stream, kind, flags, pl, rest := readFrame(t, nc, rest)
+	if stream != 1 || kind != kindBatch || flags&flagResponse == 0 {
+		t.Fatalf("response frame = stream %d kind 0x%02x flags 0x%02x", stream, kind, flags)
+	}
+	cur := wirecodec.NewCursor(pl, 0)
+	resp := wirecodec.ReadStatusBatchResponse(cur)
+	if cur.Err() != nil {
+		t.Fatalf("decode batch response: %v", cur.Err())
+	}
+	if len(resp.Results) != items {
+		t.Fatalf("batch results = %d, want %d", len(resp.Results), items)
+	}
+	for i, r := range resp.Results {
+		if !errors.Is(r.Err(), protocol.ErrUnknownDevice) {
+			t.Fatalf("result %d = %v, want ErrUnknownDevice", i, r.Err())
+		}
+	}
+	if srv.ShortWrites() == 0 {
+		t.Fatal("short-write counter reset unexpectedly")
+	}
+
+	// The connection must still work after the backpressure episode.
+	var reg bytes.Buffer
+	wirecodec.PutStatusBody(&reg, &protocol.StatusRequest{
+		Kind: protocol.StatusRegister, DeviceID: testDeviceID(0),
+		Firmware: "1.0", Model: "binapi-lab",
+	})
+	if _, err := nc.Write(appendFrame(nil, 2, kindStatus, 0, reg.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	stream, kind, flags, _, _ = readFrame(t, nc, rest)
+	if stream != 2 || kind != kindStatus || flags&flagResponse == 0 {
+		t.Fatalf("follow-up frame = stream %d kind 0x%02x flags 0x%02x, want status response", stream, kind, flags)
+	}
+}
+
+// TestEpollCloseRaceStorm churns connections against an epoll server
+// while traffic is in flight: immediate closes, half-written frames,
+// and concurrent Client teardowns. Run under -race this is the
+// fd-close-vs-ready proof — no handler may touch a recycled slot or a
+// closed fd's buffers. The server must drain to zero connections.
+func TestEpollCloseRaceStorm(t *testing.T) {
+	const devices = 64
+	srv, addr := startSocketServer(t, newLabService(t, devices),
+		WithStripes(2), WithReadiness(ReadinessEpoll))
+	pl, err := NewClientPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 25; n++ {
+				switch n % 3 {
+				case 0:
+					// Raw dial, write a torn frame, slam the door.
+					nc, derr := net.Dial("tcp", addr)
+					if derr != nil {
+						t.Error(derr)
+						return
+					}
+					var payload bytes.Buffer
+					wirecodec.PutStatusBody(&payload, &protocol.StatusRequest{
+						Kind: protocol.StatusHeartbeat, DeviceID: testDeviceID(w),
+					})
+					frame := appendFrame(nil, 1, kindStatus, 0, payload.Bytes())
+					_, _ = nc.Write(frame[:len(frame)/2])
+					_ = nc.Close()
+				case 1:
+					// Dial through the poller and close with zero traffic.
+					c, derr := pl.Dial(addr)
+					if derr != nil {
+						t.Error(derr)
+						return
+					}
+					_ = c.Close()
+				default:
+					// Real request racing a concurrent Close.
+					c, derr := pl.Dial(addr)
+					if derr != nil {
+						t.Error(derr)
+						return
+					}
+					var cwg sync.WaitGroup
+					cwg.Add(1)
+					go func() {
+						defer cwg.Done()
+						_, _ = c.HandleStatus(protocol.StatusRequest{
+							Kind: protocol.StatusRegister, DeviceID: testDeviceID((w*29 + n) % devices),
+						})
+					}()
+					_ = c.Close()
+					cwg.Wait()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Conns() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still holds %d connections after churn", srv.Conns())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
@@ -35,6 +38,12 @@ type Server struct {
 	wg        sync.WaitGroup
 
 	backpressured atomic.Uint64
+	shortWrites   atomic.Uint64
+	// goros counts the server's own goroutines — stripes, pollers, and
+	// (on the pump path) one per socket connection. The epoll path's
+	// whole point is that this stays at stripes + pollers however many
+	// sockets are open.
+	goros atomic.Int64
 }
 
 // NewServer wraps a cloud implementation and starts the stripe
@@ -46,6 +55,13 @@ func NewServer(cloud transport.Cloud, opts ...Option) *Server {
 	}
 	if o.stripes <= 0 {
 		o.stripes = runtime.GOMAXPROCS(0)
+	}
+	if o.readiness == ReadinessAuto {
+		if EpollSupported() {
+			o.readiness = ReadinessEpoll
+		} else {
+			o.readiness = ReadinessPump
+		}
 	}
 	s := &Server{
 		cloud:     cloud,
@@ -62,6 +78,7 @@ func NewServer(cloud transport.Cloud, opts ...Option) *Server {
 		}
 		s.stripes[i] = st
 		s.wg.Add(1)
+		s.goros.Add(1)
 		go st.loop()
 	}
 	return s
@@ -75,6 +92,26 @@ func (s *Server) Backpressured() uint64 { return s.backpressured.Load() }
 // Stripes reports the configured stripe count.
 func (s *Server) Stripes() int { return len(s.stripes) }
 
+// Readiness reports the effective socket readiness source (never
+// ReadinessAuto).
+func (s *Server) Readiness() Readiness { return s.opts.readiness }
+
+// ShortWrites reports how many coalesced flushes hit a full socket
+// buffer and parked their tail for EPOLLOUT (epoll mode only).
+func (s *Server) ShortWrites() uint64 { return s.shortWrites.Load() }
+
+// Goroutines reports the server's own live goroutine count: stripes,
+// epoll pollers, and pump goroutines. With the epoll readiness source
+// it is independent of the connection count.
+func (s *Server) Goroutines() int { return int(s.goros.Load()) }
+
+// Conns reports the number of live connections (all transports).
+func (s *Server) Conns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // errServerClosed reports an operation on a closed server.
 var errServerClosed = errors.New("binapi: server closed")
 
@@ -86,6 +123,9 @@ func (s *Server) addConn(c *conn) error {
 		return errServerClosed
 	}
 	c.st = s.stripes[int(s.next.Add(1))%len(s.stripes)]
+	if c.in == nil {
+		c.in = getInBuf()
+	}
 	s.conns[c] = struct{}{}
 	return nil
 }
@@ -127,8 +167,17 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// startSocketConn wires one accepted socket into the stripe machinery.
+// startSocketConn wires one accepted socket into the stripe machinery
+// through the configured readiness source: the per-stripe epoll poller
+// on Linux, or a per-connection pump goroutine on the fallback path.
 func (s *Server) startSocketConn(nc net.Conn) error {
+	if s.opts.readiness == ReadinessEpoll {
+		if sc, ok := nc.(syscall.Conn); ok {
+			return s.startEpollConn(nc, sc)
+		}
+		// A listener handing out conns without raw fd access (test
+		// doubles, exotic wrappers) falls back to the pump.
+	}
 	c := &conn{srv: s, src: remoteIP(nc), sock: nc}
 	c.flush = func(b []byte) error {
 		_, err := nc.Write(b)
@@ -138,31 +187,44 @@ func (s *Server) startSocketConn(nc net.Conn) error {
 		return err
 	}
 	if err := c.flush(s.helloFrame()); err != nil {
-		s.dropConn(c)
+		c.close(err)
 		return err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.dropConn(c)
+		c.close(errServerClosed)
 		return errServerClosed
 	}
 	s.wg.Add(1)
+	s.goros.Add(1)
 	s.mu.Unlock()
 	go func() {
 		defer s.wg.Done()
+		defer s.goros.Add(-1)
 		c.pump(nc)
 	}()
 	return nil
 }
 
+// ErrIdle closes a connection that delivered no bytes for the server's
+// idle timeout.
+var ErrIdle = errors.New("binapi: connection idle timeout")
+
 // pump moves bytes from a socket into the stripe readiness queue. This
-// is the only per-connection goroutine in socket mode, and it does no
-// parsing or dispatch — it blocks in Read (parking on the netpoller)
-// and hands buffers to the owning stripe.
+// is the per-connection goroutine of the fallback readiness source —
+// it does no parsing or dispatch, it blocks in Read (parking on the
+// netpoller) and hands buffers to the owning stripe. The read buffer
+// is pooled across connection churn.
 func (c *conn) pump(nc net.Conn) {
-	buf := make([]byte, 32*1024)
+	idle := c.srv.opts.idleTimeout
+	buf := getInBuf()
+	buf = buf[:cap(buf)]
+	defer putInBuf(buf[:0])
 	for {
+		if idle > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		n, err := nc.Read(buf)
 		if n > 0 {
 			if derr := c.deliver(buf[:n]); derr != nil {
@@ -171,6 +233,9 @@ func (c *conn) pump(nc net.Conn) {
 			}
 		}
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				err = ErrIdle
+			}
 			c.close(err)
 			return
 		}
@@ -207,6 +272,9 @@ func (s *Server) Close() error {
 	}
 	for _, st := range s.stripes {
 		close(st.quit)
+		if st.pl != nil {
+			st.pl.close()
+		}
 	}
 	s.wg.Wait()
 	return nil
@@ -229,10 +297,30 @@ type conn struct {
 	onClose func(error)
 	sock    net.Conn
 
+	// Epoll-mode plumbing. rc gives raw fd access with the runtime's
+	// fd refcounting, so a concurrent Close can never race a read or
+	// write onto a recycled fd number; pl/pidx tie the conn to its
+	// stripe poller's slot table.
+	rc      syscall.RawConn
+	pl      *epoller
+	pidx    uint32
+	lastAct atomic.Int64
+
+	// wmu guards the short-write pending buffer and the EPOLLOUT arm
+	// state. Leaf lock: never held around parsing or dispatch.
+	wmu      sync.Mutex
+	wbuf     []byte
+	outArmed bool
+
 	inMu   sync.Mutex
 	in     []byte
 	queued bool
 	closed bool
+	// parsing marks a stripe holding a snapshot of in outside inMu;
+	// a close arriving mid-parse defers buffer recycling to the parser
+	// (recycleIn) instead of racing it.
+	parsing   bool
+	recycleIn bool
 
 	// Device-ID interning cache, stripe-owned: a persistent connection
 	// speaks for one device (or a stable hub set), so the previous
@@ -240,6 +328,29 @@ type conn struct {
 	// allocation disappears.
 	devIDRaw []byte
 	devID    string
+}
+
+// inBufPool recycles per-connection inbound buffers (and pump/client
+// read buffers) across connection teardown and accept, so a
+// connect/disconnect storm reuses warm buffers instead of regrowing
+// them per connection.
+var inBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 32*1024)
+	return &b
+}}
+
+func getInBuf() []byte {
+	return *inBufPool.Get().(*[]byte)
+}
+
+func putInBuf(b []byte) {
+	// Buffers that ballooned (a client sending max-size frames) go to
+	// the GC rather than pinning megabytes in the pool.
+	if cap(b) == 0 || cap(b) > 1<<20 {
+		return
+	}
+	b = b[:0]
+	inBufPool.Put(&b)
 }
 
 // inboundCap bounds buffered inbound bytes per connection. A client
@@ -251,9 +362,12 @@ func (c *conn) inboundCap() int {
 }
 
 // deliver appends inbound bytes and marks the connection ready on its
-// stripe. Called from the pump goroutine (socket mode) or the client's
-// writer (pipe mode).
+// stripe. Called from the stripe's epoll poller or the pump goroutine
+// (socket mode), or the client's writer (pipe mode).
 func (c *conn) deliver(b []byte) error {
+	if c.pl != nil && c.srv.opts.idleTimeout > 0 {
+		c.lastAct.Store(time.Now().UnixNano())
+	}
 	c.inMu.Lock()
 	if c.closed {
 		c.inMu.Unlock()
@@ -275,7 +389,9 @@ func (c *conn) deliver(b []byte) error {
 
 var errConnClosed = errors.New("binapi: connection closed")
 
-// close tears the connection down once; safe from any goroutine.
+// close tears the connection down once; safe from any goroutine. The
+// inbound buffer is recycled here unless a stripe is mid-parse on a
+// snapshot of it, in which case the stripe recycles it when done.
 func (c *conn) close(err error) {
 	c.inMu.Lock()
 	if c.closed {
@@ -283,8 +399,23 @@ func (c *conn) close(err error) {
 		return
 	}
 	c.closed = true
+	if c.parsing {
+		c.recycleIn = true
+	} else if c.in != nil {
+		putInBuf(c.in)
+	}
 	c.in = nil
 	c.inMu.Unlock()
+	if c.pl != nil {
+		// Clear the poller slot before the fd closes: events already
+		// pulled from the kernel then resolve to nothing instead of a
+		// recycled slot.
+		c.pl.remove(c.pidx, c)
+	}
+	c.wmu.Lock()
+	putInBuf(c.wbuf)
+	c.wbuf = nil
+	c.wmu.Unlock()
 	if c.sock != nil {
 		_ = c.sock.Close()
 	}
@@ -305,6 +436,12 @@ type stripe struct {
 	spare []*conn
 	wake  chan struct{}
 	quit  chan struct{}
+
+	// pl is the stripe's raw-epoll readiness source, created lazily
+	// (under Server.mu) by the first epoll-mode socket connection
+	// assigned here. Linux only; nil on the pump path and for
+	// pipe-only servers.
+	pl *epoller
 
 	out     []byte
 	scratch bytes.Buffer
@@ -360,16 +497,24 @@ func (st *stripe) service(c *conn) {
 	}
 	data := c.in
 	c.queued = false
+	c.parsing = true
 	c.inMu.Unlock()
 
 	consumed, fatal := st.process(c, data)
 
 	c.inMu.Lock()
+	c.parsing = false
 	if !c.closed {
-		// The pump may have appended while we parsed; the consumed
-		// prefix is identical in either buffer, so shift the tail down.
+		// The readiness source may have appended while we parsed; the
+		// consumed prefix is identical in either buffer, so shift the
+		// tail down.
 		n := copy(c.in, c.in[consumed:])
 		c.in = c.in[:n]
+	} else if c.recycleIn {
+		// Closed mid-parse: the snapshot we hold is the only live
+		// reference to the buffer, so it recycles here.
+		c.recycleIn = false
+		putInBuf(data)
 	}
 	c.inMu.Unlock()
 

@@ -52,6 +52,12 @@ type ConnLoadConfig struct {
 	Window int
 	// Stripes is the server event-loop stripe count (default GOMAXPROCS).
 	Stripes int
+	// Readiness selects the server's socket readiness source (default
+	// auto: raw epoll on Linux, per-connection pump elsewhere). Pipe
+	// mode ignores it. Socket clients dial through a shared
+	// ClientPoller whenever the effective source is epoll, so neither
+	// side spends a goroutine per connection.
+	Readiness binapi.Readiness
 }
 
 // ConnLoadResult reports one connection-scale run.
@@ -78,6 +84,14 @@ type ConnLoadResult struct {
 	// was open — the stripe-architecture proof: in pipe mode it stays
 	// near Workers + Stripes regardless of Conns.
 	Goroutines int
+	// ServerGoroutines is the server's own accounting (stripes plus
+	// pollers plus, in pump mode, one goroutine per connection) at the
+	// same instant — the readiness-source proof, independent of how
+	// many goroutines the client harness spends.
+	ServerGoroutines int
+	// Readiness echoes the server's effective readiness source in
+	// socket mode ("epoll" or "pump"); empty in pipe mode.
+	Readiness string
 }
 
 // RunConnLoad opens cfg.Conns persistent binapi connections against one
@@ -130,7 +144,9 @@ func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) {
 		return res, fmt.Errorf("testbed: conn load: %w", err)
 	}
 
-	srv := binapi.NewServer(svc, binapi.WithWindow(cfg.Window), binapi.WithStripes(cfg.Stripes))
+	srv := binapi.NewServer(svc,
+		binapi.WithWindow(cfg.Window), binapi.WithStripes(cfg.Stripes),
+		binapi.WithReadiness(cfg.Readiness))
 	defer srv.Close()
 
 	var dial func(i int) (*binapi.Client, error)
@@ -140,13 +156,44 @@ func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) {
 			return srv.Pipe(fmt.Sprintf("10.%d.%d.%d", (i>>16)&0xff, (i>>8)&0xff, i&0xff))
 		}
 	case ConnLoadSocket:
-		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
-		if lerr != nil {
-			return res, fmt.Errorf("testbed: conn load: listen: %w", lerr)
+		if need := 2*cfg.Conns + 512; !EnsureFDLimit(need) {
+			return res, fmt.Errorf("testbed: conn load: cannot raise fd limit to %d (ulimit -n)", need)
 		}
-		go func() { _ = srv.Serve(ln) }()
-		addr := ln.Addr().String()
-		dial = func(int) (*binapi.Client, error) { return binapi.Dial(addr) }
+		// One loopback listener serves ~16k connections before the
+		// ~28k ephemeral-port range per (src ip, dst ip, dst port)
+		// tuple gets tight; larger fleets spread across aliased
+		// 127.0.0.N addresses. Platforms without implicit loopback
+		// aliases fall back to extra listeners on 127.0.0.1, which
+		// still splits the dst-port dimension of the tuple.
+		addrs := make([]string, 0, cfg.Conns/16000+1)
+		for k := 0; k <= cfg.Conns/16000; k++ {
+			ln, lerr := net.Listen("tcp", fmt.Sprintf("127.0.0.%d:0", k+1))
+			if lerr != nil {
+				ln, lerr = net.Listen("tcp", "127.0.0.1:0")
+			}
+			if lerr != nil {
+				return res, fmt.Errorf("testbed: conn load: listen: %w", lerr)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			addrs = append(addrs, ln.Addr().String())
+		}
+		var cp *binapi.ClientPoller
+		if srv.Readiness() == binapi.ReadinessEpoll {
+			p, perr := binapi.NewClientPoller()
+			if perr != nil {
+				return res, fmt.Errorf("testbed: conn load: client poller: %w", perr)
+			}
+			cp = p
+			defer cp.Close()
+		}
+		dial = func(i int) (*binapi.Client, error) {
+			addr := addrs[i%len(addrs)]
+			if cp != nil {
+				return cp.Dial(addr)
+			}
+			return binapi.Dial(addr)
+		}
+		res.Readiness = srv.Readiness().String()
 	default:
 		return res, fmt.Errorf("testbed: conn load: unknown mode %q", cfg.Mode)
 	}
@@ -217,6 +264,7 @@ func RunConnLoad(cfg ConnLoadConfig) (ConnLoadResult, error) {
 	// Every connection is now open and registered; this is the number
 	// the stripe architecture is about.
 	res.Goroutines = runtime.NumGoroutine()
+	res.ServerGoroutines = srv.Goroutines()
 
 	// Timed phase: workers sweep their connection slices round-robin so
 	// traffic interleaves across the whole fleet rather than finishing

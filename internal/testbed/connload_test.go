@@ -3,6 +3,8 @@ package testbed
 import (
 	"runtime"
 	"testing"
+
+	"github.com/iotbind/iotbind/internal/binapi"
 )
 
 // connSmokeConns keeps the unit-test scale modest; the 100k-connection
@@ -52,5 +54,62 @@ func TestConnLoadSocket(t *testing.T) {
 	}
 	if res.MsgsPerSec <= 0 {
 		t.Fatalf("degenerate metrics: %+v", res)
+	}
+}
+
+// TestConnLoadSocketEpoll is the raw-epoll readiness smoke: real
+// sockets, and the server's own goroutine count must stay at
+// stripes + pollers — not O(conns) — while every connection is open.
+func TestConnLoadSocketEpoll(t *testing.T) {
+	if !binapi.EpollSupported() {
+		t.Skip("raw-epoll readiness source requires linux")
+	}
+	conns := 400
+	if raceEnabled {
+		conns = 100
+	}
+	res, err := RunConnLoad(ConnLoadConfig{
+		Conns: conns, MsgsPerConn: 3, Mode: ConnLoadSocket,
+		Workers:   4 * runtime.GOMAXPROCS(0),
+		Readiness: binapi.ReadinessEpoll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Readiness != "epoll" {
+		t.Fatalf("readiness = %q, want epoll", res.Readiness)
+	}
+	if res.Messages != conns*3 {
+		t.Fatalf("messages = %d, want %d", res.Messages, conns*3)
+	}
+	// The tentpole claim: server goroutines = stripes + one poller per
+	// active stripe, regardless of connection count.
+	if limit := 2*res.Stripes + 2; res.ServerGoroutines > limit {
+		t.Fatalf("server goroutines = %d with %d epoll conns (stripes=%d): per-connection goroutines crept in",
+			res.ServerGoroutines, res.Conns, res.Stripes)
+	}
+}
+
+// TestConnLoadSocketPump pins the fallback readiness source and checks
+// its server-goroutine accounting scales with connections (one pump
+// goroutine each) — the before-side of the epoll comparison.
+func TestConnLoadSocketPump(t *testing.T) {
+	conns := 100
+	if raceEnabled {
+		conns = 40
+	}
+	res, err := RunConnLoad(ConnLoadConfig{
+		Conns: conns, MsgsPerConn: 2, Mode: ConnLoadSocket,
+		Workers:   2 * runtime.GOMAXPROCS(0),
+		Readiness: binapi.ReadinessPump,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Readiness != "pump" {
+		t.Fatalf("readiness = %q, want pump", res.Readiness)
+	}
+	if res.ServerGoroutines < conns {
+		t.Fatalf("server goroutines = %d with %d pump conns, want ≥ conns", res.ServerGoroutines, conns)
 	}
 }

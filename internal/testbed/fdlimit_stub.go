@@ -1,0 +1,6 @@
+//go:build !unix
+
+package testbed
+
+// EnsureFDLimit is a no-op where RLIMIT_NOFILE does not exist.
+func EnsureFDLimit(need int) bool { return true }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package testbed
+
+import "syscall"
+
+// EnsureFDLimit raises RLIMIT_NOFILE until at least need descriptors
+// are available, and reports whether it got them. The connection-scale
+// socket runs need two fds per connection (client and server end) plus
+// listener/poller overhead; raising the hard limit needs privilege
+// (CAP_SYS_RESOURCE), so the fallback takes whatever the current hard
+// limit allows.
+func EnsureFDLimit(need int) bool {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return false
+	}
+	want := uint64(need)
+	if rl.Cur >= want {
+		return true
+	}
+	raised := rl
+	raised.Cur = want
+	if raised.Max < want {
+		raised.Max = want
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err != nil && rl.Max > rl.Cur {
+		raised.Cur, raised.Max = rl.Max, rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised)
+	}
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return false
+	}
+	return rl.Cur >= want
+}
