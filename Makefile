@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build crossbuild fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke ci
+.PHONY: all build crossbuild fmt vet test race race-stress bench bench-json bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke delegation-smoke ci
 
 all: ci
 
@@ -51,7 +51,10 @@ bench:
 # per-group iteration counts: the µs-scale fsync/recovery benchmarks get
 # few iterations, the ns-scale status hot path gets enough for the
 # in-memory-vs-WAL overhead ratio (the ≤20% acceptance bar) to be
-# statistically meaningful.
+# statistically meaningful. BENCH_10.json holds the delegation numbers:
+# the delegated status read must stay within 15% of the owner read (the
+# lattice check must not poison the hot path), and the share-storm
+# figure is a full crash-churn run per iteration.
 bench-json:
 	$(GO) test -bench=. -benchtime=1000x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o BENCH_4.json
 	{ $(GO) test -bench='^(BenchmarkWALAppend|BenchmarkRecovery)$$' -benchtime=2000x -benchmem -run='^$$' . ; \
@@ -68,6 +71,9 @@ bench-json:
 	  | $(GO) run ./cmd/benchjson -merge -o BENCH_8.json
 	{ $(GO) test -bench='^BenchmarkConnLoad$$/^socket' -benchtime=1x -benchmem -run='^$$' -timeout=30m . ; } \
 	  | $(GO) run ./cmd/benchjson -o BENCH_9.json
+	{ $(GO) test -bench='^BenchmarkDelegatedStatus$$' -benchtime=500000x -benchmem -run='^$$' . ; \
+	  $(GO) test -bench='^BenchmarkShareStorm$$' -benchtime=20x -benchmem -run='^$$' . ; } \
+	  | $(GO) run ./cmd/benchjson -o BENCH_10.json
 
 # bench-json-smoke proves the bench->JSON pipeline still parses (one
 # iteration per benchmark, output discarded) without the full sweep's
@@ -75,13 +81,14 @@ bench-json:
 bench-json-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o /dev/null
 
-# fuzz-smoke runs the WAL frame-decode, shard-merge and binapi wire
-# fuzzers briefly: long enough to shake out parser and merge crashes on
-# arbitrary bytes, short enough for CI.
+# fuzz-smoke runs the WAL frame-decode, shard-merge, binapi wire and
+# delegation record fuzzers briefly: long enough to shake out parser
+# and merge crashes on arbitrary bytes, short enough for CI.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=5s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzMergeShards -fuzztime=5s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzWireFrameDecode -fuzztime=5s ./internal/binapi/
+	$(GO) test -run='^$$' -fuzz=FuzzDelegationRecordDecode -fuzztime=5s ./internal/wirecodec/
 
 # wal-verify regenerates the crash-test corpus — clean, torn-tail and
 # corrupt single-directory logs plus sharded layouts (clean merge, torn
@@ -110,11 +117,24 @@ conn-smoke:
 	$(GO) test -run='^TestConnLoad' -v ./internal/testbed/
 	$(GO) test -race -run='^(TestReadinessEquivalence|TestShortWriteRearm|TestEpollCloseRaceStorm|TestIdleTimeout)' -v ./internal/binapi/
 
+# delegation-smoke runs the delegation gate: the share/revoke storm
+# under the race detector (seeded kills, per-record fsync, final state
+# byte-identical to a storm-without-kills reference, zero acknowledged
+# operations lost), the lattice/idempotency/revocation-race suite, and
+# the A6 sweep — the rule-based analyzer and the exhaustive delegation
+# sub-model printed side by side on the permissive and hardened
+# reference postures.
+delegation-smoke:
+	$(GO) test -race -run='^TestShareStorm' -v ./internal/testbed/
+	$(GO) test -race -run='^TestDeleg' -v ./internal/cloud/ ./internal/analysis/
+	$(GO) run ./cmd/statecheck -delegation worst-case
+	$(GO) run ./cmd/statecheck -delegation secure
+
 # ci is the tier-1+ verification gate: formatting, vet, build (native
 # and a darwin cross-compile for the non-epoll fallback), the full
 # suite under the race detector (including the fault-injection, retry,
 # binding-under-loss and crash-recovery tests), a benchmark smoke run,
 # the bench JSON pipeline smoke, the WAL+wire fuzz smoke, the offline
-# WAL integrity check, the multi-node failover smoke and the
-# connection-scale smoke.
-ci: fmt vet build crossbuild race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke
+# WAL integrity check, the multi-node failover smoke, the
+# connection-scale smoke and the delegation gate.
+ci: fmt vet build crossbuild race race-stress bench bench-json-smoke fuzz-smoke wal-verify cluster-smoke conn-smoke delegation-smoke

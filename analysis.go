@@ -34,6 +34,15 @@ func PredictMany(designs []DesignSpec) [][]Finding { return analysis.PredictMany
 // machine, returning an error if the taxonomy were inconsistent with it.
 func DeriveTaxonomy() ([]TaxonomyRow, error) { return analysis.DeriveTaxonomy() }
 
+// DelegationFinding is one predicted A6 (delegation) attack outcome
+// with its reasoning.
+type DelegationFinding = analysis.DelegationFinding
+
+// PredictDelegation evaluates the A6 delegation rows — evicted-guest
+// residual control, re-delegation escalation, revocation race — against
+// a design from its policy rules alone, no emulation.
+func PredictDelegation(d DesignSpec) []DelegationFinding { return analysis.PredictDelegation(d) }
+
 // ---- vendor profiles --------------------------------------------------------
 
 // Profile is one evaluated product: design, ID scheme and published
@@ -152,6 +161,12 @@ func WriteSearchSpace(w io.Writer, estimates []EnumerationEstimate) error {
 // WriteVerification renders the model checker's verdicts for one design.
 func WriteVerification(w io.Writer, design DesignSpec, results []VerificationResult) error {
 	return report.WriteVerification(w, design, results)
+}
+
+// WriteDelegation renders the A6 delegation sweep for one design: the
+// analyzer's prediction next to the delegation sub-model's verdict.
+func WriteDelegation(w io.Writer, design DesignSpec, findings []DelegationFinding, verdicts []DelegationVerdict) error {
+	return report.WriteDelegation(w, design, findings, verdicts)
 }
 
 // WriteDiscovery renders automatic attack-discovery results.

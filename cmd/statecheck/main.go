@@ -15,6 +15,7 @@
 //	statecheck -analyze TP-LINK
 //	statecheck -analyze worst-case
 //	statecheck -discover TP-LINK -depth 2
+//	statecheck -delegation secure   # A6 sweep: analyzer vs sub-model
 package main
 
 import (
@@ -30,17 +31,30 @@ func main() {
 	discoverFor := flag.String("discover", "", "run automatic attack discovery against the named profile")
 	verifyFor := flag.String("formal", "", "formally verify the named profile by exhaustive state-space search")
 	hardenFor := flag.String("harden", "", "compute a minimal verified repair plan for the named profile")
+	delegationFor := flag.String("delegation", "", "sweep the A6 delegation rows against the named profile (analyzer vs sub-model)")
 	depth := flag.Int("depth", 2, "maximum forged-message sequence length for -discover")
 	flag.Parse()
 
-	if err := run(*analyze, *discoverFor, *verifyFor, *hardenFor, *depth); err != nil {
+	if err := run(*analyze, *discoverFor, *verifyFor, *hardenFor, *delegationFor, *depth); err != nil {
 		fmt.Fprintln(os.Stderr, "statecheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(analyze, discoverFor, verifyFor, hardenFor string, depth int) error {
+func run(analyze, discoverFor, verifyFor, hardenFor, delegationFor string, depth int) error {
 	out := os.Stdout
+
+	if delegationFor != "" {
+		profile, err := lookupProfile(delegationFor)
+		if err != nil {
+			return err
+		}
+		verdicts, err := iotbind.VerifyDelegation(profile.Design)
+		if err != nil {
+			return err
+		}
+		return iotbind.WriteDelegation(out, profile.Design, iotbind.PredictDelegation(profile.Design), verdicts)
+	}
 
 	if hardenFor != "" {
 		profile, err := lookupProfile(hardenFor)

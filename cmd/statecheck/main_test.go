@@ -38,31 +38,40 @@ func TestLookupProfile(t *testing.T) {
 func TestRunModes(t *testing.T) {
 	// The default mode and the analyzer mode must execute cleanly; they
 	// print to stdout, which testing tolerates.
-	if err := run("", "", "", "", 2); err != nil {
+	if err := run("", "", "", "", "", 2); err != nil {
 		t.Errorf("run(default): %v", err)
 	}
-	if err := run("D-LINK", "", "", "", 2); err != nil {
+	if err := run("D-LINK", "", "", "", "", 2); err != nil {
 		t.Errorf("run(analyze): %v", err)
 	}
-	if err := run("", "E-Link Smart", "", "", 1); err != nil {
+	if err := run("", "E-Link Smart", "", "", "", 1); err != nil {
 		t.Errorf("run(discover): %v", err)
 	}
-	if err := run("", "", "TP-LINK", "", 1); err != nil {
+	if err := run("", "", "TP-LINK", "", "", 1); err != nil {
 		t.Errorf("run(formal): %v", err)
 	}
-	if err := run("ghost", "", "", "", 2); err == nil {
+	if err := run("ghost", "", "", "", "", 2); err == nil {
 		t.Error("run(analyze ghost) succeeded")
 	}
-	if err := run("", "ghost", "", "", 1); err == nil {
+	if err := run("", "ghost", "", "", "", 1); err == nil {
 		t.Error("run(discover ghost) succeeded")
 	}
-	if err := run("", "", "ghost", "", 1); err == nil {
+	if err := run("", "", "ghost", "", "", 1); err == nil {
 		t.Error("run(formal ghost) succeeded")
 	}
-	if err := run("", "", "", "Belkin", 1); err != nil {
+	if err := run("", "", "", "Belkin", "", 1); err != nil {
 		t.Errorf("run(harden): %v", err)
 	}
-	if err := run("", "", "", "ghost", 1); err == nil {
+	if err := run("", "", "", "ghost", "", 1); err == nil {
 		t.Error("run(harden ghost) succeeded")
+	}
+	if err := run("", "", "", "", "worst-case", 1); err != nil {
+		t.Errorf("run(delegation): %v", err)
+	}
+	if err := run("", "", "", "", "secure", 1); err != nil {
+		t.Errorf("run(delegation secure): %v", err)
+	}
+	if err := run("", "", "", "", "ghost", 1); err == nil {
+		t.Error("run(delegation ghost) succeeded")
 	}
 }

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	walinspect dump <dir>      print every record (LSN, size, decoded op)
+//	walinspect dump <dir>      print every record (LSN, size, decoded op —
+//	                           including share, delegate and
+//	                           revoke_delegation lattice mutations)
 //	walinspect verify <dir>    scan read-only and report integrity
 //	walinspect replica <replica-dir> <primary-dir>
 //	                           verify the replica's log is a byte-identical

@@ -45,6 +45,20 @@ func durableDir(t *testing.T) string {
 	if _, err := d.HandleBind(protocol.BindRequest{DeviceID: deviceID, UserToken: login.UserToken}); err != nil {
 		t.Fatal(err)
 	}
+	if err := d.RegisterUser(protocol.RegisterUserRequest{UserID: "g@x", Password: "pw"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandleDelegate(protocol.DelegateRequest{
+		DeviceID: deviceID, UserToken: login.UserToken, Grantee: "g@x",
+		Scopes: []string{"control", "read"}, TTLSeconds: 3600, IdempotencyKey: "k1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.HandleRevokeDelegation(protocol.RevokeDelegationRequest{
+		DeviceID: deviceID, UserToken: login.UserToken, Grantee: "g@x",
+	}); err != nil {
+		t.Fatal(err)
+	}
 	return dir
 }
 
@@ -55,7 +69,12 @@ func TestDumpAndVerifyDurableDir(t *testing.T) {
 		t.Fatalf("dump exited %d: %s", code, errOut.Bytes())
 	}
 	text := out.String()
-	for _, want := range []string{"register_user", "login user=u@x", "status register", "bind", "4 record(s)", "shard(s)", "watermark"} {
+	for _, want := range []string{
+		"register_user", "login user=u@x", "status register", "bind",
+		"delegate device=AA:BB:CC:00:0E:01 grantee=g@x", "keyed=true",
+		"revoke_delegation device=AA:BB:CC:00:0E:01 grantee=g@x",
+		"7 record(s)", "shard(s)", "watermark",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("dump output missing %q:\n%s", want, text)
 		}
@@ -65,7 +84,7 @@ func TestDumpAndVerifyDurableDir(t *testing.T) {
 	if code := run([]string{"verify", dir}, &out, &errOut); code != 0 {
 		t.Fatalf("verify exited %d: %s", code, errOut.Bytes())
 	}
-	if !strings.Contains(out.String(), "4 record(s)") {
+	if !strings.Contains(out.String(), "7 record(s)") {
 		t.Errorf("verify output missing record count:\n%s", out.String())
 	}
 	// verify must not have decoded records into stdout.

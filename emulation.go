@@ -63,6 +63,23 @@ type (
 	ShareRequest = protocol.ShareRequest
 	// SharesRequest lists a device's guests.
 	SharesRequest = protocol.SharesRequest
+	// DelegateRequest creates a scoped, expiring, depth-limited grant in
+	// a device's delegation lattice.
+	DelegateRequest = protocol.DelegateRequest
+	// DelegateResponse carries the minted delegation token.
+	DelegateResponse = protocol.DelegateResponse
+	// RevokeDelegationRequest withdraws a grant (cascading per design).
+	RevokeDelegationRequest = protocol.RevokeDelegationRequest
+	// ListDelegationsRequest lists a device's delegation grants.
+	ListDelegationsRequest = protocol.ListDelegationsRequest
+	// ListDelegationsResponse carries the visible grants.
+	ListDelegationsResponse = protocol.ListDelegationsResponse
+	// DelegationInfo is one grant as reported by ListDelegations.
+	DelegationInfo = protocol.DelegationInfo
+	// ReadingsRequest fetches a device's reported readings as a user.
+	ReadingsRequest = protocol.ReadingsRequest
+	// ReadingsResponse carries the readings.
+	ReadingsResponse = protocol.ReadingsResponse
 )
 
 // Proof helpers derive the credentials only the real firmware (holding the

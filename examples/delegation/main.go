@@ -1,0 +1,153 @@
+// Delegation demonstrates the delegation lattice that supersedes flat
+// guest sharing (examples/sharing): scoped, expiring, depth-limited
+// sub-user bindings. The bound owner delegates control+read+share to a
+// family member, who re-delegates a narrower read-only grant to a
+// house-sitter — a chain the cloud re-verifies on every use. Scope
+// attenuation blocks the sitter from widening their authority, cascade
+// revocation kills the whole subtree (and its minted tokens) in one
+// step, and the legacy Share surface keeps working, backed by the same
+// lattice.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	iotbind "github.com/iotbind/iotbind"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delegation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The recommended posture enables all three delegation guards:
+	// scope attenuation, cascade revocation, use-time chain checking.
+	design := iotbind.RecommendedPractice().Design
+	const (
+		deviceID = "deleg-demo-device-1"
+		secret   = "factory-secret-deleg"
+	)
+	registry := iotbind.NewRegistry()
+	if err := registry.Add(iotbind.DeviceRecord{ID: deviceID, FactorySecret: secret, Model: "lock"}); err != nil {
+		return err
+	}
+	cloud, err := iotbind.NewCloud(design, registry)
+	if err != nil {
+		return err
+	}
+
+	home := iotbind.NewNetwork("home", "203.0.113.7")
+	homeTransport := iotbind.StampSource(cloud, home.PublicIP())
+	dev, err := iotbind.NewDevice(iotbind.DeviceConfig{
+		ID: deviceID, FactorySecret: secret, LocalName: "front-door", Model: "lock",
+	}, design, homeTransport)
+	if err != nil {
+		return err
+	}
+	if err := home.Join(dev); err != nil {
+		return err
+	}
+
+	owner, err := iotbind.NewApp("owner@example.com", "pw-owner", design, homeTransport, home)
+	if err != nil {
+		return err
+	}
+	// The family member and the house-sitter are elsewhere: different
+	// networks, cloud-only access — delegation is cloud-mediated.
+	family, err := iotbind.NewApp("family@example.com", "pw-family", design,
+		iotbind.StampSource(cloud, "198.51.100.10"), nil)
+	if err != nil {
+		return err
+	}
+	sitter, err := iotbind.NewApp("sitter@example.com", "pw-sitter", design,
+		iotbind.StampSource(cloud, "198.51.100.20"), nil)
+	if err != nil {
+		return err
+	}
+	for _, a := range []*iotbind.App{owner, family, sitter} {
+		if err := a.RegisterAccount(); err != nil {
+			return err
+		}
+		if err := a.Login(); err != nil {
+			return err
+		}
+	}
+	if err := owner.SetupDevice("front-door", nil); err != nil {
+		return err
+	}
+	fmt.Println("Owner bound the lock.")
+
+	// The owner hands the family member the full scope set with one
+	// re-delegation hop, expiring in a day.
+	grant, err := owner.Delegate(deviceID, "family@example.com",
+		[]string{"control", "read", "share"}, 24*3600, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Family delegation token minted, expires %s.\n", grant.ExpiresAt.Format("2006-01-02 15:04"))
+
+	// Both credential forms work: the family member's own login (the
+	// cloud walks the lattice) and the minted delegation token.
+	if err := family.Control(deviceID, iotbind.Command{ID: "f1", Name: "unlock"}); err != nil {
+		return err
+	}
+	if err := family.ControlWithCredential(deviceID, grant.DelegationToken,
+		iotbind.Command{ID: "f2", Name: "lock"}); err != nil {
+		return err
+	}
+	if err := dev.Heartbeat(); err != nil {
+		return err
+	}
+	fmt.Printf("Family commands executed by the lock: %v\n", dev.Executed())
+
+	// The family member re-delegates — but only a narrower grant
+	// survives attenuation: read-only, no further hops.
+	if _, err := family.Delegate(deviceID, "sitter@example.com",
+		[]string{"control", "read", "share"}, 48*3600, 1); err != nil {
+		fmt.Printf("Sitter sub-grant wider than the family's own: %v\n", err)
+	}
+	if _, err := family.Delegate(deviceID, "sitter@example.com",
+		[]string{"read"}, 3600, 0); err != nil {
+		return err
+	}
+	readings, err := sitter.Readings(deviceID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sitter reads %d reading(s); control attempt: %v\n",
+		len(readings), sitter.Control(deviceID, iotbind.Command{ID: "s1", Name: "unlock"}))
+
+	// The owner sees the whole lattice; the legacy share surface lists
+	// the same direct grantees.
+	grants, err := owner.Delegations(deviceID)
+	if err != nil {
+		return err
+	}
+	for _, g := range grants {
+		fmt.Printf("  grant %s -> %s scopes=%v depth=%d\n", g.Grantor, g.Grantee, g.Scopes, g.Depth)
+	}
+	shares, err := owner.Shares(deviceID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Legacy Shares() view: %v\n", shares)
+
+	// Cascade revocation: revoking the family member severs the
+	// sitter's derived grant and retires the minted token, atomically.
+	if err := owner.RevokeDelegation(deviceID, "family@example.com"); err != nil {
+		return err
+	}
+	fmt.Printf("After cascade revoke — family control: %v\n",
+		family.Control(deviceID, iotbind.Command{ID: "f3", Name: "unlock"}))
+	fmt.Printf("After cascade revoke — sitter read:    %v\n",
+		func() error { _, err := sitter.Readings(deviceID); return err }())
+	fmt.Printf("After cascade revoke — minted token:   %v\n",
+		family.ControlWithCredential(deviceID, grant.DelegationToken, iotbind.Command{ID: "f4", Name: "unlock"}))
+
+	fmt.Println("\nDelegated authority is scoped, expiring and chain-checked — and dies with the grant it derives from.")
+	return nil
+}

@@ -94,6 +94,38 @@ func VerifyDesign(design DesignSpec) ([]VerificationResult, error) {
 	return modelcheck.Check(design)
 }
 
+// DelegationAttack identifies one A6 delegation attack row.
+type DelegationAttack = modelcheck.DelegationAttack
+
+// The delegation attack rows.
+const (
+	// AttackResidualControl is A6-1: a credential derived from an
+	// evicted guest's authority still commands the device.
+	AttackResidualControl = modelcheck.AttackResidualControl
+	// AttackEscalation is A6-2: a re-delegation chain ends in a grantee
+	// exercising a scope its grantor never held.
+	AttackEscalation = modelcheck.AttackEscalation
+	// AttackRevocationRace is A6-3: a control that passed credential
+	// verification before a revocation lands after it.
+	AttackRevocationRace = modelcheck.AttackRevocationRace
+)
+
+// AllDelegationAttacks lists the A6 rows in table order.
+func AllDelegationAttacks() []DelegationAttack { return modelcheck.AllDelegationAttacks() }
+
+// DelegationVerdict is one A6 row's verdict, with a minimal
+// counterexample trace when the attack is reachable.
+type DelegationVerdict = modelcheck.DelegationResult
+
+// VerifyDelegation exhaustively explores the delegation lattice's
+// abstract state space under the design — one owner, a guest, a
+// sub-guest, their grants and minted tokens, and an in-flight control
+// in the revocation-race window — and decides each A6 row with a
+// minimal counterexample when it succeeds.
+func VerifyDelegation(design DesignSpec) ([]DelegationVerdict, error) {
+	return modelcheck.CheckDelegation(design)
+}
+
 // ---- fleet exposure campaigns (Sections I, V-C at scale) -------------------
 
 // CampaignConfig describes a fleet-scale ID-sweep campaign.
@@ -410,6 +442,22 @@ type CrashRecoveryResult = testbed.CrashRecoveryResult
 // never-crashed reference.
 func RunCrashRecovery(cfg CrashRecoveryConfig) (CrashRecoveryResult, error) {
 	return testbed.RunCrashRecovery(cfg)
+}
+
+// ShareStormConfig parameterizes a seeded share/revoke storm run.
+type ShareStormConfig = testbed.ShareStormConfig
+
+// ShareStormResult reports one share/revoke storm run.
+type ShareStormResult = testbed.ShareStormResult
+
+// RunShareStorm drives a delegation share/revoke storm — grants,
+// chained re-delegations, cascading revocations and delegated control
+// interleaved with owner traffic — against a durable cloud while a
+// seeded kill schedule crashes it mid-storm, recovering after every
+// crash, and proves the survivor's final state byte-identical to a
+// never-crashed reference with no acknowledged op lost.
+func RunShareStorm(cfg ShareStormConfig) (ShareStormResult, error) {
+	return testbed.RunShareStorm(cfg)
 }
 
 // SwitchableTransport is an atomically swappable cloud transport:

@@ -143,5 +143,11 @@ func randomDesign(rng *rand.Rand, i int) core.DesignSpec {
 			d.OnlineBeforeBind = true
 		}
 	}
+
+	// Delegation policy flags, drawn last so the sweep over the binding
+	// dimensions is unchanged by their addition.
+	d.DelegationScopeAttenuation = rng.Intn(2) == 0
+	d.DelegationCascadeRevoke = rng.Intn(2) == 0
+	d.DelegationCheckAtUse = rng.Intn(2) == 0
 	return d
 }

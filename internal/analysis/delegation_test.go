@@ -1,0 +1,92 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/analysis"
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/modelcheck"
+	"github.com/iotbind/iotbind/internal/vendors"
+)
+
+// TestDelegationSecureBaselineBlocksA6: the capability baseline (and the
+// recommended practice) enable all three delegation guards, so every A6
+// row is blocked; the zero-value permissive posture leaves all three
+// open.
+func TestDelegationSecureBaselineBlocksA6(t *testing.T) {
+	for _, p := range []vendors.Profile{vendors.SecureReference(), vendors.RecommendedPractice()} {
+		for _, f := range analysis.PredictDelegation(p.Design) {
+			if f.Outcome.Succeeded() {
+				t.Errorf("%s: %v succeeds on the secure baseline: %s", p.Design.Name, f.Attack, f.Reason)
+			}
+		}
+	}
+
+	permissive := vendors.WorstCase().Design // zero-value delegation flags
+	for _, f := range analysis.PredictDelegation(permissive) {
+		if !f.Outcome.Succeeded() {
+			t.Errorf("%v blocked on the permissive posture: %s", f.Attack, f.Reason)
+		}
+	}
+}
+
+// TestDelegationPredictionsMatchModel is the delegation counterpart of
+// the analyzer/emulation agreement suite: the rule-based A6 predictions
+// and the exhaustive delegation sub-model must agree on every vendor
+// profile, both references, and a sweep of random designs.
+func TestDelegationPredictionsMatchModel(t *testing.T) {
+	designs := []core.DesignSpec{
+		vendors.SecureReference().Design,
+		vendors.RecommendedPractice().Design,
+		vendors.WorstCase().Design,
+	}
+	for _, p := range vendors.Profiles() {
+		designs = append(designs, p.Design)
+	}
+	rng := rand.New(rand.NewSource(0xA6))
+	for i := 0; i < 300; i++ {
+		designs = append(designs, randomDesign(rng, i))
+	}
+
+	for _, d := range designs {
+		findings := analysis.PredictDelegation(d)
+		results, err := modelcheck.CheckDelegation(d)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(findings) != len(results) {
+			t.Fatalf("%s: %d findings, %d model results", d.Name, len(findings), len(results))
+		}
+		for i := range findings {
+			if findings[i].Attack != results[i].Attack {
+				t.Fatalf("%s: row %d is %v in the analyzer, %v in the model", d.Name, i, findings[i].Attack, results[i].Attack)
+			}
+			if findings[i].Outcome.Succeeded() != results[i].Succeeds {
+				t.Errorf("%s: %v: analyzer says %v, model says %v (%s)",
+					d.Name, findings[i].Attack, findings[i].Outcome, results[i].Succeeds, findings[i].Reason)
+			}
+		}
+	}
+}
+
+// TestDelegationModelDeterministic: two explorations of the same design
+// produce identical verdicts and identical minimal traces.
+func TestDelegationModelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		d := randomDesign(rng, i)
+		a, err := modelcheck.CheckDelegation(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := modelcheck.CheckDelegation(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: non-deterministic delegation check:\n%v\n%v", d.Name, a, b)
+		}
+	}
+}

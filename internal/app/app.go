@@ -421,6 +421,81 @@ func (a *App) Shares(deviceID string) ([]string, error) {
 	return resp.Guests, nil
 }
 
+// Delegate grants another account a scoped, expiring delegation over a
+// device this user owns (or has share rights on, under re-delegation).
+// ttlSeconds of zero means no expiry; depth is the number of further
+// re-delegation hops the grantee may perform. The returned response
+// carries the delegation token the grantee can present as its control
+// credential.
+func (a *App) Delegate(deviceID, grantee string, scopes []string, ttlSeconds int64, depth int) (protocol.DelegateResponse, error) {
+	tok, err := a.token()
+	if err != nil {
+		return protocol.DelegateResponse{}, err
+	}
+	resp, err := a.cloud.HandleDelegate(protocol.DelegateRequest{
+		DeviceID:   deviceID,
+		UserToken:  tok,
+		Grantee:    grantee,
+		Scopes:     scopes,
+		TTLSeconds: ttlSeconds,
+		Depth:      depth,
+	})
+	if err != nil {
+		return protocol.DelegateResponse{}, fmt.Errorf("app %s: delegate to %s: %w", a.userID, grantee, err)
+	}
+	return resp, nil
+}
+
+// RevokeDelegation withdraws a grantee's delegation (and, under the
+// cascade design, everything the grantee re-delegated).
+func (a *App) RevokeDelegation(deviceID, grantee string) error {
+	tok, err := a.token()
+	if err != nil {
+		return err
+	}
+	if err := a.cloud.HandleRevokeDelegation(protocol.RevokeDelegationRequest{
+		DeviceID:  deviceID,
+		UserToken: tok,
+		Grantee:   grantee,
+	}); err != nil {
+		return fmt.Errorf("app %s: revoke delegation of %s: %w", a.userID, grantee, err)
+	}
+	return nil
+}
+
+// Delegations lists the device's delegation grants as this user is
+// allowed to see them: the owner sees the whole lattice, a delegate
+// sees its own grant and the ones it issued.
+func (a *App) Delegations(deviceID string) ([]protocol.DelegationInfo, error) {
+	tok, err := a.token()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.cloud.ListDelegations(protocol.ListDelegationsRequest{DeviceID: deviceID, UserToken: tok})
+	if err != nil {
+		return nil, fmt.Errorf("app %s: delegations: %w", a.userID, err)
+	}
+	return resp.Grants, nil
+}
+
+// ControlWithCredential issues a control using an explicit credential —
+// the delegated-control path, where the caller presents a delegation
+// token instead of a logged-in user token.
+func (a *App) ControlWithCredential(deviceID, credential string, cmd protocol.Command) error {
+	resp, err := a.cloud.HandleControl(protocol.ControlRequest{
+		DeviceID:  deviceID,
+		UserToken: credential,
+		Command:   cmd,
+	})
+	if err != nil {
+		return fmt.Errorf("app %s: delegated control %s: %w", a.userID, deviceID, err)
+	}
+	if !resp.Queued {
+		return fmt.Errorf("app %s: delegated control %s: command not queued", a.userID, deviceID)
+	}
+	return nil
+}
+
 // SessionToken returns the post-binding token the app holds for a device
 // (empty when the design has none).
 func (a *App) SessionToken(deviceID string) string {

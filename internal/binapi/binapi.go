@@ -60,15 +60,19 @@ import (
 // epoll (ReadinessEpoll off-Linux, or NewClientPoller there).
 var ErrEpollUnsupported = errors.New("binapi: epoll readiness source requires linux")
 
-// Frame kinds. The wire reuses wirecodec's tag values for the two hot
+// Frame kinds. The wire reuses wirecodec's tag values for the binary
 // operations so a captured status payload is bit-identical to its WAL
-// record body.
+// record body and the sharing/delegation kinds line up with their
+// record tags.
 const (
-	kindStatus = 0x01 // payload: wirecodec status body / status response body
-	kindBatch  = 0x02 // payload: wirecodec batch items / batch response body
-	kindJSON   = 0x10 // payload: JSON request/response envelope (cold ops)
-	kindError  = 0x20 // response only: wire code string + message string
-	kindHello  = 0x30 // server → client greeting on stream 0
+	kindStatus           = 0x01 // payload: wirecodec status body / status response body
+	kindBatch            = 0x02 // payload: wirecodec batch items / batch response body
+	kindDelegate         = 0x04 // payload: wirecodec delegate body / delegate response body
+	kindRevokeDelegation = 0x05 // payload: wirecodec revoke-delegation body / empty response
+	kindShare            = 0x06 // payload: wirecodec share body / empty response
+	kindJSON             = 0x10 // payload: JSON request/response envelope (cold ops)
+	kindError            = 0x20 // response only: wire code string + message string
+	kindHello            = 0x30 // server → client greeting on stream 0
 )
 
 // Flag bits (low byte of the header word).
@@ -241,6 +245,11 @@ func appendFrame(dst []byte, stream uint32, kind, flags uint8, payload []byte) [
 	return wal.AppendFrame(dst, packHeader(stream, kind, flags), payload)
 }
 
+// ackPayload is the one-byte body of a success response that carries no
+// data (share, revoke-delegation). The frame layout forbids zero-length
+// payloads, so the ack is explicit.
+var ackPayload = []byte{1}
+
 // Op names for the JSON envelope (cold operations). They match tcpapi's
 // vocabulary so a wire capture reads the same across front ends.
 const (
@@ -255,6 +264,7 @@ const (
 	opReadings     = "readings"
 	opShare        = "share"
 	opShares       = "shares"
+	opDelegations  = "delegations"
 	opShadow       = "shadow"
 )
 

@@ -15,6 +15,7 @@ import (
 	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/tcpapi"
+	"github.com/iotbind/iotbind/internal/token"
 	"github.com/iotbind/iotbind/internal/transport"
 	"github.com/iotbind/iotbind/internal/wal"
 	"github.com/iotbind/iotbind/internal/wirecodec"
@@ -54,7 +55,24 @@ func newLabService(t testing.TB, n int) *cloud.Service {
 			t.Fatal(err)
 		}
 	}
-	svc, err := cloud.NewService(labDesign(), registry, cloud.WithClock(frozenClock()))
+	// Deterministic entropy: twin services driven through the same op
+	// order mint identical tokens and nonces, keeping equivalence
+	// snapshots byte-comparable.
+	var ctr uint64
+	read := func(b []byte) error {
+		ctr++
+		for i := range b {
+			b[i] = byte(ctr >> (8 * (i % 8)))
+		}
+		return nil
+	}
+	hex := func() (string, error) {
+		ctr++
+		return fmt.Sprintf("%032x", ctr), nil
+	}
+	issuer := token.NewIssuer(token.WithClock(frozenClock()), token.WithRandom(read))
+	svc, err := cloud.NewService(labDesign(), registry,
+		cloud.WithClock(frozenClock()), cloud.WithRandomHex(hex), cloud.WithTokenIssuer(issuer))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,11 +402,39 @@ func TestEquivalenceWithTCPAPI(t *testing.T) {
 		}
 	}
 
+	// Each front end logs into its own cloud; the delegation ops below use
+	// the per-front token so both sides speak with equivalent authority.
+	tokens := make([]map[string]string, len(fronts))
+	for i := range tokens {
+		tokens[i] = map[string]string{}
+	}
 	for u := 0; u < 2; u++ {
 		user, pw := fmt.Sprintf("user-%d@example.com", u), fmt.Sprintf("pw-%d", u)
 		both("register-user", func(c transport.Cloud) error {
 			return c.RegisterUser(protocol.RegisterUserRequest{UserID: user, Password: pw})
 		})
+		for i, c := range fronts {
+			login, err := c.Login(protocol.LoginRequest{UserID: user, Password: pw})
+			if err != nil {
+				t.Fatalf("login %s: %v", user, err)
+			}
+			tokens[i][user] = login.UserToken
+		}
+	}
+	tokenOf := func(c transport.Cloud, user string) string {
+		for i, f := range fronts {
+			if f == c {
+				return tokens[i][user]
+			}
+		}
+		t.Fatalf("unknown front end")
+		return ""
+	}
+	scopeMixes := [][]string{
+		{"control", "read", "share"},
+		{"read", "share"},
+		{"control", "read"},
+		{"read"},
 	}
 	rng := rand.New(rand.NewSource(7))
 	at := frozenClock()()
@@ -396,7 +442,8 @@ func TestEquivalenceWithTCPAPI(t *testing.T) {
 		dev := testDeviceID(rng.Intn(devices))
 		user := fmt.Sprintf("user-%d@example.com", rng.Intn(2))
 		pw := "pw-" + user[5:6]
-		switch rng.Intn(6) {
+		other := fmt.Sprintf("user-%d@example.com", rng.Intn(2))
+		switch rng.Intn(10) {
 		case 0:
 			both("status-register", func(c transport.Cloud) error {
 				_, err := c.HandleStatus(protocol.StatusRequest{
@@ -452,6 +499,40 @@ func TestEquivalenceWithTCPAPI(t *testing.T) {
 			}
 			if err1 == nil && !reflect.DeepEqual(s1, s2) {
 				t.Fatalf("shadow state diverged: %+v vs %+v", s1, s2)
+			}
+		case 6:
+			revoke := rng.Intn(3) == 0
+			both("share", func(c transport.Cloud) error {
+				return c.HandleShare(protocol.ShareRequest{
+					DeviceID: dev, UserToken: tokenOf(c, user), Guest: other, Revoke: revoke,
+				})
+			})
+		case 7:
+			scopes := scopeMixes[rng.Intn(len(scopeMixes))]
+			depth := rng.Intn(2)
+			both("delegate", func(c transport.Cloud) error {
+				_, err := c.HandleDelegate(protocol.DelegateRequest{
+					DeviceID: dev, UserToken: tokenOf(c, user), Grantee: other,
+					Scopes: scopes, TTLSeconds: 3600, Depth: depth,
+					IdempotencyKey: fmt.Sprintf("deleg-%d", op),
+				})
+				return err
+			})
+		case 8:
+			both("revoke-delegation", func(c transport.Cloud) error {
+				return c.HandleRevokeDelegation(protocol.RevokeDelegationRequest{
+					DeviceID: dev, UserToken: tokenOf(c, user), Grantee: other,
+					IdempotencyKey: fmt.Sprintf("revoke-%d", op),
+				})
+			})
+		case 9:
+			l1, err1 := fronts[0].ListDelegations(protocol.ListDelegationsRequest{DeviceID: dev, UserToken: tokens[0][user]})
+			l2, err2 := fronts[1].ListDelegations(protocol.ListDelegationsRequest{DeviceID: dev, UserToken: tokens[1][user]})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("list-delegations: outcome diverged: binapi=%v tcpapi=%v", err1, err2)
+			}
+			if err1 == nil && !reflect.DeepEqual(l1, l2) {
+				t.Fatalf("delegation lists diverged: %+v vs %+v", l1, l2)
 			}
 		}
 	}

@@ -81,6 +81,7 @@ type call struct {
 	err    error
 	status protocol.StatusResponse
 	batch  protocol.StatusBatchResponse
+	deleg  protocol.DelegateResponse
 	json   []byte
 }
 
@@ -339,6 +340,18 @@ func (c *Client) route(stream uint32, kind, flags uint8, payload []byte) {
 		if !cur.Done() {
 			cl.err = errors.New("binapi: malformed batch response")
 		}
+	case kind == kindDelegate:
+		cur := wirecodec.NewCursor(payload, 0)
+		cl.deleg = wirecodec.ReadDelegateResponse(cur)
+		if !cur.Done() {
+			cl.err = errors.New("binapi: malformed delegate response")
+		}
+	case kind == kindShare, kind == kindRevokeDelegation:
+		// Success responses for these carry only the explicit ack byte
+		// (the frame layout forbids empty payloads).
+		if len(payload) != 1 || payload[0] != ackPayload[0] {
+			cl.err = fmt.Errorf("binapi: malformed ack on response kind 0x%02x", kind)
+		}
 	case kind == kindJSON:
 		cl.json = append([]byte(nil), payload...)
 	default:
@@ -385,6 +398,7 @@ func (c *Client) finish(id uint32, cl *call) {
 	c.credits <- struct{}{}
 	cl.status = protocol.StatusResponse{}
 	cl.batch = protocol.StatusBatchResponse{}
+	cl.deleg = protocol.DelegateResponse{}
 	cl.json = nil
 	cl.err = nil
 	callPool.Put(cl)
@@ -581,8 +595,78 @@ func (c *Client) Readings(req protocol.ReadingsRequest) (protocol.ReadingsRespon
 	return resp, err
 }
 
+// HandleShare sends a share grant/revoke in binary form.
 func (c *Client) HandleShare(req protocol.ShareRequest) error {
-	return c.roundTripJSON(opShare, req, nil)
+	cl, id, err := c.begin(kindShare)
+	if err != nil {
+		return err
+	}
+	eb := encPool.Get().(*encBuf)
+	eb.payload.Reset()
+	wirecodec.PutShareBody(&eb.payload, &req)
+	eb.frame = appendFrame(eb.frame[:0], id, kindShare, 0, eb.payload.Bytes())
+	err = c.send(eb.frame)
+	encPool.Put(eb)
+	if err != nil {
+		c.abort(id, cl)
+		return err
+	}
+	<-cl.done
+	rerr := cl.err
+	c.finish(id, cl)
+	return rerr
+}
+
+// HandleDelegate sends a delegation grant in binary form.
+func (c *Client) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	cl, id, err := c.begin(kindDelegate)
+	if err != nil {
+		return protocol.DelegateResponse{}, err
+	}
+	eb := encPool.Get().(*encBuf)
+	eb.payload.Reset()
+	wirecodec.PutDelegateBody(&eb.payload, &req)
+	eb.frame = appendFrame(eb.frame[:0], id, kindDelegate, 0, eb.payload.Bytes())
+	err = c.send(eb.frame)
+	encPool.Put(eb)
+	if err != nil {
+		c.abort(id, cl)
+		return protocol.DelegateResponse{}, err
+	}
+	<-cl.done
+	resp, rerr := cl.deleg, cl.err
+	c.finish(id, cl)
+	return resp, rerr
+}
+
+// HandleRevokeDelegation sends a delegation revocation in binary form.
+func (c *Client) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	cl, id, err := c.begin(kindRevokeDelegation)
+	if err != nil {
+		return err
+	}
+	eb := encPool.Get().(*encBuf)
+	eb.payload.Reset()
+	wirecodec.PutRevokeDelegationBody(&eb.payload, &req)
+	eb.frame = appendFrame(eb.frame[:0], id, kindRevokeDelegation, 0, eb.payload.Bytes())
+	err = c.send(eb.frame)
+	encPool.Put(eb)
+	if err != nil {
+		c.abort(id, cl)
+		return err
+	}
+	<-cl.done
+	rerr := cl.err
+	c.finish(id, cl)
+	return rerr
+}
+
+// ListDelegations rides the JSON envelope: it is a cold read with no
+// binary form.
+func (c *Client) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	var resp protocol.ListDelegationsResponse
+	err := c.roundTripJSON(opDelegations, req, &resp)
+	return resp, err
 }
 
 func (c *Client) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {

@@ -627,6 +627,48 @@ func (st *stripe) dispatch(c *conn, stream uint32, kind uint8, payload []byte) {
 		wirecodec.PutStatusBatchResponse(&st.scratch, &resp)
 		st.out = appendFrame(st.out, stream, kindBatch, flagResponse, st.scratch.Bytes())
 
+	case kindShare:
+		cur := wirecodec.NewCursor(payload, 0)
+		req := wirecodec.ReadShareBody(cur)
+		if !cur.Done() {
+			st.errorFrame(stream, protocol.ErrBadRequest, "malformed share body")
+			return
+		}
+		if err := st.srv.cloud.HandleShare(req); err != nil {
+			st.errorFrame(stream, err, err.Error())
+			return
+		}
+		st.out = appendFrame(st.out, stream, kindShare, flagResponse, ackPayload)
+
+	case kindDelegate:
+		cur := wirecodec.NewCursor(payload, 0)
+		req := wirecodec.ReadDelegateBody(cur)
+		if !cur.Done() {
+			st.errorFrame(stream, protocol.ErrBadRequest, "malformed delegate body")
+			return
+		}
+		resp, err := st.srv.cloud.HandleDelegate(req)
+		if err != nil {
+			st.errorFrame(stream, err, err.Error())
+			return
+		}
+		st.scratch.Reset()
+		wirecodec.PutDelegateResponse(&st.scratch, &resp)
+		st.out = appendFrame(st.out, stream, kindDelegate, flagResponse, st.scratch.Bytes())
+
+	case kindRevokeDelegation:
+		cur := wirecodec.NewCursor(payload, 0)
+		req := wirecodec.ReadRevokeDelegationBody(cur)
+		if !cur.Done() {
+			st.errorFrame(stream, protocol.ErrBadRequest, "malformed revoke-delegation body")
+			return
+		}
+		if err := st.srv.cloud.HandleRevokeDelegation(req); err != nil {
+			st.errorFrame(stream, err, err.Error())
+			return
+		}
+		st.out = appendFrame(st.out, stream, kindRevokeDelegation, flagResponse, ackPayload)
+
 	case kindJSON:
 		st.dispatchJSON(c, stream, payload)
 
@@ -718,6 +760,9 @@ func (st *stripe) callJSON(c *conn, op string, raw json.RawMessage) jsonResponse
 	case opShares:
 		var p protocol.SharesRequest
 		return jsonCall(raw, &p, func() (any, error) { return cloud.Shares(p) })
+	case opDelegations:
+		var p protocol.ListDelegationsRequest
+		return jsonCall(raw, &p, func() (any, error) { return cloud.ListDelegations(p) })
 	case opShadow:
 		var p protocol.ShadowStateRequest
 		return jsonCall(raw, &p, func() (any, error) { return cloud.ShadowState(p) })

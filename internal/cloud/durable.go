@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"bytes"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
@@ -733,6 +734,24 @@ func logJSON[T any](d *Durable, op, src, routeKey string, fill func(*walEnvelope
 	}, apply)
 }
 
+// logBinary is logThenApply for the cold operations that carry
+// first-class binary record forms, under the same write lock as logJSON.
+func logBinary[T any](d *Durable, routeKey string, encode func(*bytes.Buffer, time.Time), apply func() (T, error)) (T, error) {
+	var zero T
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return zero, ErrDurableClosed
+	}
+	if d.follower {
+		return zero, ErrNotPrimary
+	}
+	return logThenApply(d, routeKey, func(buf *jsonpool.Buffer, at time.Time) error {
+		encode(buf.Writer(), at)
+		return nil
+	}, apply)
+}
+
 // statusNeedsWAL decides whether a status message is a durable mutation
 // (log-before) or pure liveness (apply, log only on drain). Registers
 // always log: they set the device address, may open button windows,
@@ -798,10 +817,30 @@ func (d *Durable) PushUserData(req protocol.PushUserDataRequest) error {
 	return err
 }
 
-// HandleShare grants or revokes guest access, durably.
+// HandleShare grants or revokes guest access, durably, as a first-class
+// binary WAL record (replay still understands the legacy JSON-envelope
+// form older logs carry).
 func (d *Durable) HandleShare(req protocol.ShareRequest) error {
-	_, err := logJSON(d, "share", "", req.DeviceID, func(env *walEnvelope) { env.Share = &req },
-		func() (struct{}, error) { return struct{}{}, d.svc.HandleShare(req) })
+	_, err := logBinary(d, req.DeviceID, func(b *bytes.Buffer, at time.Time) {
+		encodeShareRecord(b, at, &req)
+	}, func() (struct{}, error) { return struct{}{}, d.svc.HandleShare(req) })
+	return err
+}
+
+// HandleDelegate records a delegation grant, durably. The grant's expiry
+// is derived from the record's pinned clock, so replay mints a
+// byte-identical token with a byte-identical expiry.
+func (d *Durable) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return logBinary(d, req.DeviceID, func(b *bytes.Buffer, at time.Time) {
+		encodeDelegateRecord(b, at, &req)
+	}, func() (protocol.DelegateResponse, error) { return d.svc.HandleDelegate(req) })
+}
+
+// HandleRevokeDelegation withdraws a grant, durably.
+func (d *Durable) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	_, err := logBinary(d, req.DeviceID, func(b *bytes.Buffer, at time.Time) {
+		encodeRevokeDelegationRecord(b, at, &req)
+	}, func() (struct{}, error) { return struct{}{}, d.svc.HandleRevokeDelegation(req) })
 	return err
 }
 
@@ -988,6 +1027,11 @@ func (d *Durable) Readings(req protocol.ReadingsRequest) (protocol.ReadingsRespo
 // Shares passes through: a pure read.
 func (d *Durable) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
 	return d.svc.Shares(req)
+}
+
+// ListDelegations passes through: a pure read.
+func (d *Durable) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return d.svc.ListDelegations(req)
 }
 
 // ShadowState passes through. It may apply heartbeat expiry under wall

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/delegation"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/token"
 )
@@ -541,18 +542,18 @@ func (s *Service) handleControl(req protocol.ControlRequest) (protocol.ControlRe
 	sh := s.store.get(req.DeviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.refresh(s.now(), s.heartbeatTTL)
+	now := s.now()
+	sh.refresh(now, s.heartbeatTTL)
 
-	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	user, viaDelegation, err := s.controlPrincipal(req.DeviceID, req.UserToken, now)
 	if err != nil {
-		return protocol.ControlResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+		return protocol.ControlResponse{}, err
 	}
 	if !sh.state().BoundToUser() {
 		return protocol.ControlResponse{}, fmt.Errorf("cloud: %w", protocol.ErrNotBound)
 	}
-	isOwner := sh.boundUser == userTok.Subject
-	isGuest := sh.guests[userTok.Subject]
-	if !isOwner && !isGuest {
+	isOwner := sh.boundUser == user
+	if !isOwner && !s.delegatedAuthority(sh, user, viaDelegation, delegation.ScopeControl, now) {
 		return protocol.ControlResponse{}, fmt.Errorf("cloud: control by non-owner: %w", protocol.ErrNotPermitted)
 	}
 	if !sh.state().Online() {
@@ -604,12 +605,13 @@ func (s *Service) Readings(req protocol.ReadingsRequest) (protocol.ReadingsRespo
 	sh := s.store.get(req.DeviceID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	userTok, err := s.issuer.Verify(token.KindUser, req.UserToken)
+	now := s.now()
+	user, viaDelegation, err := s.controlPrincipal(req.DeviceID, req.UserToken, now)
 	if err != nil {
-		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %w: %v", protocol.ErrAuthFailed, err)
+		return protocol.ReadingsResponse{}, err
 	}
 	if !sh.state().BoundToUser() ||
-		(sh.boundUser != userTok.Subject && !sh.guests[userTok.Subject]) {
+		(sh.boundUser != user && !s.delegatedAuthority(sh, user, viaDelegation, delegation.ScopeRead, now)) {
 		return protocol.ReadingsResponse{}, fmt.Errorf("cloud: %w", protocol.ErrNotPermitted)
 	}
 	out := make([]protocol.Reading, len(sh.readings))
@@ -768,11 +770,48 @@ func (s *Service) consumeBindToken(req protocol.BindRequest) {
 	}
 }
 
-// revokeBinding clears a binding and retires its session tokens. The
-// caller holds sh's lock; the issuer's own lock nests inside it (shadow
-// -> issuer is the only cross-structure nesting on the hot path, and the
-// issuer never calls back into shadows, so the order cannot invert).
+// revokeBinding clears a binding and retires its session tokens and
+// delegation tokens — delegated authority derives from the binding and
+// must not outlive it. The caller holds sh's lock; the issuer's own lock
+// nests inside it (shadow -> issuer is the only cross-structure nesting
+// on the hot path, and the issuer never calls back into shadows, so the
+// order cannot invert).
 func (s *Service) revokeBinding(sh *shadow) {
 	s.issuer.RevokeSubject(token.KindSession, sh.deviceID)
+	s.issuer.RevokeSubject(token.KindDelegation, sh.deviceID)
 	sh.unbind()
+}
+
+// controlPrincipal resolves the account a control-plane credential
+// speaks for: a user token names its subject; a delegation token minted
+// for this device names its grantee. One issuer lookup dispatches on
+// the credential family — probing kind by kind would put a failed
+// verification (with its allocated mismatch error) on the delegated hot
+// path. The caller holds the target shadow's lock (the issuer nests
+// inside it).
+func (s *Service) controlPrincipal(deviceID, credential string, now time.Time) (user string, viaDelegation bool, err error) {
+	tok, terr := s.issuer.Resolve(credential, now)
+	if terr == nil {
+		switch {
+		case tok.Kind == token.KindUser:
+			return tok.Subject, false, nil
+		case tok.Kind == token.KindDelegation && tok.Subject == deviceID:
+			return tok.Owner, true, nil
+		}
+	}
+	return "", false, fmt.Errorf("cloud: %w: no user or delegation credential", protocol.ErrAuthFailed)
+}
+
+// delegatedAuthority decides whether a non-owner may exercise scope on
+// the device, under the shadow's lock — which is what makes the check
+// atomic with revocation: a control attempt racing a revoke observes
+// the lattice before or after the severing, never between. A delegation
+// token normally still walks its grant chain here (DelegationCheckAtUse);
+// designs lacking that check accept the minted token at face value until
+// its own expiry — the A6-3 revocation-race window.
+func (s *Service) delegatedAuthority(sh *shadow, user string, viaDelegation bool, scope delegation.Scope, now time.Time) bool {
+	if viaDelegation && !s.design.DelegationCheckAtUse {
+		return true
+	}
+	return sh.deleg != nil && sh.deleg.Authorize(user, scope, now)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/delegation"
 	"github.com/iotbind/iotbind/internal/protocol"
 )
 
@@ -30,10 +31,11 @@ type shadow struct {
 	// boundUser is the account bound to the device, empty when unbound.
 	boundUser string
 
-	// guests are accounts the bound owner has shared the device with
-	// (many-to-one binding). Guest authority derives entirely from the
-	// owner's binding and vanishes with it.
-	guests map[string]bool
+	// deleg is the device's delegation lattice (many-to-one binding and
+	// its re-delegation chains), rooted at the bound owner and created
+	// lazily on the first grant. All delegated authority derives from
+	// the owner's binding and vanishes with it.
+	deleg *delegation.Lattice
 
 	// sessionOwner is the account that owns the device token the device
 	// most recently authenticated with (AuthDevToken designs). Control is
@@ -94,6 +96,8 @@ const (
 	idemBind idemOp = iota + 1
 	idemUnbind
 	idemStatus
+	idemDelegate
+	idemRevokeDelegation
 )
 
 // idemResult is one recorded Bind/Unbind/Status outcome. op distinguishes
@@ -106,6 +110,7 @@ type idemResult struct {
 	fingerprint [32]byte
 	bind        protocol.BindResponse
 	status      protocol.StatusResponse
+	delegate    protocol.DelegateResponse
 }
 
 func newShadow(deviceID string) *shadow {
@@ -144,11 +149,11 @@ func (s *shadow) bind(user string) {
 }
 
 // unbind revokes the binding and clears all user-coupled state so the next
-// owner cannot observe the previous owner's data. Shares die with the
-// binding they derive from.
+// owner cannot observe the previous owner's data. Shares and delegation
+// grants die with the binding they derive from.
 func (s *shadow) unbind() {
 	s.boundUser = ""
-	s.guests = nil
+	s.deleg = nil
 	s.sessionToken = ""
 	s.commandInbox = nil
 	s.dataInbox = nil
@@ -222,6 +227,9 @@ func (s *shadow) exportIdem() []IdemRecord {
 		case idemStatus:
 			status := r.status
 			rec.Status = &status
+		case idemDelegate:
+			delegate := r.delegate
+			rec.Delegate = &delegate
 		}
 		out = append(out, rec)
 	}
@@ -234,7 +242,7 @@ func (s *shadow) exportIdem() []IdemRecord {
 func (s *shadow) importIdem(records []IdemRecord) error {
 	for _, rec := range records {
 		op := idemOp(rec.Op)
-		if rec.Key == "" || op < idemBind || op > idemStatus {
+		if rec.Key == "" || op < idemBind || op > idemRevokeDelegation {
 			return fmt.Errorf("idempotency record %q: %w", rec.Key, protocol.ErrBadRequest)
 		}
 		fp, err := hex.DecodeString(rec.Fingerprint)
@@ -248,6 +256,9 @@ func (s *shadow) importIdem(records []IdemRecord) error {
 		}
 		if rec.Status != nil {
 			r.status = *rec.Status
+		}
+		if rec.Delegate != nil {
+			r.delegate = *rec.Delegate
 		}
 		s.recordIdem(rec.Key, r)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/delegation"
 	"github.com/iotbind/iotbind/internal/jsonpool"
 	"github.com/iotbind/iotbind/internal/protocol"
 	"github.com/iotbind/iotbind/internal/token"
@@ -49,7 +50,7 @@ type ShadowSnapshot struct {
 	State        core.ShadowState    `json:"state"`
 	LastSeen     time.Time           `json:"last_seen,omitempty"`
 	BoundUser    string              `json:"bound_user,omitempty"`
-	Guests       []string            `json:"guests,omitempty"`
+	Grants       []GrantSnapshot     `json:"grants,omitempty"`
 	SessionOwner string              `json:"session_owner,omitempty"`
 	SessionToken string              `json:"session_token,omitempty"`
 	SessionNonce string              `json:"session_nonce,omitempty"`
@@ -63,15 +64,26 @@ type ShadowSnapshot struct {
 	IdemLog []IdemRecord `json:"idem_log,omitempty"`
 }
 
+// GrantSnapshot is one persisted delegation grant, sorted by grantee in
+// the shadow's grant list.
+type GrantSnapshot struct {
+	Grantor string    `json:"grantor"`
+	Grantee string    `json:"grantee"`
+	Scopes  []string  `json:"scopes"`
+	Expiry  time.Time `json:"expiry,omitempty"`
+	Depth   int       `json:"depth,omitempty"`
+}
+
 // IdemRecord is one persisted idempotency-log entry: the key, the
 // operation it answers, the request fingerprint gating replay, and the
 // recorded response.
 type IdemRecord struct {
-	Key         string                   `json:"key"`
-	Op          uint8                    `json:"op"`
-	Fingerprint string                   `json:"fp"`
-	Bind        *protocol.BindResponse   `json:"bind,omitempty"`
-	Status      *protocol.StatusResponse `json:"status,omitempty"`
+	Key         string                     `json:"key"`
+	Op          uint8                      `json:"op"`
+	Fingerprint string                     `json:"fp"`
+	Bind        *protocol.BindResponse     `json:"bind,omitempty"`
+	Status      *protocol.StatusResponse   `json:"status,omitempty"`
+	Delegate    *protocol.DelegateResponse `json:"delegate,omitempty"`
 }
 
 // Snapshot captures the service's full state. With the sharded store the
@@ -113,11 +125,18 @@ func (s *Service) Snapshot() Snapshot {
 		if s.persistIdem {
 			ss.IdemLog = sh.exportIdem()
 		}
-		for g := range sh.guests {
-			ss.Guests = append(ss.Guests, g)
+		if sh.deleg != nil {
+			for _, g := range sh.deleg.Grants() {
+				ss.Grants = append(ss.Grants, GrantSnapshot{
+					Grantor: g.Grantor,
+					Grantee: g.Grantee,
+					Scopes:  g.Scopes.Names(),
+					Expiry:  g.Expiry,
+					Depth:   g.Depth,
+				})
+			}
 		}
 		sh.mu.Unlock()
-		sort.Strings(ss.Guests)
 		snap.Shadows = append(snap.Shadows, ss)
 	}
 	return snap
@@ -177,11 +196,26 @@ func (s *Service) Restore(snap Snapshot) error {
 			dataInbox:    append([]protocol.UserData(nil), ss.DataInbox...),
 			readings:     append([]protocol.Reading(nil), ss.Readings...),
 		}
-		if len(ss.Guests) > 0 {
-			sh.guests = make(map[string]bool, len(ss.Guests))
-			for _, g := range ss.Guests {
-				sh.guests[g] = true
+		if len(ss.Grants) > 0 {
+			grants := make([]delegation.Grant, 0, len(ss.Grants))
+			for _, gs := range ss.Grants {
+				scopes, err := delegation.ParseScopes(gs.Scopes)
+				if err != nil {
+					return fmt.Errorf("cloud: restore %q: %w", ss.DeviceID, err)
+				}
+				grants = append(grants, delegation.Grant{
+					Grantor: gs.Grantor,
+					Grantee: gs.Grantee,
+					Scopes:  scopes,
+					Expiry:  gs.Expiry,
+					Depth:   gs.Depth,
+				})
 			}
+			lat, err := delegation.Import(ss.BoundUser, grants)
+			if err != nil {
+				return fmt.Errorf("cloud: restore %q: %w", ss.DeviceID, err)
+			}
+			sh.deleg = lat
 		}
 		if err := sh.importIdem(ss.IdemLog); err != nil {
 			return fmt.Errorf("cloud: restore %q: %w", ss.DeviceID, err)

@@ -35,6 +35,13 @@ type Stats struct {
 	UnbindsAccepted, UnbindsRejected, UnbindsDeduplicated int64
 	// ControlsQueued and ControlsRejected count control relay outcomes.
 	ControlsQueued, ControlsRejected int64
+	// DelegationsGranted and DelegationsRevoked count accepted delegation
+	// lattice mutations; DelegationsRejected counts refused ones (either
+	// kind), DelegationsDeduplicated the redeliveries answered from the
+	// idempotency log.
+	DelegationsGranted, DelegationsRevoked int64
+	DelegationsRejected                    int64
+	DelegationsDeduplicated                int64
 }
 
 // statCounters are the live counters behind Stats, kept as plain atomics
@@ -54,6 +61,8 @@ type statCounters struct {
 	bindsDeduplicated                                     atomic.Int64
 	unbindsAccepted, unbindsRejected, unbindsDeduplicated atomic.Int64
 	controlsQueued, controlsRejected                      atomic.Int64
+	delegationsGranted, delegationsRevoked                atomic.Int64
+	delegationsRejected, delegationsDeduplicated          atomic.Int64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -76,6 +85,11 @@ func (c *statCounters) snapshot() Stats {
 		UnbindsDeduplicated: c.unbindsDeduplicated.Load(),
 		ControlsQueued:      c.controlsQueued.Load(),
 		ControlsRejected:    c.controlsRejected.Load(),
+
+		DelegationsGranted:      c.delegationsGranted.Load(),
+		DelegationsRevoked:      c.delegationsRevoked.Load(),
+		DelegationsRejected:     c.delegationsRejected.Load(),
+		DelegationsDeduplicated: c.delegationsDeduplicated.Load(),
 	}
 }
 
@@ -99,6 +113,10 @@ func (c *statCounters) restore(s Stats) {
 	c.unbindsDeduplicated.Store(s.UnbindsDeduplicated)
 	c.controlsQueued.Store(s.ControlsQueued)
 	c.controlsRejected.Store(s.ControlsRejected)
+	c.delegationsGranted.Store(s.DelegationsGranted)
+	c.delegationsRevoked.Store(s.DelegationsRevoked)
+	c.delegationsRejected.Store(s.DelegationsRejected)
+	c.delegationsDeduplicated.Store(s.DelegationsDeduplicated)
 }
 
 // Stats returns a snapshot of the service's activity counters.

@@ -34,6 +34,18 @@ func encodeBatchRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusBatchR
 	wirecodec.EncodeBatchRecord(b, at, req)
 }
 
+func encodeShareRecord(b *bytes.Buffer, at time.Time, req *protocol.ShareRequest) {
+	wirecodec.EncodeShareRecord(b, at, req)
+}
+
+func encodeDelegateRecord(b *bytes.Buffer, at time.Time, req *protocol.DelegateRequest) {
+	wirecodec.EncodeDelegateRecord(b, at, req)
+}
+
+func encodeRevokeDelegationRecord(b *bytes.Buffer, at time.Time, req *protocol.RevokeDelegationRequest) {
+	wirecodec.EncodeRevokeDelegationRecord(b, at, req)
+}
+
 func decodeWALRecord(payload []byte) (walRecord, error) {
 	return wirecodec.DecodeRecord(payload)
 }
@@ -63,6 +75,12 @@ func applyWALRecord(r walRecord, s *Service) error {
 		_, _ = s.HandleStatusBatch(req)
 	case r.Liveness != nil:
 		s.applyLiveness(r.Liveness.DeviceID, r.At, r.Liveness.Owner)
+	case r.Share != nil:
+		_ = s.HandleShare(*r.Share)
+	case r.Delegate != nil:
+		_, _ = s.HandleDelegate(*r.Delegate)
+	case r.RevokeDelegation != nil:
+		_ = s.HandleRevokeDelegation(*r.RevokeDelegation)
 	case r.Env != nil:
 		env := r.Env
 		switch {

@@ -65,6 +65,30 @@ type Node struct {
 	// exact rather than racing in-flight appends.
 	opMu   sync.RWMutex
 	killed bool
+
+	// Background ship ticker (WithShipInterval). The stop channel is
+	// closed — and the goroutine joined — before Kill/Promote/Close
+	// take the write lock, so shutdown never deadlocks against a
+	// ticking CatchUp holding the read side.
+	shipStop chan struct{}
+	shipOnce sync.Once
+	shipWG   sync.WaitGroup
+}
+
+// Option configures node behaviour beyond the NodeConfig fields.
+type Option func(*nodeOptions)
+
+type nodeOptions struct {
+	shipInterval time.Duration
+}
+
+// WithShipInterval starts a background ticker that ships the replica
+// up to the primary's watermark every d — async-mode replication that
+// bounds lag without coupling it to the request path. Explicit CatchUp
+// calls still work; the ticker stops cleanly on Kill, Promote and
+// Close. Zero or negative d disables the ticker (the default).
+func WithShipInterval(d time.Duration) Option {
+	return func(o *nodeOptions) { o.shipInterval = d }
 }
 
 var _ transport.Cloud = (*Node)(nil)
@@ -73,9 +97,13 @@ var _ transport.Cloud = (*Node)(nil)
 // inherits the primary's meta.json — same master seed, design and WAL
 // shard layout — which is what makes shipped records replay
 // byte-identically.
-func NewNode(cfg NodeConfig) (*Node, error) {
+func NewNode(cfg NodeConfig, opts ...Option) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	var no nodeOptions
+	for _, opt := range opts {
+		opt(&no)
 	}
 	primaryDir := filepath.Join(cfg.Dir, "primary")
 	replicaDir := filepath.Join(cfg.Dir, "replica")
@@ -108,7 +136,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.WAL.Policy == wal.SyncEveryRecord {
 		flush = nil // commit already flushed every acked frame
 	}
-	return &Node{
+	n := &Node{
 		name:       cfg.Name,
 		primaryDir: primaryDir,
 		maxRecord:  cfg.WAL.MaxRecord,
@@ -116,7 +144,42 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		replica:    replica,
 		ship:       NewShipper(primaryDir, cfg.WAL.MaxRecord, replica, flush),
 		ackRep:     cfg.AckAfterReplicate,
-	}, nil
+	}
+	if no.shipInterval > 0 {
+		n.shipStop = make(chan struct{})
+		n.shipWG.Add(1)
+		go n.shipLoop(no.shipInterval)
+	}
+	return n, nil
+}
+
+// shipLoop is the WithShipInterval ticker: each tick ships the replica
+// up to the primary's current watermark vector. A tick racing a kill
+// simply observes killed under the read lock and returns ErrNodeDown,
+// which the loop ignores; the stop channel ends the loop.
+func (n *Node) shipLoop(interval time.Duration) {
+	defer n.shipWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.shipStop:
+			return
+		case <-t.C:
+			_ = n.CatchUp()
+		}
+	}
+}
+
+// stopShipTicker ends the background ship loop and joins it. Must run
+// before taking opMu's write side: the loop's CatchUp holds the read
+// side, so waiting for it under the write lock would deadlock.
+func (n *Node) stopShipTicker() {
+	if n.shipStop == nil {
+		return
+	}
+	n.shipOnce.Do(func() { close(n.shipStop) })
+	n.shipWG.Wait()
 }
 
 // Name returns the node's ring identity.
@@ -164,6 +227,7 @@ func (n *Node) CatchUp() error {
 // received — the data loss a promotion inherits, zero under
 // ack-after-replicate.
 func (n *Node) Kill() (lost uint64, err error) {
+	n.stopShipTicker()
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
 	if n.killed {
@@ -197,6 +261,7 @@ func (n *Node) Kill() (lost uint64, err error) {
 // Promote turns the replica into a primary and returns it, ready to be
 // swapped in behind the node's name. Only legal after Kill.
 func (n *Node) Promote() (*cloud.Durable, error) {
+	n.stopShipTicker()
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
 	if !n.killed {
@@ -210,6 +275,7 @@ func (n *Node) Promote() (*cloud.Durable, error) {
 
 // Close shuts down whichever stores are still open.
 func (n *Node) Close() error {
+	n.stopShipTicker()
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
 	var first error
@@ -315,6 +381,21 @@ func (n *Node) HandleShare(req protocol.ShareRequest) error {
 
 func (n *Node) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
 	return run(n, func(d *cloud.Durable) (protocol.SharesResponse, error) { return d.Shares(req) })
+}
+
+func (n *Node) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.DelegateResponse, error) { return d.HandleDelegate(req) })
+}
+
+func (n *Node) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	_, err := run(n, func(d *cloud.Durable) (struct{}, error) {
+		return struct{}{}, d.HandleRevokeDelegation(req)
+	})
+	return err
+}
+
+func (n *Node) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return run(n, func(d *cloud.Durable) (protocol.ListDelegationsResponse, error) { return d.ListDelegations(req) })
 }
 
 func (n *Node) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {

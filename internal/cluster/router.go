@@ -172,6 +172,18 @@ func (r *Router) Shares(req protocol.SharesRequest) (protocol.SharesResponse, er
 	return r.owner(req.DeviceID).Shares(req)
 }
 
+func (r *Router) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return r.owner(req.DeviceID).HandleDelegate(req)
+}
+
+func (r *Router) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	return r.owner(req.DeviceID).HandleRevokeDelegation(req)
+}
+
+func (r *Router) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return r.owner(req.DeviceID).ListDelegations(req)
+}
+
 func (r *Router) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	return r.owner(req.DeviceID).ShadowState(req)
 }

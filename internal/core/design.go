@@ -185,6 +185,30 @@ type DesignSpec struct {
 	// but cannot inject or steal data (A1).
 	DataRequiresSession bool
 
+	// DelegationScopeAttenuation makes the cloud enforce monotone
+	// attenuation on re-delegation: a derived grant may carry only a
+	// subset of its grantor's scopes, a strictly smaller re-delegation
+	// depth, and no longer an expiry. Its absence is vulnerability A6-2
+	// (re-delegation privilege escalation): a read-only guest with the
+	// share scope can mint a control grant for an accomplice.
+	DelegationScopeAttenuation bool
+
+	// DelegationCascadeRevoke makes revoking a grant atomically sever
+	// every grant derived from it. Its absence is vulnerability A6-1
+	// (evicted-guest residual control): a guest who re-delegated to a
+	// second account they control keeps controlling the device through
+	// that surviving derived grant after their own eviction.
+	DelegationCascadeRevoke bool
+
+	// DelegationCheckAtUse makes the cloud re-verify the whole grant
+	// chain in the delegation lattice at every use of a delegation
+	// token, under the device shadow's lock — so a control attempt
+	// racing a revocation loses deterministically. Its absence is
+	// vulnerability A6-3 (revocation-race window): a minted delegation
+	// token keeps its authority until its own expiry, outliving the
+	// revocation of the grant it came from.
+	DelegationCheckAtUse bool
+
 	// ResetUnbindsOnSetup models products whose normal setup flow resets
 	// the device, emitting an Unbind:DevId that clears any pre-existing
 	// (attacker-planted) binding, so binding denial-of-service self-heals

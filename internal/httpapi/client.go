@@ -158,6 +158,26 @@ func (c *Client) Shares(req protocol.SharesRequest) (protocol.SharesResponse, er
 	return out, err
 }
 
+// HandleDelegate implements transport.Cloud.
+func (c *Client) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	var out protocol.DelegateResponse
+	err := c.post(RouteDelegate, req, &out)
+	return out, err
+}
+
+// HandleRevokeDelegation implements transport.Cloud.
+func (c *Client) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	var out struct{}
+	return c.post(RouteRevokeDeleg, req, &out)
+}
+
+// ListDelegations implements transport.Cloud.
+func (c *Client) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	var out protocol.ListDelegationsResponse
+	err := c.post(RouteDelegations, req, &out)
+	return out, err
+}
+
 // ShadowState implements transport.Cloud.
 func (c *Client) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	var out protocol.ShadowStateResponse

@@ -33,6 +33,9 @@ const (
 	RouteReadings     = "/api/v1/readings"
 	RouteShare        = "/api/v1/share"
 	RouteShares       = "/api/v1/shares"
+	RouteDelegate     = "/api/v1/delegate"
+	RouteRevokeDeleg  = "/api/v1/revoke-delegation"
+	RouteDelegations  = "/api/v1/delegations"
 	RouteShadow       = "/api/v1/shadow"
 )
 
@@ -84,6 +87,9 @@ func NewServer(cloud transport.Cloud) *Server {
 	s.mux.HandleFunc(RouteReadings, s.handleReadings)
 	s.mux.HandleFunc(RouteShare, s.handleShare)
 	s.mux.HandleFunc(RouteShares, s.handleShares)
+	s.mux.HandleFunc(RouteDelegate, s.handleDelegate)
+	s.mux.HandleFunc(RouteRevokeDeleg, s.handleRevokeDelegation)
+	s.mux.HandleFunc(RouteDelegations, s.handleDelegations)
 	s.mux.HandleFunc(RouteShadow, s.handleShadow)
 	return s
 }
@@ -208,6 +214,32 @@ func (s *Server) handleShares(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.cloud.Shares(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleDelegate(w http.ResponseWriter, r *http.Request) {
+	var req protocol.DelegateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.HandleDelegate(req)
+	respond(w, resp, err)
+}
+
+func (s *Server) handleRevokeDelegation(w http.ResponseWriter, r *http.Request) {
+	var req protocol.RevokeDelegationRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	respond(w, struct{}{}, s.cloud.HandleRevokeDelegation(req))
+}
+
+func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
+	var req protocol.ListDelegationsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.cloud.ListDelegations(req)
 	respond(w, resp, err)
 }
 

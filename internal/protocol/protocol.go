@@ -222,6 +222,82 @@ type ShareRequest struct {
 	Revoke bool `json:"revoke,omitempty"`
 }
 
+// DelegateRequest creates a scoped, expiring delegation grant on a bound
+// device: the grantor (the bound owner, or a grantee holding the share
+// scope with re-delegation depth left) hands the grantee a subset of
+// their authority. The cloud records the grant in the device's
+// delegation lattice and mints a DelegationToken from it.
+type DelegateRequest struct {
+	DeviceID string `json:"device_id"`
+	// UserToken authenticates the grantor.
+	UserToken string `json:"user_token"`
+	// Grantee is the account receiving the grant.
+	Grantee string `json:"grantee"`
+	// Scopes names the granted capabilities: "control", "read", "share".
+	Scopes []string `json:"scopes"`
+	// TTLSeconds bounds the grant's lifetime from the cloud's clock at
+	// acceptance; zero means no expiry of its own (chain expiry still
+	// applies).
+	TTLSeconds int64 `json:"ttl_seconds,omitempty"`
+	// Depth is the re-delegation budget handed to the grantee: how many
+	// further links they may append under the grant (0 = none).
+	Depth int `json:"depth,omitempty"`
+	// IdempotencyKey identifies this logical grant across transport
+	// redeliveries, like BindRequest.IdempotencyKey.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// DelegateResponse carries the minted delegation token.
+type DelegateResponse struct {
+	// DelegationToken is the scoped expiring credential minted from the
+	// grant; the grantee may present it in place of a user token on
+	// control and readings requests.
+	DelegationToken string `json:"delegation_token"`
+	// ExpiresAt is the grant's expiry (zero when the grant has none).
+	ExpiresAt time.Time `json:"expires_at,omitempty"`
+}
+
+// RevokeDelegationRequest withdraws a grant. Revocation cascades: every
+// grant derived from the revoked one is severed atomically with it.
+type RevokeDelegationRequest struct {
+	DeviceID string `json:"device_id"`
+	// UserToken authenticates the revoker: the bound owner or the
+	// grant's direct grantor.
+	UserToken string `json:"user_token"`
+	// Grantee is the account losing the grant (and, transitively, every
+	// account holding a grant derived from it).
+	Grantee string `json:"grantee"`
+	// IdempotencyKey identifies this logical revocation across
+	// redeliveries: a redelivered revoke replays its recorded outcome
+	// instead of severing a grant issued after the first delivery.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// ListDelegationsRequest lists a device's delegation grants. The bound
+// owner sees every grant; any other authenticated account sees only the
+// grants it holds or made.
+type ListDelegationsRequest struct {
+	DeviceID  string `json:"device_id"`
+	UserToken string `json:"user_token"`
+}
+
+// DelegationInfo is one grant as reported by ListDelegations.
+type DelegationInfo struct {
+	Grantor string `json:"grantor"`
+	Grantee string `json:"grantee"`
+	// Scopes are the granted capability names, sorted.
+	Scopes []string `json:"scopes"`
+	// ExpiresAt is the grant's own expiry (zero means none).
+	ExpiresAt time.Time `json:"expires_at,omitempty"`
+	// Depth is the grantee's remaining re-delegation budget.
+	Depth int `json:"depth,omitempty"`
+}
+
+// ListDelegationsResponse carries the visible grants, sorted by grantee.
+type ListDelegationsResponse struct {
+	Grants []DelegationInfo `json:"grants"`
+}
+
 // SharesRequest lists a device's guests, as the owner sees them.
 type SharesRequest struct {
 	DeviceID  string `json:"device_id"`

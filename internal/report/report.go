@@ -13,6 +13,7 @@ import (
 	"github.com/iotbind/iotbind/internal/analysis"
 	"github.com/iotbind/iotbind/internal/core"
 	"github.com/iotbind/iotbind/internal/devid"
+	"github.com/iotbind/iotbind/internal/modelcheck"
 	"github.com/iotbind/iotbind/internal/testbed"
 	"github.com/iotbind/iotbind/internal/vendors"
 )
@@ -124,6 +125,29 @@ func WriteFindings(w io.Writer, design core.DesignSpec, findings []analysis.Find
 		tw.row(f.Variant.String(), f.Outcome.String(), f.Reason)
 	}
 	return tw.flush(fmt.Sprintf("Attack-surface analysis: %s", design.Name))
+}
+
+// WriteDelegation renders the A6 delegation sweep for one design: the
+// analyzer's rule-based prediction next to the exhaustive delegation
+// sub-model's verdict per attack row, with the analyzer's reason.
+func WriteDelegation(w io.Writer, design core.DesignSpec, findings []analysis.DelegationFinding, verdicts []modelcheck.DelegationResult) error {
+	tw := newTableWriter(w, "Attack", "Predicted", "Model", "States", "Reason")
+	for i, f := range findings {
+		model, states := "-", "-"
+		if i < len(verdicts) {
+			model = outcomeWord(verdicts[i].Succeeds)
+			states = fmt.Sprintf("%d", verdicts[i].StatesExplored)
+		}
+		tw.row(f.Attack.String(), outcomeWord(f.Outcome.Succeeded()), model, states, f.Reason)
+	}
+	return tw.flush(fmt.Sprintf("Delegation (A6) sweep: %s", design.Name))
+}
+
+func outcomeWord(succeeds bool) string {
+	if succeeds {
+		return "succeeds"
+	}
+	return "blocked"
 }
 
 // WriteSearchSpace renders the device-ID enumeration analysis for a set of

@@ -303,6 +303,32 @@ func (t *Transport) Shares(req protocol.SharesRequest) (protocol.SharesResponse,
 	return do(t, "shares", func() (protocol.SharesResponse, error) { return t.inner.Shares(req) })
 }
 
+// HandleDelegate implements transport.Cloud, stamping one idempotency
+// key across every delivery attempt of this logical delegation — a
+// retried delegate must replay the token the first delivery minted, not
+// re-grant.
+func (t *Transport) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = t.nextKey()
+	}
+	return do(t, "delegate", func() (protocol.DelegateResponse, error) { return t.inner.HandleDelegate(req) })
+}
+
+// HandleRevokeDelegation implements transport.Cloud, stamping one
+// idempotency key across every delivery attempt — a redelivered revoke
+// must not sever a grant issued after its first delivery.
+func (t *Transport) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = t.nextKey()
+	}
+	return doErr(t, "revoke-delegation", func() error { return t.inner.HandleRevokeDelegation(req) })
+}
+
+// ListDelegations implements transport.Cloud.
+func (t *Transport) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return do(t, "delegations", func() (protocol.ListDelegationsResponse, error) { return t.inner.ListDelegations(req) })
+}
+
 // ShadowState implements transport.Cloud.
 func (t *Transport) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	return do(t, "shadow", func() (protocol.ShadowStateResponse, error) { return t.inner.ShadowState(req) })

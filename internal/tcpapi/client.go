@@ -206,6 +206,25 @@ func (c *Client) Shares(req protocol.SharesRequest) (protocol.SharesResponse, er
 	return out, err
 }
 
+// HandleDelegate implements transport.Cloud.
+func (c *Client) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	var out protocol.DelegateResponse
+	err := c.roundTrip(OpDelegate, req, &out)
+	return out, err
+}
+
+// HandleRevokeDelegation implements transport.Cloud.
+func (c *Client) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	return c.roundTrip(OpRevokeDeleg, req, nil)
+}
+
+// ListDelegations implements transport.Cloud.
+func (c *Client) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	var out protocol.ListDelegationsResponse
+	err := c.roundTrip(OpDelegations, req, &out)
+	return out, err
+}
+
 // ShadowState implements transport.Cloud.
 func (c *Client) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	var out protocol.ShadowStateResponse

@@ -45,6 +45,9 @@ const (
 	OpReadings     = "readings"
 	OpShare        = "share"
 	OpShares       = "shares"
+	OpDelegate     = "delegate"
+	OpRevokeDeleg  = "revoke-delegation"
+	OpDelegations  = "delegations"
 	OpShadow       = "shadow"
 )
 
@@ -330,6 +333,17 @@ func (s *Server) dispatch(req request, sourceIP string) wireResponse {
 	case OpShares:
 		var p protocol.SharesRequest
 		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.Shares(p) })
+	case OpDelegate:
+		var p protocol.DelegateRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.HandleDelegate(p) })
+	case OpRevokeDeleg:
+		var p protocol.RevokeDelegationRequest
+		return s.call(req.Payload, &p, func() (any, error) {
+			return struct{}{}, s.cloud.HandleRevokeDelegation(p)
+		})
+	case OpDelegations:
+		var p protocol.ListDelegationsRequest
+		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.ListDelegations(p) })
 	case OpShadow:
 		var p protocol.ShadowStateRequest
 		return s.call(req.Payload, &p, func() (any, error) { return s.cloud.ShadowState(p) })

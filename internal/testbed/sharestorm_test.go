@@ -1,0 +1,71 @@
+package testbed
+
+import (
+	"testing"
+
+	"github.com/iotbind/iotbind/internal/core"
+	"github.com/iotbind/iotbind/internal/wal"
+)
+
+func stormDesign() core.DesignSpec {
+	d := fleetDesign()
+	d.Name = "share-storm"
+	d.DelegationScopeAttenuation = true
+	d.DelegationCascadeRevoke = true
+	d.DelegationCheckAtUse = true
+	return d
+}
+
+// TestShareStormPerRecordFsync is the headline delegation run: a
+// share/revoke storm interleaved with owner and delegated control
+// traffic, killed mid-run at seeded points under per-record fsync. The
+// recovered lattice must be byte-identical to the storm-free reference
+// and no acknowledged grant or revocation may be lost or resurrected.
+func TestShareStormPerRecordFsync(t *testing.T) {
+	res, err := RunShareStorm(ShareStormConfig{
+		Design: stormDesign(), Ops: 120, KillPoints: 18, Seed: 11,
+		Policy: wal.SyncEveryRecord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 18 {
+		t.Errorf("crashes = %d, want 18", res.Crashes)
+	}
+	if res.MaxLostAcked != 0 {
+		t.Errorf("per-record fsync lost %d acknowledged delegation ops", res.MaxLostAcked)
+	}
+	if res.Replayed == 0 {
+		t.Error("no records were ever replayed")
+	}
+	if res.Granted == 0 || res.Revoked == 0 {
+		t.Errorf("storm too tame: %d grants, %d revocations", res.Granted, res.Revoked)
+	}
+}
+
+// TestShareStormPermissiveWithCheckpoints runs the same storm against
+// the permissive zero-value delegation posture (escalating
+// re-delegations are accepted instead of refused, so the accept/reject
+// split differs) with mid-run checkpoints and the persisted idempotency
+// log. Determinism must hold regardless of policy: the reference
+// executes the identical storm under the identical design.
+func TestShareStormPermissiveWithCheckpoints(t *testing.T) {
+	d := fleetDesign()
+	d.Name = "share-storm-permissive"
+	res, err := RunShareStorm(ShareStormConfig{
+		Design: d, Ops: 120, KillPoints: 14, Seed: 12,
+		Policy: wal.SyncEveryRecord, CheckpointEvery: 16, PersistIdempotency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLostAcked != 0 {
+		t.Errorf("per-record fsync lost %d acknowledged delegation ops", res.MaxLostAcked)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoint completed")
+	}
+	if res.Granted == 0 {
+		t.Error("no delegation was ever granted")
+	}
+}

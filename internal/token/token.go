@@ -31,6 +31,11 @@ const (
 	// KindSession is the post-binding random token issued to both parties
 	// of a fresh binding (Section IV-B).
 	KindSession
+	// KindDelegation is a scoped, expiring credential minted from a
+	// delegation grant (owner → guest → sub-guest chains). Owner is the
+	// grantee account the token speaks for; Subject is the device, so
+	// revoking a binding retires every delegation token with it.
+	KindDelegation
 )
 
 // String implements fmt.Stringer using the paper's notation.
@@ -44,6 +49,8 @@ func (k Kind) String() string {
 		return "BindToken"
 	case KindSession:
 		return "SessionToken"
+	case KindDelegation:
+		return "DelegationToken"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -173,6 +180,26 @@ func (i *Issuer) Verify(kind Kind, value string) (Token, error) {
 	return tok, nil
 }
 
+// Resolve checks that value is a live token unexpired at now and
+// returns its metadata whatever its kind. The control-plane hot path
+// dispatches on the returned Kind in a single lookup instead of probing
+// kind by kind — a failed probe would pay a lock round trip and an
+// allocated kind-mismatch error per wrong guess. The caller supplies
+// now so one clock read per request covers both the credential's expiry
+// and any downstream grant-expiry checks.
+func (i *Issuer) Resolve(value string, now time.Time) (Token, error) {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	tok, ok := i.lookupLocked(value)
+	if !ok {
+		return Token{}, ErrUnknownToken
+	}
+	if tok.Expired(now) {
+		return Token{}, ErrExpired
+	}
+	return tok, nil
+}
+
 // Revoke invalidates a token. Revoking an unknown value is a no-op.
 func (i *Issuer) Revoke(value string) {
 	i.mu.Lock()
@@ -189,6 +216,23 @@ func (i *Issuer) RevokeSubject(kind Kind, subject string) int {
 	var n int
 	for value, tok := range i.tokens {
 		if tok.Kind == kind && tok.Subject == subject {
+			delete(i.tokens, value)
+			n++
+		}
+	}
+	return n
+}
+
+// RevokeOwnedSubject invalidates every token of the given kind issued to
+// owner for subject, returning how many were revoked. Cascade revocation
+// of a delegation grant uses it to retire exactly the severed grantees'
+// tokens without touching sibling grants on the same device.
+func (i *Issuer) RevokeOwnedSubject(kind Kind, owner, subject string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var n int
+	for value, tok := range i.tokens {
+		if tok.Kind == kind && tok.Owner == owner && tok.Subject == subject {
 			delete(i.tokens, value)
 			n++
 		}

@@ -215,6 +215,24 @@ func (t *traced) Shares(req protocol.SharesRequest) (protocol.SharesResponse, er
 	return resp, err
 }
 
+func (t *traced) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	resp, err := t.inner.HandleDelegate(req)
+	t.rec.record(t.party, fmt.Sprintf("Delegate(%s : %s)", req.Grantee, strings.Join(req.Scopes, "+")), err)
+	return resp, err
+}
+
+func (t *traced) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	err := t.inner.HandleRevokeDelegation(req)
+	t.rec.record(t.party, fmt.Sprintf("RevokeDelegation(%s)", req.Grantee), err)
+	return err
+}
+
+func (t *traced) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	resp, err := t.inner.ListDelegations(req)
+	t.rec.record(t.party, "ListDelegations()", err)
+	return resp, err
+}
+
 func (t *traced) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	// Diagnostics are not part of the protocol flow; pass through
 	// unrecorded.

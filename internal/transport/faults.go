@@ -301,6 +301,21 @@ func (f *Faults) Shares(req protocol.SharesRequest) (protocol.SharesResponse, er
 	return faultCall(f, "shares", func() (protocol.SharesResponse, error) { return f.inner.Shares(req) })
 }
 
+// HandleDelegate implements Cloud.
+func (f *Faults) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return faultCall(f, "delegate", func() (protocol.DelegateResponse, error) { return f.inner.HandleDelegate(req) })
+}
+
+// HandleRevokeDelegation implements Cloud.
+func (f *Faults) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	return faultCallErr(f, "revoke-delegation", func() error { return f.inner.HandleRevokeDelegation(req) })
+}
+
+// ListDelegations implements Cloud.
+func (f *Faults) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return faultCall(f, "delegations", func() (protocol.ListDelegationsResponse, error) { return f.inner.ListDelegations(req) })
+}
+
 // ShadowState implements Cloud.
 func (f *Faults) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	return faultCall(f, "shadow", func() (protocol.ShadowStateResponse, error) { return f.inner.ShadowState(req) })

@@ -177,6 +177,30 @@ func (f *Flaky) Shares(req protocol.SharesRequest) (protocol.SharesResponse, err
 	return f.inner.Shares(req)
 }
 
+// HandleDelegate implements Cloud.
+func (f *Flaky) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	if err := f.tick("delegate"); err != nil {
+		return protocol.DelegateResponse{}, err
+	}
+	return f.inner.HandleDelegate(req)
+}
+
+// HandleRevokeDelegation implements Cloud.
+func (f *Flaky) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	if err := f.tick("revoke-delegation"); err != nil {
+		return err
+	}
+	return f.inner.HandleRevokeDelegation(req)
+}
+
+// ListDelegations implements Cloud.
+func (f *Flaky) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	if err := f.tick("delegations"); err != nil {
+		return protocol.ListDelegationsResponse{}, err
+	}
+	return f.inner.ListDelegations(req)
+}
+
 // ShadowState implements Cloud.
 func (f *Flaky) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	if err := f.tick("shadow"); err != nil {

@@ -88,6 +88,18 @@ func (s *Switchable) Shares(req protocol.SharesRequest) (protocol.SharesResponse
 	return s.Current().Shares(req)
 }
 
+func (s *Switchable) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return s.Current().HandleDelegate(req)
+}
+
+func (s *Switchable) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	return s.Current().HandleRevokeDelegation(req)
+}
+
+func (s *Switchable) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return s.Current().ListDelegations(req)
+}
+
 func (s *Switchable) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {
 	return s.Current().ShadowState(req)
 }

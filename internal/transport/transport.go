@@ -40,6 +40,15 @@ type Cloud interface {
 	HandleShare(protocol.ShareRequest) error
 	// Shares lists a device's guests, as the owner sees them.
 	Shares(protocol.SharesRequest) (protocol.SharesResponse, error)
+	// HandleDelegate records a scoped, expiring, depth-limited delegation
+	// grant and mints a delegation token from it.
+	HandleDelegate(protocol.DelegateRequest) (protocol.DelegateResponse, error)
+	// HandleRevokeDelegation withdraws a delegation grant (cascading to
+	// derived grants on designs that revoke cascades).
+	HandleRevokeDelegation(protocol.RevokeDelegationRequest) error
+	// ListDelegations lists a device's delegation grants as visible to
+	// the caller.
+	ListDelegations(protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error)
 	// ShadowState inspects a device shadow (diagnostics).
 	ShadowState(protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error)
 }
@@ -117,6 +126,18 @@ func (s *stamped) HandleShare(req protocol.ShareRequest) error {
 
 func (s *stamped) Shares(req protocol.SharesRequest) (protocol.SharesResponse, error) {
 	return s.cloud.Shares(req)
+}
+
+func (s *stamped) HandleDelegate(req protocol.DelegateRequest) (protocol.DelegateResponse, error) {
+	return s.cloud.HandleDelegate(req)
+}
+
+func (s *stamped) HandleRevokeDelegation(req protocol.RevokeDelegationRequest) error {
+	return s.cloud.HandleRevokeDelegation(req)
+}
+
+func (s *stamped) ListDelegations(req protocol.ListDelegationsRequest) (protocol.ListDelegationsResponse, error) {
+	return s.cloud.ListDelegations(req)
 }
 
 func (s *stamped) ShadowState(req protocol.ShadowStateRequest) (protocol.ShadowStateResponse, error) {

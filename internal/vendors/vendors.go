@@ -326,12 +326,15 @@ func SecureReference() Profile {
 	return Profile{
 		Vendor: "Reference", DeviceType: "Capability baseline",
 		Design: core.DesignSpec{
-			Name:                   "reference-capability",
-			DeviceAuth:             core.AuthPublicKey,
-			Binding:                core.BindCapability,
-			UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
-			CheckBoundUserOnBind:   true,
-			CheckBoundUserOnUnbind: true,
+			Name:                       "reference-capability",
+			DeviceAuth:                 core.AuthPublicKey,
+			Binding:                    core.BindCapability,
+			UnbindForms:                []core.UnbindForm{core.UnbindDevIDUserToken},
+			CheckBoundUserOnBind:       true,
+			CheckBoundUserOnUnbind:     true,
+			DelegationScopeAttenuation: true,
+			DelegationCascadeRevoke:    true,
+			DelegationCheckAtUse:       true,
 		},
 		IDs: IDScheme{Scheme: devid.SchemeRandom128, Seed: 0x5eed},
 	}
@@ -347,12 +350,15 @@ func RecommendedPractice() Profile {
 	return Profile{
 		Vendor: "Reference", DeviceType: "DevToken + capability practice",
 		Design: core.DesignSpec{
-			Name:                   "reference-devtoken",
-			DeviceAuth:             core.AuthDevToken,
-			Binding:                core.BindCapability,
-			UnbindForms:            []core.UnbindForm{core.UnbindDevIDUserToken},
-			CheckBoundUserOnBind:   true,
-			CheckBoundUserOnUnbind: true,
+			Name:                       "reference-devtoken",
+			DeviceAuth:                 core.AuthDevToken,
+			Binding:                    core.BindCapability,
+			UnbindForms:                []core.UnbindForm{core.UnbindDevIDUserToken},
+			CheckBoundUserOnBind:       true,
+			CheckBoundUserOnUnbind:     true,
+			DelegationScopeAttenuation: true,
+			DelegationCascadeRevoke:    true,
+			DelegationCheckAtUse:       true,
 		},
 		IDs: IDScheme{Scheme: devid.SchemeRandom128, Seed: 0xcafe},
 	}

@@ -1,0 +1,98 @@
+package wirecodec
+
+import (
+	"bytes"
+
+	"github.com/iotbind/iotbind/internal/protocol"
+)
+
+// Wire bodies for the sharing/delegation operations carried as binary
+// binapi frames. Unlike the WAL record forms these carry no tag byte
+// and no timestamp: the frame kind is the tag, and the cloud stamps
+// records with its own clock when it logs them.
+
+// PutShareBody writes a share request body.
+func PutShareBody(b *bytes.Buffer, req *protocol.ShareRequest) {
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Guest)
+	var revoke uint8
+	if req.Revoke {
+		revoke = 1
+	}
+	PutU8(b, revoke)
+}
+
+// ReadShareBody reverses PutShareBody.
+func ReadShareBody(c *Cursor) protocol.ShareRequest {
+	var req protocol.ShareRequest
+	req.DeviceID = c.Str()
+	req.UserToken = c.Str()
+	req.Guest = c.Str()
+	req.Revoke = c.U8() != 0
+	return req
+}
+
+// PutDelegateBody writes a delegation-grant request body.
+func PutDelegateBody(b *bytes.Buffer, req *protocol.DelegateRequest) {
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Grantee)
+	PutUvarint(b, uint64(len(req.Scopes)))
+	for _, s := range req.Scopes {
+		PutStr(b, s)
+	}
+	PutI64(b, req.TTLSeconds)
+	PutI64(b, int64(req.Depth))
+	PutStr(b, req.IdempotencyKey)
+}
+
+// ReadDelegateBody reverses PutDelegateBody.
+func ReadDelegateBody(c *Cursor) protocol.DelegateRequest {
+	var req protocol.DelegateRequest
+	req.DeviceID = c.Str()
+	req.UserToken = c.Str()
+	req.Grantee = c.Str()
+	if n := c.Count(MinStringSize); c.Err() == nil && n > 0 {
+		req.Scopes = make([]string, n)
+		for i := range req.Scopes {
+			req.Scopes[i] = c.Str()
+		}
+	}
+	req.TTLSeconds = c.I64()
+	req.Depth = int(c.I64())
+	req.IdempotencyKey = c.Str()
+	return req
+}
+
+// PutRevokeDelegationBody writes a delegation-revocation request body.
+func PutRevokeDelegationBody(b *bytes.Buffer, req *protocol.RevokeDelegationRequest) {
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Grantee)
+	PutStr(b, req.IdempotencyKey)
+}
+
+// ReadRevokeDelegationBody reverses PutRevokeDelegationBody.
+func ReadRevokeDelegationBody(c *Cursor) protocol.RevokeDelegationRequest {
+	var req protocol.RevokeDelegationRequest
+	req.DeviceID = c.Str()
+	req.UserToken = c.Str()
+	req.Grantee = c.Str()
+	req.IdempotencyKey = c.Str()
+	return req
+}
+
+// PutDelegateResponse writes a delegation-grant response body.
+func PutDelegateResponse(b *bytes.Buffer, resp *protocol.DelegateResponse) {
+	PutStr(b, resp.DelegationToken)
+	PutI64(b, EncodeTime(resp.ExpiresAt))
+}
+
+// ReadDelegateResponse reverses PutDelegateResponse.
+func ReadDelegateResponse(c *Cursor) protocol.DelegateResponse {
+	var resp protocol.DelegateResponse
+	resp.DelegationToken = c.Str()
+	resp.ExpiresAt = DecodeTime(c.I64())
+	return resp
+}

@@ -34,15 +34,20 @@ type Liveness struct {
 }
 
 // Record is one decoded record, ready to re-execute (WAL replay) or
-// dispatch (wire). Exactly one of the payload pointers is set.
+// dispatch (wire). Exactly one of the payload pointers is set. Share and
+// the delegation operations have first-class binary forms (share also
+// still decodes from legacy JSON envelopes).
 type Record struct {
 	Op string
 	At time.Time
 
-	Status   *protocol.StatusRequest
-	Batch    *protocol.StatusBatchRequest
-	Liveness *Liveness
-	Env      *Envelope
+	Status           *protocol.StatusRequest
+	Batch            *protocol.StatusBatchRequest
+	Liveness         *Liveness
+	Share            *protocol.ShareRequest
+	Delegate         *protocol.DelegateRequest
+	RevokeDelegation *protocol.RevokeDelegationRequest
+	Env              *Envelope
 }
 
 // EncodeStatusRecord writes a complete status record into b.
@@ -75,6 +80,47 @@ func EncodeBatchRecord(b *bytes.Buffer, at time.Time, req *protocol.StatusBatchR
 	for i := range req.Items {
 		PutStatusBody(b, &req.Items[i])
 	}
+}
+
+// EncodeShareRecord writes a complete share record into b.
+func EncodeShareRecord(b *bytes.Buffer, at time.Time, req *protocol.ShareRequest) {
+	PutU8(b, TagShare)
+	PutI64(b, EncodeTime(at))
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Guest)
+	var revoke uint8
+	if req.Revoke {
+		revoke = 1
+	}
+	PutU8(b, revoke)
+}
+
+// EncodeDelegateRecord writes a complete delegation-grant record into b.
+func EncodeDelegateRecord(b *bytes.Buffer, at time.Time, req *protocol.DelegateRequest) {
+	PutU8(b, TagDelegate)
+	PutI64(b, EncodeTime(at))
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Grantee)
+	PutUvarint(b, uint64(len(req.Scopes)))
+	for _, s := range req.Scopes {
+		PutStr(b, s)
+	}
+	PutI64(b, req.TTLSeconds)
+	PutI64(b, int64(req.Depth))
+	PutStr(b, req.IdempotencyKey)
+}
+
+// EncodeRevokeDelegationRecord writes a complete delegation-revocation
+// record into b.
+func EncodeRevokeDelegationRecord(b *bytes.Buffer, at time.Time, req *protocol.RevokeDelegationRequest) {
+	PutU8(b, TagRevokeDelegation)
+	PutI64(b, EncodeTime(at))
+	PutStr(b, req.DeviceID)
+	PutStr(b, req.UserToken)
+	PutStr(b, req.Grantee)
+	PutStr(b, req.IdempotencyKey)
 }
 
 // DecodeRecord parses any record payload.
@@ -119,6 +165,53 @@ func DecodeRecord(payload []byte) (Record, error) {
 			return Record{}, c.Err()
 		}
 		return Record{Op: "status_batch", At: at, Batch: &req}, nil
+	case TagShare:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		var req protocol.ShareRequest
+		req.DeviceID = c.Str()
+		req.UserToken = c.Str()
+		req.Guest = c.Str()
+		req.Revoke = c.U8() != 0
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "share", At: at, Share: &req}, nil
+	case TagDelegate:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		var req protocol.DelegateRequest
+		req.DeviceID = c.Str()
+		req.UserToken = c.Str()
+		req.Grantee = c.Str()
+		if n := c.Count(MinStringSize); c.Err() == nil && n > 0 {
+			req.Scopes = make([]string, n)
+			for i := range req.Scopes {
+				req.Scopes[i] = c.Str()
+			}
+		}
+		req.TTLSeconds = c.I64()
+		req.Depth = int(c.I64())
+		req.IdempotencyKey = c.Str()
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "delegate", At: at, Delegate: &req}, nil
+	case TagRevokeDelegation:
+		c := NewCursor(payload, 1)
+		at := DecodeTime(c.I64())
+		var req protocol.RevokeDelegationRequest
+		req.DeviceID = c.Str()
+		req.UserToken = c.Str()
+		req.Grantee = c.Str()
+		req.IdempotencyKey = c.Str()
+		if !c.Done() {
+			c.Fail()
+			return Record{}, c.Err()
+		}
+		return Record{Op: "revoke_delegation", At: at, RevokeDelegation: &req}, nil
 	case TagJSON:
 		var env Envelope
 		if err := json.Unmarshal(payload, &env); err != nil {
@@ -150,6 +243,17 @@ func DescribeRecord(payload []byte) (string, error) {
 		return fmt.Sprintf("%s status_batch items=%d", ts, len(rec.Batch.Items)), nil
 	case rec.Liveness != nil:
 		return fmt.Sprintf("%s liveness device=%s owner=%q", ts, rec.Liveness.DeviceID, rec.Liveness.Owner), nil
+	case rec.Share != nil:
+		return fmt.Sprintf("%s share device=%s guest=%s revoke=%t",
+			ts, rec.Share.DeviceID, rec.Share.Guest, rec.Share.Revoke), nil
+	case rec.Delegate != nil:
+		return fmt.Sprintf("%s delegate device=%s grantee=%s scopes=%v ttl=%ds depth=%d keyed=%t",
+			ts, rec.Delegate.DeviceID, rec.Delegate.Grantee, rec.Delegate.Scopes,
+			rec.Delegate.TTLSeconds, rec.Delegate.Depth, rec.Delegate.IdempotencyKey != ""), nil
+	case rec.RevokeDelegation != nil:
+		return fmt.Sprintf("%s revoke_delegation device=%s grantee=%s keyed=%t",
+			ts, rec.RevokeDelegation.DeviceID, rec.RevokeDelegation.Grantee,
+			rec.RevokeDelegation.IdempotencyKey != ""), nil
 	default:
 		env := rec.Env
 		switch {

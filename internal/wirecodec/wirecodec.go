@@ -41,10 +41,13 @@ import (
 
 // Record tags: the first payload byte.
 const (
-	TagStatus   = 0x01
-	TagBatch    = 0x02
-	TagLiveness = 0x03
-	TagJSON     = '{'
+	TagStatus           = 0x01
+	TagBatch            = 0x02
+	TagLiveness         = 0x03
+	TagDelegate         = 0x04
+	TagRevokeDelegation = 0x05
+	TagShare            = 0x06
+	TagJSON             = '{'
 )
 
 // Minimum encoded item sizes, used with Cursor.Count to bound
